@@ -1,0 +1,31 @@
+//! Bench: the distance program (E8) — inflationary vs stratified engine
+//! cost, against the direct BFS baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inflog::core::graphs::DiGraph;
+use inflog::eval::{inflationary, stratified_eval};
+use inflog::reductions::distance::distance_query_baseline;
+use inflog::reductions::programs::distance_program;
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_query");
+    group.sample_size(10);
+
+    for n in [6usize, 9, 12] {
+        let g = DiGraph::path(n);
+        let db = g.to_database("E");
+        group.bench_with_input(BenchmarkId::new("inflationary", n), &db, |b, db| {
+            b.iter(|| inflationary(&distance_program(), db).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("stratified", n), &db, |b, db| {
+            b.iter(|| stratified_eval(&distance_program(), db).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("bfs_baseline", n), &g, |b, g| {
+            b.iter(|| distance_query_baseline(g));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench: fixpoint existence — CDCL-backed completion search vs exhaustive
+//! enumeration (the E1 machinery; brute force is exponential in `Σ|A|^k`,
+//! the SAT path is not).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inflog::core::graphs::DiGraph;
+use inflog::fixpoint::{enumerate_fixpoints_brute, FixpointAnalyzer};
+use inflog::reductions::programs::pi1;
+
+fn bench_fixpoint_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixpoint_search");
+    group.sample_size(10);
+
+    // Brute force: feasible only on tiny universes.
+    for n in [6usize, 10, 14] {
+        let db = DiGraph::cycle(n).to_database("E");
+        group.bench_with_input(BenchmarkId::new("brute_enumerate", n), &db, |b, db| {
+            b.iter(|| enumerate_fixpoints_brute(&pi1(), db, 20).unwrap());
+        });
+    }
+    // SAT-based existence scales much further.
+    for n in [14usize, 30, 60] {
+        let db = DiGraph::cycle(n).to_database("E");
+        group.bench_with_input(BenchmarkId::new("sat_exists", n), &db, |b, db| {
+            b.iter(|| {
+                FixpointAnalyzer::new(&pi1(), db)
+                    .unwrap()
+                    .fixpoint_exists()
+            });
+        });
+    }
+    // Counting the exponentially many G_n fixpoints via blocking clauses.
+    for copies in [2usize, 4, 6] {
+        let db = DiGraph::disjoint_cycles(copies, 2).to_database("E");
+        group.bench_with_input(
+            BenchmarkId::new("sat_count_gn", copies),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    FixpointAnalyzer::new(&pi1(), db)
+                        .unwrap()
+                        .count_fixpoints(1 << 10)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixpoint_search);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench: grounding + completion-encoding cost for a fixed program as data
+//! grows (the polynomial side of E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inflog::fixpoint::{CompletionEncoding, GroundProgram};
+use inflog::reductions::programs::pi_sat;
+use inflog::reductions::sat_db::cnf_to_database;
+use inflog::sat::gen::random_ksat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_grounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grounding");
+    group.sample_size(10);
+
+    for n in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cnf = random_ksat(n, 4 * n, 3, &mut rng);
+        let db = cnf_to_database(&cnf);
+        group.bench_with_input(BenchmarkId::new("ground_pi_sat", n), &db, |b, db| {
+            b.iter(|| GroundProgram::build(&pi_sat(), db).unwrap());
+        });
+        let ground = GroundProgram::build(&pi_sat(), &db).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("encode_completion", n),
+            &ground,
+            |b, g| {
+                b.iter(|| CompletionEncoding::build(g));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grounding);
+criterion_main!(benches);

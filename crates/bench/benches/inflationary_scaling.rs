@@ -1,0 +1,38 @@
+//! Bench: polynomial data complexity of inflationary evaluation (E6/E10).
+//!
+//! Fixed programs (TC, π₁, the distance program), growing databases. The
+//! paper's claim is a polynomial bound `Σ|A|^k` on rounds and PTIME overall;
+//! the series here should grow polynomially, not exponentially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inflog::core::graphs::DiGraph;
+use inflog::eval::inflationary;
+use inflog::reductions::programs::{distance_program, pi1, pi3_tc};
+
+fn bench_inflationary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inflationary_scaling");
+    group.sample_size(10);
+
+    for n in [20usize, 40, 80] {
+        let db = DiGraph::cycle(n).to_database("E");
+        group.bench_with_input(BenchmarkId::new("tc_on_cycle", n), &db, |b, db| {
+            b.iter(|| inflationary(&pi3_tc(), db).unwrap());
+        });
+    }
+    for n in [50usize, 100, 200] {
+        let db = DiGraph::cycle(n).to_database("E");
+        group.bench_with_input(BenchmarkId::new("pi1_on_cycle", n), &db, |b, db| {
+            b.iter(|| inflationary(&pi1(), db).unwrap());
+        });
+    }
+    for n in [6usize, 9, 12] {
+        let db = DiGraph::path(n).to_database("E");
+        group.bench_with_input(BenchmarkId::new("distance_on_path", n), &db, |b, db| {
+            b.iter(|| inflationary(&distance_program(), db).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inflationary);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bench: the two least-fixpoint deciders of E4 — the FONP oracle algorithm
+//! (one SAT call per tuple) vs enumerate-then-intersect (explodes with the
+//! fixpoint count, e.g. on G_n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inflog::core::graphs::DiGraph;
+use inflog::fixpoint::FixpointAnalyzer;
+use inflog::reductions::programs::pi1;
+
+fn bench_least_fixpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("least_fixpoint");
+    group.sample_size(10);
+
+    for n in [8usize, 16, 32] {
+        let db = DiGraph::path(n).to_database("E");
+        let analyzer = FixpointAnalyzer::new(&pi1(), &db).unwrap();
+        group.bench_with_input(BenchmarkId::new("fonp_on_path", n), &analyzer, |b, a| {
+            b.iter(|| a.least_fixpoint_fonp());
+        });
+    }
+    // G_n: 2^n fixpoints — enumeration pays per fixpoint, FONP per tuple.
+    for copies in [3usize, 5, 7] {
+        let db = DiGraph::disjoint_cycles(copies, 2).to_database("E");
+        let analyzer = FixpointAnalyzer::new(&pi1(), &db).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("fonp_on_gn", copies),
+            &analyzer,
+            |b, a| {
+                b.iter(|| a.least_fixpoint_fonp());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("enumeration_on_gn", copies),
+            &analyzer,
+            |b, a| {
+                b.iter(|| a.least_fixpoint_by_enumeration(1 << 12).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_least_fixpoint);
+criterion_main!(benches);

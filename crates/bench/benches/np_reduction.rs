@@ -1,0 +1,41 @@
+//! Bench: the Theorem 1 pipeline (E2) — deciding SAT through the fixpoint
+//! machinery (D(I) + π_SAT + completion + CDCL) vs handing the instance to
+//! CDCL directly. The overhead factor is the cost of the normal form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inflog::fixpoint::FixpointAnalyzer;
+use inflog::reductions::programs::pi_sat;
+use inflog::reductions::sat_db::cnf_to_database;
+use inflog::sat::gen::random_ksat;
+use inflog::sat::Solver;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_np_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("np_reduction");
+    group.sample_size(10);
+
+    for n in [6usize, 10, 14] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cnf = random_ksat(n, 4 * n, 3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("direct_cdcl", n), &cnf, |b, cnf| {
+            b.iter(|| Solver::from_cnf(cnf).solve());
+        });
+        let db = cnf_to_database(&cnf);
+        group.bench_with_input(
+            BenchmarkId::new("via_fixpoint_existence", n),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    FixpointAnalyzer::new(&pi_sat(), db)
+                        .unwrap()
+                        .fixpoint_exists()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_np_reduction);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Substrate bench: the CDCL solver vs the DPLL baseline on random 3-SAT
+//! around the phase transition, plus pigeonhole stress.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inflog::sat::gen::{pigeonhole, random_ksat};
+use inflog::sat::{dpll_sat, Solver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solver");
+    group.sample_size(10);
+
+    for n in [20usize, 40, 60] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cnf = random_ksat(n, (4.2 * n as f64) as usize, 3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("cdcl_random3sat", n), &cnf, |b, cnf| {
+            b.iter(|| Solver::from_cnf(cnf).solve());
+        });
+    }
+    for n in [12usize, 16] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cnf = random_ksat(n, (4.2 * n as f64) as usize, 3, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dpll_random3sat", n), &cnf, |b, cnf| {
+            b.iter(|| dpll_sat(cnf));
+        });
+    }
+    for holes in [4usize, 5, 6] {
+        let cnf = pigeonhole(holes);
+        group.bench_with_input(BenchmarkId::new("cdcl_pigeonhole", holes), &cnf, |b, cnf| {
+            b.iter(|| Solver::from_cnf(cnf).solve());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation bench: naive vs semi-naive least-fixpoint evaluation (the
+//! DESIGN.md §5 evaluation-strategy choice), and naive vs semi-naive
+//! inflationary iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inflog::core::graphs::DiGraph;
+use inflog::eval::{
+    inflationary, inflationary_naive, least_fixpoint_naive, least_fixpoint_seminaive,
+};
+use inflog::reductions::programs::{distance_program, pi3_tc};
+
+fn bench_seminaive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seminaive_vs_naive");
+    group.sample_size(10);
+
+    for n in [20usize, 40, 80] {
+        let db = DiGraph::path(n).to_database("E");
+        group.bench_with_input(BenchmarkId::new("tc_naive", n), &db, |b, db| {
+            b.iter(|| least_fixpoint_naive(&pi3_tc(), db).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("tc_seminaive", n), &db, |b, db| {
+            b.iter(|| least_fixpoint_seminaive(&pi3_tc(), db).unwrap());
+        });
+    }
+
+    for n in [6usize, 10] {
+        let db = DiGraph::path(n).to_database("E");
+        group.bench_with_input(
+            BenchmarkId::new("distance_inflationary_naive", n),
+            &db,
+            |b, db| {
+                b.iter(|| inflationary_naive(&distance_program(), db).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("distance_inflationary_seminaive", n),
+            &db,
+            |b, db| {
+                b.iter(|| inflationary(&distance_program(), db).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seminaive);
+criterion_main!(benches);

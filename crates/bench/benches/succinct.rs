@@ -1,0 +1,39 @@
+//! Bench: the Theorem 4 pipeline (E5/E10) — succinct-graph expansion and
+//! the π_SC build/solve cost as the address width grows (the exponential
+//! side of expression complexity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inflog::circuit::encode::succinct_cycle;
+use inflog::circuit::succinct_coloring_reduction;
+use inflog::fixpoint::FixpointAnalyzer;
+
+fn bench_succinct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("succinct");
+    group.sample_size(10);
+
+    for bits in [4usize, 6, 8] {
+        let sg = succinct_cycle(bits);
+        group.bench_with_input(BenchmarkId::new("expand", bits), &sg, |b, sg| {
+            b.iter(|| sg.expand());
+        });
+    }
+    for bits in [1usize, 2, 3] {
+        let sg = succinct_cycle(bits);
+        group.bench_with_input(
+            BenchmarkId::new("pi_sc_build_and_solve", bits),
+            &sg,
+            |b, sg| {
+                b.iter(|| {
+                    let red = succinct_coloring_reduction(sg);
+                    FixpointAnalyzer::new(&red.program, &red.database)
+                        .unwrap()
+                        .fixpoint_exists()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_succinct);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E1 — §2's worked example: the fixpoint structure of π₁ on paths, cycles
+//! and disjoint unions of even cycles.
+//!
+//! Expected shape (the paper's claims): L_n has exactly one fixpoint (the
+//! even positions, ⌊n/2⌋ tuples); C_n has none when n is odd and exactly
+//! two incomparable ones when n is even; G_n (n copies of C₂) has 2^n
+//! pairwise incomparable fixpoints and therefore no least fixpoint.
+
+use inflog::core::graphs::DiGraph;
+use inflog::fixpoint::{FixpointAnalyzer, LeastFixpointResult};
+use inflog::reductions::programs::pi1;
+use inflog_bench::{banner, full_mode, Table};
+
+fn analyze(g: &DiGraph, limit: u64) -> (u64, bool, &'static str, bool) {
+    let db = g.to_database("E");
+    let analyzer = FixpointAnalyzer::new(&pi1(), &db).expect("compiles");
+    let fps = analyzer.enumerate_fixpoints(limit);
+    let complete = (fps.len() as u64) < limit;
+    let least = match analyzer.least_fixpoint_fonp().0 {
+        LeastFixpointResult::Least(_) => "yes",
+        LeastFixpointResult::NoLeast => "no",
+        LeastFixpointResult::NoFixpoint => "-",
+    };
+    let incomparable = fps.len() >= 2
+        && fps
+            .iter()
+            .enumerate()
+            .all(|(i, a)| fps[i + 1..].iter().all(|b| a.incomparable(b)));
+    (fps.len() as u64, complete, least, incomparable)
+}
+
+fn main() {
+    banner(
+        "E1",
+        "fixpoint structure of pi_1 = T(x) <- E(y,x), !T(y)",
+        "Section 2, p.129 (L_n / C_n / G_n example)",
+    );
+    let full = full_mode();
+    let max_n = if full { 14 } else { 9 };
+    let max_copies = if full { 10 } else { 6 };
+
+    let mut t = Table::new(&[
+        "family",
+        "n",
+        "vertices",
+        "#fixpoints",
+        "expected",
+        "least?",
+        "pairwise incomparable",
+    ]);
+    for n in 2..=max_n {
+        let (count, complete, least, inc) = analyze(&DiGraph::path(n), 1 << 16);
+        assert!(complete);
+        t.row(&[
+            &"L_n (path)",
+            &n,
+            &n,
+            &count,
+            &1,
+            &least,
+            &(if count >= 2 { inc.to_string() } else { "-".into() }),
+        ]);
+    }
+    for n in 2..=max_n {
+        let (count, complete, least, inc) = analyze(&DiGraph::cycle(n), 1 << 16);
+        assert!(complete);
+        let expected = if n % 2 == 0 { 2 } else { 0 };
+        t.row(&[
+            &"C_n (cycle)",
+            &n,
+            &n,
+            &count,
+            &expected,
+            &least,
+            &(if count >= 2 { inc.to_string() } else { "-".into() }),
+        ]);
+    }
+    for copies in 1..=max_copies {
+        let (count, complete, least, inc) =
+            analyze(&DiGraph::disjoint_cycles(copies, 2), 1 << 16);
+        assert!(complete);
+        t.row(&[
+            &"G_n (n x C_2)",
+            &copies,
+            &(2 * copies),
+            &count,
+            &(1u64 << copies),
+            &least,
+            &(if count >= 2 { inc.to_string() } else { "-".into() }),
+        ]);
+    }
+    t.print();
+
+    println!("\nodd-length disjoint cycles (no fixpoint at all):");
+    let mut t2 = Table::new(&["copies x C_3", "#fixpoints"]);
+    for copies in 1..=3 {
+        let (count, _, _, _) = analyze(&DiGraph::disjoint_cycles(copies, 3), 4);
+        t2.row(&[&copies, &count]);
+    }
+    t2.print();
+}

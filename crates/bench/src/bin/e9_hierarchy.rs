@@ -1,0 +1,124 @@
+//! E9 — the §5 expressiveness picture, executable:
+//!
+//! ```text
+//! DATALOG ⊂ Stratified Logic Programs ⊂ Inflationary DATALOG (= FP)
+//! ```
+//!
+//! Each inclusion/separation is witnessed by a concrete query evaluated by
+//! the engines: TC (DATALOG), TC-complement (stratified; not DATALOG since
+//! non-monotone), the distance query (inflationary; the natural stratified
+//! reading of its program computes something else), and the well-founded
+//! semantics as a side-by-side comparison point.
+
+use inflog::core::graphs::DiGraph;
+use inflog::eval::{
+    inflationary, least_fixpoint_seminaive, stratified_eval, stratify, well_founded,
+    CompiledProgram,
+};
+use inflog::reductions::programs::{distance_program, pi1, pi3_tc};
+use inflog::syntax::parse_program;
+use inflog_bench::{banner, Table};
+
+fn main() {
+    banner(
+        "E9",
+        "the expressiveness hierarchy, witnessed by engines",
+        "Section 5 (with [Ko89], [AV88] as discussed in the paper)",
+    );
+
+    // 1. TC is DATALOG: all engines agree.
+    println!("\n(1) TC on L_5: every semantics coincides on DATALOG programs");
+    let g = DiGraph::path(5);
+    let db = g.to_database("E");
+    let tc = pi3_tc();
+    let (lfp, _) = least_fixpoint_seminaive(&tc, &db).unwrap();
+    let (inf, _) = inflationary(&tc, &db).unwrap();
+    let (strat, _) = stratified_eval(&tc, &db).unwrap();
+    let wf = well_founded(&tc, &db).unwrap();
+    let mut t = Table::new(&["semantics", "tuples", "equal to lfp"]);
+    t.row(&[&"least fixpoint (standard)", &lfp.total_tuples(), &true]);
+    t.row(&[&"inflationary", &inf.total_tuples(), &(inf == lfp)]);
+    t.row(&[&"stratified", &strat.total_tuples(), &(strat == lfp)]);
+    t.row(&[
+        &"well-founded (true part)",
+        &wf.true_facts.total_tuples(),
+        &(wf.true_facts == lfp),
+    ]);
+    assert!(inf == lfp && strat == lfp && wf.true_facts == lfp && wf.is_total());
+    t.print();
+
+    // 2. TC-complement: stratified but NOT DATALOG (non-monotone witness).
+    println!("\n(2) TC-complement: stratified, not DATALOG (monotonicity violation)");
+    let comp = parse_program(
+        "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).",
+    )
+    .unwrap();
+    assert_eq!(stratify(&comp).unwrap().num_strata, 2);
+    let small = DiGraph::path(3);
+    let mut larger = DiGraph::path(3);
+    larger.add_edge(0, 2); // E grows
+    let count_c = |g: &DiGraph| {
+        let db = g.to_database("E");
+        let (m, _) = stratified_eval(&comp, &db).unwrap();
+        let cp = CompiledProgram::compile(&comp, &db).unwrap();
+        m.get(cp.idb_id("C").unwrap()).len()
+    };
+    let (before, after) = (count_c(&small), count_c(&larger));
+    let mut t = Table::new(&["database", "|C| (complement of TC)"]);
+    t.row(&[&"L_3", &before]);
+    t.row(&[&"L_3 + edge v0->v2", &after]);
+    t.print();
+    assert!(after <= before, "complement shrinks as E grows");
+    println!(
+        "  C shrank from {before} to {after} as E grew: no monotone (DATALOG)\n\
+         program can express it."
+    );
+
+    // 3. pi_1 is not stratified at all; inflationary still gives it meaning.
+    println!("\n(3) pi_1 is outside stratified semantics; Inflationary DATALOG is total");
+    let err = stratify(&pi1()).unwrap_err();
+    println!("  stratify(pi_1) = error: {err}");
+    let (inf, _) = inflationary(&pi1(), &DiGraph::cycle(3).to_database("E")).unwrap();
+    println!(
+        "  inflationary meaning on C_3 (where NO fixpoint exists): {} tuples",
+        inf.total_tuples()
+    );
+
+    // 4. Distance query: the same program under the two semantics.
+    println!("\n(4) the distance program under both semantics (Prop. 2 divergence)");
+    let dp = distance_program();
+    let g = DiGraph::path(4);
+    let db = g.to_database("E");
+    let cp = CompiledProgram::compile(&dp, &db).unwrap();
+    let s3 = cp.idb_id("S3").unwrap();
+    let (inf, _) = inflationary(&dp, &db).unwrap();
+    let (strat, _) = stratified_eval(&dp, &db).unwrap();
+    let mut t = Table::new(&["reading", "S3 tuples", "computes"]);
+    t.row(&[&"inflationary", &inf.get(s3).len(), &"the distance query"]);
+    t.row(&[&"stratified", &strat.get(s3).len(), &"TC(x,y) & !TC(x*,y*)"]);
+    t.print();
+    assert_ne!(inf.get(s3), strat.get(s3));
+
+    // 5. Closure under complement (Abiteboul-Vianu, discussed in §5):
+    // the complement of TC, computed inside Inflationary DATALOG by a
+    // stratified-as-inflationary program.
+    println!("\n(5) Inflationary DATALOG expresses TC-complement (closure under complement)");
+    let (inf_c, _) = inflationary(&comp, &DiGraph::path(4).to_database("E")).unwrap();
+    let (strat_c, _) = stratified_eval(&comp, &DiGraph::path(4).to_database("E")).unwrap();
+    let cp = CompiledProgram::compile(&comp, &DiGraph::path(4).to_database("E")).unwrap();
+    let cid = cp.idb_id("C").unwrap();
+    // Caveat the paper makes precise: inflationary evaluation of this
+    // 2-stratum program does NOT equal its stratified meaning (C fires
+    // early, against the not-yet-complete S) — expressing the complement
+    // inflationarily needs a *different* program; the equality below
+    // therefore generally FAILS, which we report rather than assert.
+    println!(
+        "  naive reuse of the stratified program inflationarily: C sizes {} (inflationary) vs {} (stratified)",
+        inf_c.get(cid).len(),
+        strat_c.get(cid).len()
+    );
+    println!(
+        "  (the [AV88] closure theorem needs a stage-simulating rewrite, not rule reuse\n\
+          — exactly why the paper distinguishes the semantics.)"
+    );
+}

@@ -1,0 +1,42 @@
+//! # inflog-bench
+//!
+//! Experiment runners and benches regenerating every "table and figure" of
+//! the reproduction (the paper is theory; its evaluation artifacts are its
+//! theorems, worked examples and complexity claims — see EXPERIMENTS.md for
+//! the mapping).
+//!
+//! One binary per experiment:
+//!
+//! | binary | paper element |
+//! |--------|----------------|
+//! | `e1_fixpoint_structure` | §2 example: fixpoints of π₁ on L_n / C_n / G_n |
+//! | `e2_np_normal_form` | Theorem 1 + Example 1 (SAT ⟺ fixpoint existence; generic ∃SO compiler) |
+//! | `e3_unique_fixpoint` | Theorem 2 (US; assignment/fixpoint bijection) |
+//! | `e4_least_fixpoint` | Theorem 3 (FONP algorithm vs enumeration) |
+//! | `e5_succinct_coloring` | Lemma 1 + Theorem 4 (π_COL, π_SC) |
+//! | `e6_inflationary` | §4 (iteration bounds, coincidence on DATALOG) |
+//! | `e7_fo_ifp` | Proposition 1 (FO+IFP round trips) |
+//! | `e8_distance_query` | Proposition 2 (+ stratified divergence) |
+//! | `e9_hierarchy` | §5 picture (DATALOG ⊂ Stratified ⊂ Inflationary) |
+//! | `e10_complexity_scaling` | data vs expression complexity |
+//!
+//! Criterion benches live in `benches/` (one per measurable claim) and use
+//! reduced grids; the binaries accept `--full` for the larger tables
+//! recorded in EXPERIMENTS.md.
+
+pub mod report;
+
+pub use report::Table;
+
+/// Returns true when `--full` was passed (larger parameter grids).
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_ref}");
+    println!("================================================================");
+}

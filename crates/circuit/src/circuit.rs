@@ -1,0 +1,325 @@
+//! Boolean circuits: the paper's `{(a_i, b_i, c_i)}` triples, as a
+//! topologically ordered gate list.
+
+use std::fmt;
+
+/// A gate. Inputs reference earlier gates only (topological order is a
+/// construction invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// The `j`-th circuit input.
+    Input(usize),
+    /// Conjunction of two earlier gates.
+    And(usize, usize),
+    /// Disjunction of two earlier gates.
+    Or(usize, usize),
+    /// Negation of an earlier gate.
+    Not(usize),
+}
+
+/// A gate index returned by the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// A Boolean circuit with a designated output (the last gate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates a circuit from parts.
+    ///
+    /// # Panics
+    /// Panics if a gate references a later/equal gate or an input out of
+    /// range, or if the circuit has no gates.
+    pub fn new(num_inputs: usize, gates: Vec<Gate>) -> Self {
+        assert!(!gates.is_empty(), "circuit needs at least one gate");
+        for (i, g) in gates.iter().enumerate() {
+            match *g {
+                Gate::Input(j) => assert!(j < num_inputs, "input {j} out of range"),
+                Gate::And(a, b) | Gate::Or(a, b) => {
+                    assert!(a < i && b < i, "gate {i} references a non-earlier gate")
+                }
+                Gate::Not(a) => assert!(a < i, "gate {i} references a non-earlier gate"),
+            }
+        }
+        Circuit { num_inputs, gates }
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of gates (the paper's circuit size `k`).
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Evaluates every gate; returns the full value vector.
+    ///
+    /// # Panics
+    /// Panics if `inputs` has the wrong length.
+    pub fn eval_all(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "wrong input arity");
+        let mut vals = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let v = match *g {
+                Gate::Input(j) => inputs[j],
+                Gate::And(a, b) => vals[a] && vals[b],
+                Gate::Or(a, b) => vals[a] || vals[b],
+                Gate::Not(a) => !vals[a],
+            };
+            vals.push(v);
+        }
+        vals
+    }
+
+    /// Evaluates the circuit output (the last gate).
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        *self.eval_all(inputs).last().expect("nonempty circuit")
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit({} inputs, {} gates)",
+            self.num_inputs,
+            self.gates.len()
+        )
+    }
+}
+
+/// Incremental circuit builder with structural helpers.
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+    /// Cached constant-false node, if materialized.
+    const_false: Option<NodeId>,
+}
+
+impl CircuitBuilder {
+    /// Starts a builder for a circuit with `num_inputs` inputs.
+    pub fn new(num_inputs: usize) -> Self {
+        CircuitBuilder {
+            num_inputs,
+            gates: Vec::new(),
+            const_false: None,
+        }
+    }
+
+    fn push(&mut self, g: Gate) -> NodeId {
+        self.gates.push(g);
+        NodeId(self.gates.len() - 1)
+    }
+
+    /// The `j`-th input.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    pub fn input(&mut self, j: usize) -> NodeId {
+        assert!(j < self.num_inputs, "input {j} out of range");
+        self.push(Gate::Input(j))
+    }
+
+    /// `a ∧ b`.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::And(a.0, b.0))
+    }
+
+    /// `a ∨ b`.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Or(a.0, b.0))
+    }
+
+    /// `¬a`.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.push(Gate::Not(a.0))
+    }
+
+    /// `a ↔ b` (built from AND/OR/NOT).
+    pub fn iff(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let both = self.and(a, b);
+        let neither = self.and(na, nb);
+        self.or(both, neither)
+    }
+
+    /// `a ⊕ b`.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let e = self.iff(a, b);
+        self.not(e)
+    }
+
+    /// Constant false (`x0 ∧ ¬x0`; requires ≥ 1 input).
+    ///
+    /// # Panics
+    /// Panics on a 0-input circuit.
+    pub fn constant_false(&mut self) -> NodeId {
+        if let Some(id) = self.const_false {
+            return id;
+        }
+        let x = self.input(0);
+        let nx = self.not(x);
+        let id = self.and(x, nx);
+        self.const_false = Some(id);
+        id
+    }
+
+    /// Conjunction of many nodes (empty = constant true).
+    pub fn and_many(&mut self, nodes: &[NodeId]) -> NodeId {
+        match nodes.split_first() {
+            None => {
+                let f = self.constant_false();
+                self.not(f)
+            }
+            Some((&first, rest)) => {
+                let mut acc = first;
+                for &n in rest {
+                    acc = self.and(acc, n);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Disjunction of many nodes (empty = constant false).
+    pub fn or_many(&mut self, nodes: &[NodeId]) -> NodeId {
+        match nodes.split_first() {
+            None => self.constant_false(),
+            Some((&first, rest)) => {
+                let mut acc = first;
+                for &n in rest {
+                    acc = self.or(acc, n);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Finishes the circuit with `out` as the output gate (re-emitted last
+    /// if it is not already).
+    pub fn finish(mut self, out: NodeId) -> Circuit {
+        if out.0 != self.gates.len() - 1 {
+            // Re-emit the output value at the end via a double negation.
+            let n = self.not(out);
+            self.not(n);
+        }
+        Circuit::new(self.num_inputs, self.gates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_gates() {
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let g = b.and(x, y);
+        let c = b.finish(g);
+        assert!(c.eval(&[true, true]));
+        assert!(!c.eval(&[true, false]));
+        assert_eq!(c.num_gates(), 3);
+    }
+
+    #[test]
+    fn xor_and_iff_truth_tables() {
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let g = b.xor(x, y);
+        let c = b.finish(g);
+        for (vx, vy) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(c.eval(&[vx, vy]), vx ^ vy, "{vx} {vy}");
+        }
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let g = b.iff(x, y);
+        let c = b.finish(g);
+        for (vx, vy) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(c.eval(&[vx, vy]), vx == vy, "{vx} {vy}");
+        }
+    }
+
+    #[test]
+    fn constant_false_and_empty_connectives() {
+        let mut b = CircuitBuilder::new(1);
+        let f = b.constant_false();
+        let c = b.finish(f);
+        assert!(!c.eval(&[false]));
+        assert!(!c.eval(&[true]));
+
+        let mut b = CircuitBuilder::new(1);
+        let t = b.and_many(&[]);
+        let c = b.finish(t);
+        assert!(c.eval(&[false]) && c.eval(&[true]));
+
+        let mut b = CircuitBuilder::new(1);
+        let f = b.or_many(&[]);
+        let c = b.finish(f);
+        assert!(!c.eval(&[false]) && !c.eval(&[true]));
+    }
+
+    #[test]
+    fn finish_reemits_non_final_output() {
+        let mut b = CircuitBuilder::new(1);
+        let x = b.input(0);
+        let _unused = b.not(x);
+        let c = b.finish(x); // output is gate 0, not last
+        assert!(c.eval(&[true]));
+        assert!(!c.eval(&[false]));
+    }
+
+    #[test]
+    fn many_gate_helpers() {
+        let mut b = CircuitBuilder::new(3);
+        let xs: Vec<NodeId> = (0..3).map(|i| b.input(i)).collect();
+        let all = b.and_many(&xs);
+        let c = b.finish(all);
+        assert!(c.eval(&[true, true, true]));
+        assert!(!c.eval(&[true, false, true]));
+
+        let mut b = CircuitBuilder::new(3);
+        let xs: Vec<NodeId> = (0..3).map(|i| b.input(i)).collect();
+        let any = b.or_many(&xs);
+        let c = b.finish(any);
+        assert!(c.eval(&[false, false, true]));
+        assert!(!c.eval(&[false, false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-earlier gate")]
+    fn topological_violation_panics() {
+        let _ = Circuit::new(1, vec![Gate::Not(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn input_out_of_range_panics() {
+        let _ = Circuit::new(1, vec![Gate::Input(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input arity")]
+    fn eval_wrong_arity_panics() {
+        let mut b = CircuitBuilder::new(2);
+        let x = b.input(0);
+        let c = b.finish(x);
+        let _ = c.eval(&[true]);
+    }
+}

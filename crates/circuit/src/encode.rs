@@ -1,0 +1,197 @@
+//! Circuit constructions: from explicit graphs (DNF of the edge list) and
+//! structured succinct families whose circuits are exponentially smaller
+//! than their graphs.
+
+use crate::circuit::{CircuitBuilder, NodeId};
+use crate::succinct::SuccinctGraph;
+use inflog_core::graphs::DiGraph;
+
+/// Encodes an explicit graph as a succinct graph on `n`-bit vertices:
+/// one DNF term per edge (`2^n` must cover the vertex count).
+///
+/// # Panics
+/// Panics if the graph has more than `2^bits` vertices.
+pub fn from_explicit_graph(g: &DiGraph, bits: usize) -> SuccinctGraph {
+    assert!(
+        g.num_vertices() <= 1 << bits,
+        "{} vertices exceed 2^{bits}",
+        g.num_vertices()
+    );
+    let mut b = CircuitBuilder::new(2 * bits);
+    // Literal tester: input bit i equals the given value.
+    let mut edge_terms: Vec<NodeId> = Vec::with_capacity(g.num_edges());
+    for (u, v) in g.edges() {
+        let mut lits: Vec<NodeId> = Vec::with_capacity(2 * bits);
+        for i in 0..bits {
+            let want = (u as usize) >> (bits - 1 - i) & 1 == 1;
+            let inp = b.input(i);
+            lits.push(if want { inp } else { b.not(inp) });
+        }
+        for i in 0..bits {
+            let want = (v as usize) >> (bits - 1 - i) & 1 == 1;
+            let inp = b.input(bits + i);
+            lits.push(if want { inp } else { b.not(inp) });
+        }
+        let term = b.and_many(&lits);
+        edge_terms.push(term);
+    }
+    let out = b.or_many(&edge_terms);
+    SuccinctGraph::new(bits, b.finish(out))
+}
+
+/// The `n`-dimensional hypercube, succinctly: `u → v` iff they differ in
+/// exactly one bit. Circuit size Θ(n²); graph size `2^n` vertices,
+/// `n·2^n` edges.
+pub fn hypercube(bits: usize) -> SuccinctGraph {
+    assert!(bits >= 1, "hypercube needs at least one bit");
+    let mut b = CircuitBuilder::new(2 * bits);
+    // diff_i = u_i XOR v_i.
+    let diffs: Vec<NodeId> = (0..bits)
+        .map(|i| {
+            let ui = b.input(i);
+            let vi = b.input(bits + i);
+            b.xor(ui, vi)
+        })
+        .collect();
+    // Exactly one diff: OR over i of (diff_i AND no other diff).
+    let mut exactly: Vec<NodeId> = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let others: Vec<NodeId> = (0..bits)
+            .filter(|&j| j != i)
+            .map(|j| b.not(diffs[j]))
+            .collect();
+        let mut term = diffs[i];
+        for o in others {
+            term = b.and(term, o);
+        }
+        exactly.push(term);
+    }
+    let out = b.or_many(&exactly);
+    SuccinctGraph::new(bits, b.finish(out))
+}
+
+/// The directed cycle on `2^n` vertices, succinctly: `u → v` iff
+/// `v = u + 1 (mod 2^n)`, via a ripple-carry successor circuit of size
+/// Θ(n). The succinct analogue of the paper's `C_n` family: a cycle of
+/// length `2^n` is even, so π₁ has fixpoints on it; dropping to an odd
+/// cycle needs [`from_explicit_graph`].
+pub fn succinct_cycle(bits: usize) -> SuccinctGraph {
+    assert!(bits >= 1, "cycle needs at least one bit");
+    let mut b = CircuitBuilder::new(2 * bits);
+    // LSB is input index bits-1 (MSB-first encoding).
+    // carry into LSB = 1; v_i must equal u_i XOR carry_i;
+    // carry_{next} = u_i AND carry_i.
+    let mut checks: Vec<NodeId> = Vec::with_capacity(bits);
+    let mut carry: Option<NodeId> = None; // None = constant 1
+    for pos in (0..bits).rev() {
+        let u = b.input(pos);
+        let v = b.input(bits + pos);
+        let expected = match carry {
+            None => b.not(u),            // u XOR 1
+            Some(c) => b.xor(u, c),      // u XOR carry
+        };
+        let ok = b.iff(v, expected);
+        checks.push(ok);
+        carry = Some(match carry {
+            None => u,                   // u AND 1
+            Some(c) => b.and(u, c),
+        });
+    }
+    let out = b.and_many(&checks);
+    SuccinctGraph::new(bits, b.finish(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn explicit_roundtrip_small_graphs() {
+        let graphs = [
+            DiGraph::path(4),
+            DiGraph::cycle(3),
+            DiGraph::complete(4),
+            DiGraph::star(4),
+        ];
+        for g in graphs {
+            let sg = from_explicit_graph(&g, 2);
+            let back = sg.expand();
+            for u in 0..4u32 {
+                for v in 0..4u32 {
+                    assert_eq!(g.has_edge(u, v), back.has_edge(u, v), "{g} ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_roundtrip_random() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let g = DiGraph::random_gnp(8, 0.3, &mut rng);
+            let sg = from_explicit_graph(&g, 3);
+            let back = sg.expand();
+            assert_eq!(back.num_edges(), g.num_edges());
+            for (u, v) in g.edges() {
+                assert!(back.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_with_spare_bits() {
+        // 3 vertices in a 2-bit space: vertex 3 must be isolated.
+        let g = DiGraph::cycle(3);
+        let sg = from_explicit_graph(&g, 2);
+        let back = sg.expand();
+        assert_eq!(back.num_edges(), 3);
+        assert!(!back.has_edge(3, 0) && !back.has_edge(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_vertices_panics() {
+        let _ = from_explicit_graph(&DiGraph::path(5), 2);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        for bits in 1..=3usize {
+            let sg = hypercube(bits);
+            let g = sg.expand();
+            assert_eq!(g.num_edges(), bits << bits, "n·2^n edges for n={bits}");
+            for u in 0..sg.num_vertices() {
+                for v in 0..sg.num_vertices() {
+                    let expect = (u ^ v).count_ones() == 1;
+                    assert_eq!(sg.adjacent(u, v), expect, "({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn succinct_cycle_is_a_cycle() {
+        for bits in 1..=4usize {
+            let sg = succinct_cycle(bits);
+            let g = sg.expand();
+            let n = 1usize << bits;
+            assert_eq!(g.num_edges(), n, "2^{bits}-cycle edge count");
+            for u in 0..n {
+                let succ: Vec<u32> = g.successors(u as u32).collect();
+                assert_eq!(succ, vec![((u + 1) % n) as u32], "successor of {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_size_is_logarithmic_in_graph_size() {
+        // The point of Theorem 4: circuit grows linearly in bits, graph
+        // exponentially.
+        let c3 = succinct_cycle(3);
+        let c6 = succinct_cycle(6);
+        assert!(c6.circuit().num_gates() < 2 * c3.circuit().num_gates() + 40);
+        assert_eq!(c6.num_vertices(), 8 * c3.num_vertices());
+    }
+}

@@ -1,0 +1,35 @@
+//! # inflog-circuit
+//!
+//! Boolean circuits and succinct graph representations — the substrate of
+//! Theorem 4 of *"Why Not Negation by Fixpoint?"* (expression complexity /
+//! NEXP-hardness via SUCCINCT 3-COLORING).
+//!
+//! A Boolean circuit with `2n` inputs *presents* a graph on `{0,1}^n`: the
+//! circuit outputs 1 on `(ū, v̄)` iff `ū → v̄` is an edge. The paper (after
+//! \[PY86\]) uses this exponentially compressed representation to show that
+//! fixpoint existence with the *program as part of the input* is
+//! NEXP-complete: the construction π_SC turns each gate into a `2n`-ary
+//! IDB relation over the binary domain and stacks the 3-coloring program
+//! π_COL on the output gate.
+//!
+//! * [`circuit`] — gates `{IN, AND, OR, NOT}` in topological order,
+//!   evaluation, a builder;
+//! * [`succinct`] — succinct graphs: adjacency queries and (exponential)
+//!   expansion to an explicit [`DiGraph`](inflog_core::graphs::DiGraph);
+//! * [`encode`] — circuits from explicit graphs (DNF of the edge list) and
+//!   structured families (hypercubes, succinct cycles via a ripple-carry
+//!   successor circuit) whose graphs are exponentially larger than their
+//!   circuits;
+//! * [`to_datalog`] — the Theorem 4 construction: gate rules
+//!   (`Gi(x̄,ȳ) <- Gb(x̄,ȳ), Gc(x̄,ȳ)` for AND, `Gi <- !Gb` for NOT,
+//!   input-gate facts with constant heads) plus the generalized π_COL over
+//!   `n`-tuple vertices, over the binary universe `{0, 1}`.
+
+pub mod circuit;
+pub mod encode;
+pub mod succinct;
+pub mod to_datalog;
+
+pub use circuit::{Circuit, CircuitBuilder, Gate, NodeId};
+pub use succinct::SuccinctGraph;
+pub use to_datalog::{pi_col_generalized, succinct_coloring_reduction, SuccinctReduction};

@@ -1,0 +1,130 @@
+//! Succinct graphs: a circuit with `2n` inputs presents a graph on `{0,1}^n`.
+
+use crate::circuit::Circuit;
+use inflog_core::graphs::DiGraph;
+
+/// A graph on `{0,1}^n`, presented by a circuit with `2n` inputs: the
+/// circuit accepts `(ū, v̄)` iff `ū → v̄` is an edge (the paper's SUCCINCT
+/// representation after \[PY86\]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuccinctGraph {
+    n: usize,
+    circuit: Circuit,
+}
+
+impl SuccinctGraph {
+    /// Wraps a circuit presenting a graph on `{0,1}^n`.
+    ///
+    /// # Panics
+    /// Panics unless the circuit has exactly `2n` inputs.
+    pub fn new(n: usize, circuit: Circuit) -> Self {
+        assert_eq!(circuit.num_inputs(), 2 * n, "circuit must have 2n inputs");
+        SuccinctGraph { n, circuit }
+    }
+
+    /// Number of vertex bits `n` (the graph has `2^n` vertices).
+    pub fn bits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of vertices `2^n`.
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// The presenting circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Adjacency query: is `u → v` an edge? Vertex ids are read as `n`-bit
+    /// numbers, most significant bit first.
+    pub fn adjacent(&self, u: usize, v: usize) -> bool {
+        let inputs = self.encode_pair(u, v);
+        self.circuit.eval(&inputs)
+    }
+
+    /// Encodes a vertex pair as the circuit's `2n` input bits (`ū` then
+    /// `v̄`, MSB first within each).
+    pub fn encode_pair(&self, u: usize, v: usize) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(2 * self.n);
+        for i in (0..self.n).rev() {
+            bits.push(u >> i & 1 == 1);
+        }
+        for i in (0..self.n).rev() {
+            bits.push(v >> i & 1 == 1);
+        }
+        bits
+    }
+
+    /// Expands to the explicit graph: `2^{2n}` circuit evaluations — the
+    /// exponential blowup Theorem 4 exploits (measured in E5/E10).
+    pub fn expand(&self) -> DiGraph {
+        let n = self.num_vertices();
+        let mut g = DiGraph::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if self.adjacent(u, v) {
+                    g.add_edge(u as u32, v as u32);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+
+    /// Complete digraph with self-loops: circuit is constant true.
+    fn complete_sg(n: usize) -> SuccinctGraph {
+        let mut b = CircuitBuilder::new(2 * n);
+        let f = b.constant_false();
+        let t = b.not(f);
+        SuccinctGraph::new(n, b.finish(t))
+    }
+
+    #[test]
+    fn constant_true_circuit_gives_complete_graph() {
+        let sg = complete_sg(2);
+        assert_eq!(sg.num_vertices(), 4);
+        let g = sg.expand();
+        assert_eq!(g.num_edges(), 16);
+    }
+
+    #[test]
+    fn encode_pair_is_msb_first() {
+        let sg = complete_sg(2);
+        let bits = sg.encode_pair(0b10, 0b01);
+        assert_eq!(bits, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn adjacency_matches_expansion() {
+        // u -> v iff first bit of u is 1.
+        let mut b = CircuitBuilder::new(4);
+        let g0 = b.input(0);
+        let sg = SuccinctGraph::new(2, b.finish(g0));
+        let g = sg.expand();
+        for u in 0..4usize {
+            for v in 0..4usize {
+                assert_eq!(
+                    sg.adjacent(u, v),
+                    g.has_edge(u as u32, v as u32),
+                    "({u},{v})"
+                );
+            }
+        }
+        assert_eq!(g.num_edges(), 8); // u ∈ {2, 3} × 4 targets
+    }
+
+    #[test]
+    #[should_panic(expected = "2n inputs")]
+    fn wrong_input_count_panics() {
+        let mut b = CircuitBuilder::new(3);
+        let x = b.input(0);
+        let _ = SuccinctGraph::new(2, b.finish(x));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types shared across the workspace foundation.
+
+use std::fmt;
+
+/// Errors raised by the core data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A tuple of the wrong arity was inserted into or looked up in a relation.
+    ArityMismatch {
+        /// Name of the relation involved, when known.
+        relation: String,
+        /// Arity the relation declares.
+        expected: usize,
+        /// Arity of the offending tuple.
+        found: usize,
+    },
+    /// A relation name was looked up but is not present in the database.
+    UnknownRelation(String),
+    /// A relation was defined twice with conflicting arities.
+    ConflictingArity {
+        /// Relation name.
+        relation: String,
+        /// Previously declared arity.
+        existing: usize,
+        /// Newly requested arity.
+        requested: usize,
+    },
+    /// A constant id does not belong to the universe it was used with.
+    UnknownConstant(u32),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch on relation `{relation}`: expected {expected}, found {found}"
+            ),
+            CoreError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            CoreError::ConflictingArity {
+                relation,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "relation `{relation}` already declared with arity {existing}, \
+                 cannot redeclare with arity {requested}"
+            ),
+            CoreError::UnknownConstant(id) => {
+                write!(f, "constant id {id} is not part of the universe")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_arity_mismatch() {
+        let e = CoreError::ArityMismatch {
+            relation: "E".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "arity mismatch on relation `E`: expected 2, found 3"
+        );
+    }
+
+    #[test]
+    fn display_unknown_relation() {
+        assert_eq!(
+            CoreError::UnknownRelation("T".into()).to_string(),
+            "unknown relation `T`"
+        );
+    }
+
+    #[test]
+    fn display_conflicting_arity() {
+        let e = CoreError::ConflictingArity {
+            relation: "S".into(),
+            existing: 1,
+            requested: 2,
+        };
+        assert!(e.to_string().contains("already declared with arity 1"));
+    }
+
+    #[test]
+    fn display_unknown_constant() {
+        assert_eq!(
+            CoreError::UnknownConstant(7).to_string(),
+            "constant id 7 is not part of the universe"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::UnknownRelation("X".into()));
+        assert!(e.to_string().contains("X"));
+    }
+}

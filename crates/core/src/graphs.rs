@@ -1,0 +1,510 @@
+//! Directed-graph workloads and algorithms.
+//!
+//! The paper's running examples are all graph-shaped:
+//!
+//! * the path `L_n` and cycle `C_n` families on which the program
+//!   `T(x) <- E(y,x), !T(y)` has one / zero / two fixpoints (§2);
+//! * `G_n`, the disjoint union of `n` even cycles, with `2^n` pairwise
+//!   incomparable fixpoints and no least fixpoint (§2);
+//! * transitive closure and the distance query (§4, Proposition 2);
+//! * 3-COLORING inputs (Lemma 1, Theorem 4).
+//!
+//! [`DiGraph`] is a simple edge-set digraph with deterministic iteration,
+//! generators for every family the experiments need, and the baseline
+//! algorithms (BFS distances, transitive closure) used to validate the
+//! Datalog engines independently.
+
+use crate::database::Database;
+use crate::universe::Universe;
+use rand::Rng;
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// A directed graph on vertices `0..n` with a deterministic edge set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    n: usize,
+    edges: BTreeSet<(u32, u32)>,
+}
+
+impl DiGraph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a graph from an edge list; `n` must bound all endpoints.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut g = DiGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds edge `u -> v`; returns `true` if new.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for {} vertices",
+            self.n
+        );
+        self.edges.insert((u, v))
+    }
+
+    /// Adds both `u -> v` and `v -> u` (undirected-style edge).
+    pub fn add_edge_undirected(&mut self, u: u32, v: u32) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Edge membership.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// Iterates edges in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Out-neighbours of `u`, in increasing order.
+    pub fn successors(&self, u: u32) -> impl Iterator<Item = u32> + '_ {
+        self.edges
+            .range((u, 0)..=(u, u32::MAX))
+            .map(|&(_, v)| v)
+    }
+
+    /// In-neighbours of `v` (linear scan; fine for the workload sizes here).
+    pub fn predecessors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(_, w)| w == v)
+            .map(|&(u, _)| u)
+    }
+
+    // ----- generators -------------------------------------------------------
+
+    /// The directed path `L_n`: vertices `1..=n` (0-indexed here as
+    /// `0..n`), edges `i -> i+1`. The paper's `L_n` has `n` vertices and
+    /// `n-1` edges.
+    pub fn path(n: usize) -> Self {
+        let mut g = DiGraph::new(n);
+        for i in 1..n {
+            g.add_edge((i - 1) as u32, i as u32);
+        }
+        g
+    }
+
+    /// The directed cycle `C_n`: edges `i -> i+1 (mod n)`. Requires `n >= 1`;
+    /// `C_1` is a self-loop.
+    pub fn cycle(n: usize) -> Self {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i as u32, ((i + 1) % n) as u32);
+        }
+        g
+    }
+
+    /// `copies` disjoint copies of the directed cycle `C_len`.
+    ///
+    /// With `len` even this is the paper's `G_n` family: the program π₁ has
+    /// exactly `2^copies` pairwise incomparable fixpoints on it.
+    pub fn disjoint_cycles(copies: usize, len: usize) -> Self {
+        let mut g = DiGraph::new(copies * len);
+        for c in 0..copies {
+            let base = c * len;
+            for i in 0..len {
+                g.add_edge((base + i) as u32, (base + (i + 1) % len) as u32);
+            }
+        }
+        g
+    }
+
+    /// Complete digraph on `n` vertices (no self-loops), both directions.
+    pub fn complete(n: usize) -> Self {
+        let mut g = DiGraph::new(n);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Complete bipartite digraph `K_{a,b}` with edges in both directions
+    /// between the two sides (vertices `0..a` and `a..a+b`).
+    pub fn complete_bipartite(a: usize, b: usize) -> Self {
+        let mut g = DiGraph::new(a + b);
+        for u in 0..a as u32 {
+            for v in a as u32..(a + b) as u32 {
+                g.add_edge_undirected(u, v);
+            }
+        }
+        g
+    }
+
+    /// The Petersen graph (undirected, as symmetric edges): 10 vertices,
+    /// 3-chromatic — a classic YES instance for 3-COLORING that is not
+    /// bipartite.
+    pub fn petersen() -> Self {
+        let mut g = DiGraph::new(10);
+        for i in 0..5u32 {
+            g.add_edge_undirected(i, (i + 1) % 5); // outer cycle
+            g.add_edge_undirected(i, i + 5); // spokes
+            g.add_edge_undirected(i + 5, (i + 2) % 5 + 5); // inner pentagram
+        }
+        g
+    }
+
+    /// Directed 2D grid: vertex `(r, c)` is `r*cols + c`; edges go right and
+    /// down. A DAG with long shortest paths — good distance-query workload.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut g = DiGraph::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = (r * cols + c) as u32;
+                if c + 1 < cols {
+                    g.add_edge(v, v + 1);
+                }
+                if r + 1 < rows {
+                    g.add_edge(v, v + cols as u32);
+                }
+            }
+        }
+        g
+    }
+
+    /// A star: edges from center `0` to each of `1..n`.
+    pub fn star(n: usize) -> Self {
+        let mut g = DiGraph::new(n);
+        for v in 1..n as u32 {
+            g.add_edge(0, v);
+        }
+        g
+    }
+
+    /// Complete binary tree with `n` vertices, edges parent -> child.
+    pub fn binary_tree(n: usize) -> Self {
+        let mut g = DiGraph::new(n);
+        for v in 1..n {
+            g.add_edge(((v - 1) / 2) as u32, v as u32);
+        }
+        g
+    }
+
+    /// Erdős–Rényi digraph `G(n, p)`: each ordered pair `(u, v)`, `u != v`,
+    /// is an edge independently with probability `p`.
+    pub fn random_gnp(n: usize, p: f64, rng: &mut impl Rng) -> Self {
+        let mut g = DiGraph::new(n);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Random DAG: edges only from lower to higher vertex ids, each present
+    /// with probability `p`.
+    pub fn random_dag(n: usize, p: f64, rng: &mut impl Rng) -> Self {
+        let mut g = DiGraph::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Random symmetric graph (undirected as symmetric digraph).
+    pub fn random_undirected(n: usize, p: f64, rng: &mut impl Rng) -> Self {
+        let mut g = DiGraph::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    g.add_edge_undirected(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Disjoint union of two graphs (vertices of `other` are shifted).
+    pub fn disjoint_union(&self, other: &DiGraph) -> DiGraph {
+        let mut g = DiGraph::new(self.n + other.n);
+        for (u, v) in self.edges() {
+            g.add_edge(u, v);
+        }
+        let off = self.n as u32;
+        for (u, v) in other.edges() {
+            g.add_edge(u + off, v + off);
+        }
+        g
+    }
+
+    // ----- algorithms (independent baselines) -------------------------------
+
+    /// BFS shortest-path distances from `src`; `None` = unreachable.
+    /// Distances count edges; `dist[src] = 0`.
+    pub fn distances_from(&self, src: u32) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.n];
+        if (src as usize) >= self.n {
+            return dist;
+        }
+        dist[src as usize] = Some(0);
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u as usize].expect("queued vertices have distances");
+            for v in self.successors(u) {
+                if dist[v as usize].is_none() {
+                    dist[v as usize] = Some(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs shortest-path distances (edge counts); `dist[u][v]`.
+    pub fn all_pairs_distances(&self) -> Vec<Vec<Option<usize>>> {
+        (0..self.n as u32).map(|u| self.distances_from(u)).collect()
+    }
+
+    /// Transitive closure as an edge set: `(u, v)` iff there is a *nonempty*
+    /// path `u -> v` (matching the Datalog TC program's semantics).
+    pub fn transitive_closure(&self) -> BTreeSet<(u32, u32)> {
+        let mut tc = BTreeSet::new();
+        for u in 0..self.n as u32 {
+            // BFS from each successor level: nonempty paths only.
+            let mut seen = vec![false; self.n];
+            let mut q: VecDeque<u32> = self.successors(u).collect();
+            for &v in &q {
+                seen[v as usize] = true;
+            }
+            while let Some(v) = q.pop_front() {
+                tc.insert((u, v));
+                for w in self.successors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        q.push_back(w);
+                    }
+                }
+            }
+        }
+        tc
+    }
+
+    // ----- conversion --------------------------------------------------------
+
+    /// Converts to a database with universe `{v0..}` named by
+    /// [`vertex_name`](Self::vertex_name) and a binary edge relation.
+    ///
+    /// Every vertex is interned into the universe even if isolated — the
+    /// paper's semantics ranges variables over the whole universe `A`.
+    pub fn to_database(&self, edge_relation: &str) -> Database {
+        let mut universe = Universe::new();
+        for v in 0..self.n {
+            universe.intern(&Self::vertex_name(v as u32));
+        }
+        let mut db = Database::with_universe(universe);
+        db.declare_relation(edge_relation, 2)
+            .expect("fresh database");
+        for (u, v) in self.edges() {
+            db.insert_named_fact(edge_relation, &[&Self::vertex_name(u), &Self::vertex_name(v)])
+                .expect("interned vertices");
+        }
+        db
+    }
+
+    /// Canonical vertex name used by [`to_database`](Self::to_database).
+    pub fn vertex_name(v: u32) -> String {
+        format!("v{v}")
+    }
+}
+
+impl fmt::Display for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DiGraph(n={}, m={})", self.n, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_structure() {
+        let g = DiGraph::path(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(2, 3));
+        assert!(!g.has_edge(3, 0));
+        assert_eq!(DiGraph::path(1).num_edges(), 0);
+        assert_eq!(DiGraph::path(0).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = DiGraph::cycle(5);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.has_edge(4, 0));
+        let loop1 = DiGraph::cycle(1);
+        assert!(loop1.has_edge(0, 0));
+    }
+
+    #[test]
+    fn disjoint_cycles_structure() {
+        let g = DiGraph::disjoint_cycles(3, 2);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.has_edge(4, 5) && g.has_edge(5, 4));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn complete_and_bipartite() {
+        assert_eq!(DiGraph::complete(4).num_edges(), 12);
+        let kb = DiGraph::complete_bipartite(2, 3);
+        assert_eq!(kb.num_edges(), 12);
+        assert!(kb.has_edge(0, 2) && kb.has_edge(2, 0));
+        assert!(!kb.has_edge(0, 1));
+    }
+
+    #[test]
+    fn petersen_is_cubic() {
+        let g = DiGraph::petersen();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 30); // 15 undirected edges
+        for v in 0..10u32 {
+            assert_eq!(g.successors(v).count(), 3, "vertex {v} degree");
+        }
+    }
+
+    #[test]
+    fn grid_distances() {
+        let g = DiGraph::grid(3, 4);
+        let d = g.distances_from(0);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[11], Some(5)); // bottom-right: 2 down + 3 right
+        // No edges back to the origin.
+        assert_eq!(g.distances_from(11)[0], None);
+    }
+
+    #[test]
+    fn star_and_tree() {
+        let s = DiGraph::star(5);
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(s.successors(0).count(), 4);
+        let t = DiGraph::binary_tree(7);
+        assert_eq!(t.num_edges(), 6);
+        assert!(t.has_edge(0, 1) && t.has_edge(0, 2) && t.has_edge(2, 6));
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (3, 1)]);
+        assert_eq!(g.successors(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(g.predecessors(1).collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(g.predecessors(3).count(), 0);
+    }
+
+    #[test]
+    fn bfs_on_cycle() {
+        let g = DiGraph::cycle(4);
+        let d = g.distances_from(0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn transitive_closure_of_path() {
+        let g = DiGraph::path(4);
+        let tc = g.transitive_closure();
+        assert_eq!(tc.len(), 6); // (0,1)(0,2)(0,3)(1,2)(1,3)(2,3)
+        assert!(tc.contains(&(0, 3)));
+        assert!(!tc.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn transitive_closure_nonempty_paths_on_cycle() {
+        let g = DiGraph::cycle(3);
+        let tc = g.transitive_closure();
+        // Every pair including self-reachability via the full loop.
+        assert_eq!(tc.len(), 9);
+        assert!(tc.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn random_generators_are_seeded_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = DiGraph::random_gnp(10, 0.3, &mut r1);
+        let b = DiGraph::random_gnp(10, 0.3, &mut r2);
+        assert_eq!(a, b);
+        let d = DiGraph::random_dag(10, 0.5, &mut r1);
+        for (u, v) in d.edges() {
+            assert!(u < v, "DAG edge must ascend");
+        }
+        let u = DiGraph::random_undirected(8, 0.4, &mut r1);
+        for (x, y) in u.edges() {
+            assert!(u.has_edge(y, x), "undirected must be symmetric");
+        }
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let g = DiGraph::path(2).disjoint_union(&DiGraph::cycle(2));
+        assert_eq!(g.num_vertices(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3) && g.has_edge(3, 2));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn to_database_includes_isolated_vertices() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1); // vertex 2 isolated
+        let db = g.to_database("E");
+        assert_eq!(db.universe_size(), 3);
+        assert_eq!(db.relation("E").unwrap().len(), 1);
+        assert!(db.universe().lookup("v2").is_some());
+    }
+
+    #[test]
+    fn all_pairs_matches_single_source() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = DiGraph::random_gnp(12, 0.2, &mut rng);
+        let ap = g.all_pairs_distances();
+        for u in 0..12u32 {
+            assert_eq!(ap[u as usize], g.distances_from(u));
+        }
+    }
+}

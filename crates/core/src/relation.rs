@@ -1,0 +1,350 @@
+//! Finite `k`-ary relations on the universe, with set algebra and indexing.
+
+use crate::tuple::{Const, Tuple};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A finite `k`-ary relation: a set of [`Tuple`]s of fixed arity.
+///
+/// Relations are the values the paper's operator Θ maps between; evaluation
+/// engines need fast membership (`contains`), fast insertion with dedup, set
+/// algebra (union / intersection / difference / subset — the lattice on which
+/// *least* fixpoints are defined), and hash-join indexing.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    arity: usize,
+    tuples: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: HashSet::new(),
+        }
+    }
+
+    /// Creates an empty relation with pre-reserved capacity.
+    pub fn with_capacity(arity: usize, cap: usize) -> Self {
+        Relation {
+            arity,
+            tuples: HashSet::with_capacity(cap),
+        }
+    }
+
+    /// Builds a relation from an iterator of tuples.
+    ///
+    /// # Panics
+    /// Panics if any tuple's arity differs from `arity`.
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut r = Relation::new(arity);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// The full relation `A^k` over a universe of the given size.
+    pub fn full(universe_size: usize, arity: usize) -> Self {
+        Relation::from_tuples(arity, crate::tuple::all_tuples(universe_size, arity))
+    }
+
+    /// Declared arity `k`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity differs from the relation arity (an internal
+    /// invariant; user-facing paths validate arities up front).
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.arity(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            t.arity(),
+            self.arity
+        );
+        self.tuples.insert(t)
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterates over tuples in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Returns the tuples sorted lexicographically (deterministic output for
+    /// display, hashing into SAT variables, and tests).
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// In-place union; returns the number of newly added tuples.
+    pub fn union_with(&mut self, other: &Relation) -> usize {
+        let before = self.tuples.len();
+        for t in other.iter() {
+            self.insert(t.clone());
+        }
+        self.tuples.len() - before
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut r = self.clone();
+        r.union_with(other);
+        r
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Relation) -> Relation {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Complement within `A^k` for a universe of the given size.
+    pub fn complement(&self, universe_size: usize) -> Relation {
+        let mut r = Relation::new(self.arity);
+        for t in crate::tuple::all_tuples(universe_size, self.arity) {
+            if !self.contains(&t) {
+                r.insert(t);
+            }
+        }
+        r
+    }
+
+    /// Subset test (the componentwise order ⊆ used to define least fixpoints).
+    pub fn is_subset(&self, other: &Relation) -> bool {
+        self.tuples.is_subset(&other.tuples)
+    }
+
+    /// Whether the two relations are ⊆-incomparable (neither contains the
+    /// other). The paper's G_n example produces exponentially many *pairwise
+    /// incomparable* fixpoints.
+    pub fn incomparable(&self, other: &Relation) -> bool {
+        !self.is_subset(other) && !other.is_subset(self)
+    }
+
+    /// Builds a hash index on the given key columns: key projection ↦ tuples.
+    pub fn index_on(&self, cols: &[usize]) -> HashMap<Tuple, Vec<Tuple>> {
+        let mut idx: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+        for t in self.iter() {
+            idx.entry(t.project(cols)).or_default().push(t.clone());
+        }
+        idx
+    }
+
+    /// Projects the relation onto the given columns (with dedup).
+    pub fn project(&self, cols: &[usize]) -> Relation {
+        let mut r = Relation::new(cols.len());
+        for t in self.iter() {
+            r.insert(t.project(cols));
+        }
+        r
+    }
+
+    /// Selects tuples where column `col` equals `value`.
+    pub fn select_eq(&self, col: usize, value: Const) -> Relation {
+        let mut r = Relation::new(self.arity);
+        for t in self.iter() {
+            if t[col] == value {
+                r.insert(t.clone());
+            }
+        }
+        r
+    }
+
+    /// The set of constants appearing anywhere in the relation (its active
+    /// domain contribution).
+    pub fn active_domain(&self) -> BTreeSet<Const> {
+        self.iter().flat_map(|t| t.items().iter().copied()).collect()
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.sorted().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Collects tuples into a relation, inferring arity from the first tuple
+    /// (empty iterators produce an arity-0 relation).
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map_or(0, Tuple::arity);
+        Relation::from_tuples(arity, it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ids: &[u32]) -> Tuple {
+        Tuple::from_ids(ids)
+    }
+
+    fn rel(arity: usize, ts: &[&[u32]]) -> Relation {
+        Relation::from_tuples(arity, ts.iter().map(|ids| t(ids)))
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t(&[0, 1])));
+        assert!(!r.insert(t(&[0, 1])));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn insert_wrong_arity_panics() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[0]));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = rel(1, &[&[0], &[1]]);
+        let b = rel(1, &[&[1], &[2]]);
+        assert_eq!(a.union(&b), rel(1, &[&[0], &[1], &[2]]));
+        assert_eq!(a.intersection(&b), rel(1, &[&[1]]));
+        assert_eq!(a.difference(&b), rel(1, &[&[0]]));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.incomparable(&b));
+        assert!(!a.incomparable(&a));
+    }
+
+    #[test]
+    fn union_with_counts_new() {
+        let mut a = rel(1, &[&[0]]);
+        let b = rel(1, &[&[0], &[1], &[2]]);
+        assert_eq!(a.union_with(&b), 2);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn complement_in_universe() {
+        let a = rel(1, &[&[0], &[2]]);
+        let c = a.complement(4);
+        assert_eq!(c, rel(1, &[&[1], &[3]]));
+        // Complement twice = identity.
+        assert_eq!(c.complement(4), a);
+    }
+
+    #[test]
+    fn full_relation() {
+        let f = Relation::full(3, 2);
+        assert_eq!(f.len(), 9);
+        assert!(f.contains(&t(&[2, 2])));
+        // arity-0 full relation: the single empty tuple.
+        let p = Relation::full(3, 0);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(&Tuple::empty()));
+    }
+
+    #[test]
+    fn index_groups_by_key() {
+        let r = rel(2, &[&[0, 1], &[0, 2], &[1, 2]]);
+        let idx = r.index_on(&[0]);
+        assert_eq!(idx.get(&t(&[0])).map(Vec::len), Some(2));
+        assert_eq!(idx.get(&t(&[1])).map(Vec::len), Some(1));
+        assert_eq!(idx.get(&t(&[2])), None);
+    }
+
+    #[test]
+    fn project_and_select() {
+        let r = rel(2, &[&[0, 1], &[0, 2], &[1, 1]]);
+        assert_eq!(r.project(&[0]), rel(1, &[&[0], &[1]]));
+        assert_eq!(r.select_eq(0, Const(0)).len(), 2);
+        assert_eq!(r.select_eq(1, Const(1)).len(), 2);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let r = rel(2, &[&[1, 0], &[0, 1], &[0, 0]]);
+        let s = r.sorted();
+        assert_eq!(s, vec![t(&[0, 0]), t(&[0, 1]), t(&[1, 0])]);
+    }
+
+    #[test]
+    fn display_sorted() {
+        let r = rel(1, &[&[2], &[0]]);
+        assert_eq!(r.to_string(), "{(0), (2)}");
+    }
+
+    #[test]
+    fn active_domain() {
+        let r = rel(2, &[&[0, 3], &[3, 5]]);
+        let dom: Vec<u32> = r.active_domain().iter().map(|c| c.id()).collect();
+        assert_eq!(dom, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn from_iterator_infers_arity() {
+        let r: Relation = vec![t(&[1, 2]), t(&[3, 4])].into_iter().collect();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+        let empty: Relation = Vec::<Tuple>::new().into_iter().collect();
+        assert_eq!(empty.arity(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn remove_tuples() {
+        let mut r = rel(1, &[&[0], &[1]]);
+        assert!(r.remove(&t(&[0])));
+        assert!(!r.remove(&t(&[0])));
+        assert_eq!(r.len(), 1);
+    }
+}

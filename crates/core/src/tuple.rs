@@ -1,0 +1,259 @@
+//! Constants and tuples: elements of `A` and of `A^k`.
+
+use std::fmt;
+
+/// An element of the universe `A`, represented as an interned id.
+///
+/// `Const` is `Copy` and order/hash-compatible with its id, so relations can
+/// index and sort tuples cheaply. Printable names live in
+/// [`Universe`](crate::Universe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Const(pub u32);
+
+impl Const {
+    /// The raw interned id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Const {
+    /// Displays as the raw id (printable names require a universe).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A `k`-tuple over the universe: an element of `A^k`.
+///
+/// Stored as a boxed slice (two words on the stack; no spare capacity), since
+/// tuples are immutable once created and relations hold very many of them.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Const]>);
+
+impl Tuple {
+    /// Creates a tuple from constants.
+    pub fn new(items: impl Into<Box<[Const]>>) -> Self {
+        Tuple(items.into())
+    }
+
+    /// The empty (0-ary) tuple — used by propositional (arity-0) relations.
+    pub fn empty() -> Self {
+        Tuple(Box::from([]))
+    }
+
+    /// Creates a tuple directly from raw ids.
+    pub fn from_ids(ids: &[u32]) -> Self {
+        Tuple(ids.iter().map(|&i| Const(i)).collect())
+    }
+
+    /// Tuple arity `k`.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component access.
+    pub fn get(&self, i: usize) -> Option<Const> {
+        self.0.get(i).copied()
+    }
+
+    /// The components as a slice.
+    pub fn items(&self) -> &[Const] {
+        &self.0
+    }
+
+    /// Projects the tuple onto the given column indices.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple(cols.iter().map(|&c| self.0[c]).collect())
+    }
+
+    /// Concatenates two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        Tuple(self.0.iter().chain(other.0.iter()).copied().collect())
+    }
+
+    /// Renders the tuple with names from a display function.
+    pub fn display_with(&self, mut name: impl FnMut(Const) -> String) -> String {
+        let parts: Vec<String> = self.0.iter().map(|&c| name(c)).collect();
+        format!("({})", parts.join(","))
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.0)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Const>> for Tuple {
+    fn from(v: Vec<Const>) -> Self {
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+impl From<&[Const]> for Tuple {
+    fn from(v: &[Const]) -> Self {
+        Tuple(v.into())
+    }
+}
+
+impl<const N: usize> From<[Const; N]> for Tuple {
+    fn from(v: [Const; N]) -> Self {
+        Tuple(Box::from(v.as_slice()))
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Const;
+    fn index(&self, i: usize) -> &Const {
+        &self.0[i]
+    }
+}
+
+/// Enumerates all tuples in `A^k` for a universe of size `n`, in
+/// lexicographic id order.
+///
+/// This is the search space `n^k` that the paper's NP upper bound "guess a
+/// relation of size `n^s`" quantifies over; exhaustive analyses (brute-force
+/// fixpoint enumeration, ESO checking) iterate it directly.
+pub fn all_tuples(universe_size: usize, arity: usize) -> AllTuples {
+    AllTuples {
+        n: universe_size as u32,
+        current: vec![0; arity],
+        done: universe_size == 0 && arity > 0,
+    }
+}
+
+/// Iterator over `A^k`; see [`all_tuples`].
+#[derive(Debug, Clone)]
+pub struct AllTuples {
+    n: u32,
+    current: Vec<u32>,
+    done: bool,
+}
+
+impl Iterator for AllTuples {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        let out = Tuple::from_ids(&self.current);
+        // Advance odometer (most significant digit first => lexicographic).
+        let mut i = self.current.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            self.current[i] += 1;
+            if self.current[i] < self.n {
+                break;
+            }
+            self.current[i] = 0;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ids: &[u32]) -> Tuple {
+        Tuple::from_ids(ids)
+    }
+
+    #[test]
+    fn tuple_basics() {
+        let x = t(&[1, 2, 3]);
+        assert_eq!(x.arity(), 3);
+        assert_eq!(x.get(0), Some(Const(1)));
+        assert_eq!(x.get(3), None);
+        assert_eq!(x[2], Const(3));
+        assert_eq!(x.to_string(), "(1,2,3)");
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let e = Tuple::empty();
+        assert_eq!(e.arity(), 0);
+        assert_eq!(e.to_string(), "()");
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let x = t(&[5, 6, 7]);
+        assert_eq!(x.project(&[2, 0]), t(&[7, 5]));
+        assert_eq!(x.project(&[]), Tuple::empty());
+        assert_eq!(x.concat(&t(&[8])), t(&[5, 6, 7, 8]));
+    }
+
+    #[test]
+    fn tuple_ordering_is_lexicographic() {
+        assert!(t(&[0, 1]) < t(&[0, 2]));
+        assert!(t(&[0, 9]) < t(&[1, 0]));
+    }
+
+    #[test]
+    fn all_tuples_counts() {
+        assert_eq!(all_tuples(3, 2).count(), 9);
+        assert_eq!(all_tuples(2, 3).count(), 8);
+        assert_eq!(all_tuples(5, 1).count(), 5);
+        // arity 0: exactly one (empty) tuple, regardless of universe size.
+        assert_eq!(all_tuples(4, 0).count(), 1);
+        assert_eq!(all_tuples(0, 0).count(), 1);
+        // empty universe, positive arity: no tuples.
+        assert_eq!(all_tuples(0, 2).count(), 0);
+    }
+
+    #[test]
+    fn all_tuples_lexicographic_order() {
+        let v: Vec<Tuple> = all_tuples(2, 2).collect();
+        assert_eq!(
+            v,
+            vec![t(&[0, 0]), t(&[0, 1]), t(&[1, 0]), t(&[1, 1])],
+        );
+    }
+
+    #[test]
+    fn all_tuples_no_duplicates() {
+        let v: Vec<Tuple> = all_tuples(3, 3).collect();
+        let s: std::collections::HashSet<_> = v.iter().cloned().collect();
+        assert_eq!(v.len(), s.len());
+        assert_eq!(v.len(), 27);
+    }
+
+    #[test]
+    fn display_with_names() {
+        let x = t(&[0, 1]);
+        let s = x.display_with(|c| format!("v{}", c.id()));
+        assert_eq!(s, "(v0,v1)");
+    }
+
+    #[test]
+    fn from_array_and_slice() {
+        let a = Tuple::from([Const(1), Const(2)]);
+        let b = Tuple::from(vec![Const(1), Const(2)]);
+        let c = Tuple::from(&[Const(1), Const(2)][..]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,186 @@
+//! The finite universe `A` of a database: an interner for constants.
+//!
+//! The paper fixes a finite universe `A` per database; rule variables range
+//! over `A` (this matters: the paper's flagship programs contain *unsafe*
+//! rules such as `T(z) <- !Q(u), !T(w)` whose variables appear only under
+//! negation, and their semantics is domain-grounded).
+
+use crate::tuple::Const;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The finite universe `A`: a bijection between constant ids `0..len` and
+/// printable names.
+///
+/// Constants are interned: the same name always maps to the same [`Const`].
+/// Universes are append-only; constants are never removed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Universe {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a universe with constants named `"0"`, `"1"`, ..., `"n-1"`.
+    ///
+    /// This is the convenient form for graph vertices and for the binary
+    /// domain `{0, 1}` used in the paper's Theorem 4 construction.
+    pub fn range(n: usize) -> Self {
+        let mut u = Self::new();
+        for i in 0..n {
+            u.intern(&i.to_string());
+        }
+        u
+    }
+
+    /// Creates a universe from a list of names (deduplicated, in order).
+    pub fn range_named(names: &[&str]) -> Self {
+        let mut u = Self::new();
+        for n in names {
+            u.intern(n);
+        }
+        u
+    }
+
+    /// Interns `name`, returning its constant. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Const {
+        if let Some(&id) = self.index.get(name) {
+            return Const(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("universe exceeds u32 capacity");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        Const(id)
+    }
+
+    /// Looks up a constant by name without interning.
+    pub fn lookup(&self, name: &str) -> Option<Const> {
+        self.index.get(name).copied().map(Const)
+    }
+
+    /// Returns the printable name of `c`, if `c` belongs to this universe.
+    pub fn name(&self, c: Const) -> Option<&str> {
+        self.names.get(c.0 as usize).map(String::as_str)
+    }
+
+    /// Returns the printable name of `c`, or `"?<id>"` for foreign constants.
+    pub fn display(&self, c: Const) -> String {
+        match self.name(c) {
+            Some(s) => s.to_owned(),
+            None => format!("?{}", c.0),
+        }
+    }
+
+    /// Number of constants in the universe (`|A|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Whether `c` is a member of this universe.
+    pub fn contains(&self, c: Const) -> bool {
+        (c.0 as usize) < self.names.len()
+    }
+
+    /// Iterates over all constants in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Const> + '_ {
+        (0..self.names.len() as u32).map(Const)
+    }
+
+    /// Iterates over `(constant, name)` pairs in id order.
+    pub fn iter_named(&self) -> impl Iterator<Item = (Const, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Const(i as u32), n.as_str()))
+    }
+}
+
+impl fmt::Display for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut u = Universe::new();
+        let a = u.intern("a");
+        let b = u.intern("b");
+        let a2 = u.intern("a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn range_universe_names() {
+        let u = Universe::range(3);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.lookup("0"), Some(Const(0)));
+        assert_eq!(u.lookup("2"), Some(Const(2)));
+        assert_eq!(u.lookup("3"), None);
+        assert_eq!(u.name(Const(1)), Some("1"));
+    }
+
+    #[test]
+    fn display_foreign_constant() {
+        let u = Universe::range(1);
+        assert_eq!(u.display(Const(0)), "0");
+        assert_eq!(u.display(Const(42)), "?42");
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let u = Universe::range(5);
+        let all: Vec<Const> = u.iter().collect();
+        assert_eq!(all.len(), 5);
+        assert!(all.iter().all(|&c| u.contains(c)));
+        assert!(!u.contains(Const(5)));
+    }
+
+    #[test]
+    fn iter_named_pairs() {
+        let mut u = Universe::new();
+        u.intern("x");
+        u.intern("y");
+        let pairs: Vec<(Const, &str)> = u.iter_named().collect();
+        assert_eq!(pairs, vec![(Const(0), "x"), (Const(1), "y")]);
+    }
+
+    #[test]
+    fn display_universe() {
+        let mut u = Universe::new();
+        u.intern("a");
+        u.intern("b");
+        assert_eq!(u.to_string(), "{a, b}");
+        assert_eq!(Universe::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn empty_universe() {
+        let u = Universe::new();
+        assert!(u.is_empty());
+        assert_eq!(u.iter().count(), 0);
+    }
+}

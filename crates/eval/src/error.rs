@@ -1,0 +1,109 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+/// Errors raised while compiling or evaluating a program against a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A program constant does not exist in the database universe.
+    ///
+    /// The paper's semantics interprets programs over the database's universe
+    /// `A`; a rule constant outside `A` has no denotation. Use
+    /// [`ensure_program_constants`](crate::ensure_program_constants) to intern
+    /// them first when that is intended.
+    UnknownConstant {
+        /// The constant's name as written in the program.
+        name: String,
+    },
+    /// A predicate is used with inconsistent arities (program-internal or
+    /// against the database).
+    ArityMismatch {
+        /// Predicate name.
+        predicate: String,
+        /// One observed arity.
+        expected: usize,
+        /// The conflicting arity.
+        found: usize,
+    },
+    /// An engine that requires a positive (negation-free) program was given
+    /// a program with negation or inequality.
+    NotPositive {
+        /// Human-readable description of the offending literal.
+        offending: String,
+    },
+    /// The program is not stratified (recursion through negation).
+    NotStratified {
+        /// A negative dependency cycle witness, e.g. `T -!-> T`.
+        witness: String,
+    },
+    /// An iteration cap was exceeded (guards against misuse of naive
+    /// iteration on non-monotone programs).
+    IterationLimit {
+        /// The cap that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownConstant { name } => write!(
+                f,
+                "program constant `{name}` is not in the database universe \
+                 (intern it first with ensure_program_constants)"
+            ),
+            EvalError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate `{predicate}` used with arity {found}, expected {expected}"
+            ),
+            EvalError::NotPositive { offending } => write!(
+                f,
+                "engine requires a positive DATALOG program, found {offending}"
+            ),
+            EvalError::NotStratified { witness } => {
+                write!(f, "program is not stratified: {witness}")
+            }
+            EvalError::IterationLimit { limit } => {
+                write!(f, "iteration limit {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(EvalError::UnknownConstant { name: "a".into() }
+            .to_string()
+            .contains("`a`"));
+        assert!(EvalError::NotStratified {
+            witness: "T -!-> T".into()
+        }
+        .to_string()
+        .contains("not stratified"));
+        assert!(EvalError::IterationLimit { limit: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(EvalError::NotPositive {
+            offending: "!T(y)".into()
+        }
+        .to_string()
+        .contains("!T(y)"));
+        assert!(EvalError::ArityMismatch {
+            predicate: "E".into(),
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains("arity 3"));
+    }
+}

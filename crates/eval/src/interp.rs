@@ -1,0 +1,233 @@
+//! Interpretations: the tuples of IDB relations that Θ maps between.
+
+use inflog_core::{Relation, Tuple};
+use std::fmt;
+
+/// A sequence `S = (S_1, ..., S_m)` of relations, one per IDB predicate of a
+/// compiled program, in the program's IDB index order.
+///
+/// This is the domain and codomain of the paper's operator Θ. The subset
+/// order used throughout (least fixpoints, incomparability) is the
+/// **coordinatewise** inclusion the paper defines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interp {
+    rels: Vec<Relation>,
+}
+
+impl Interp {
+    /// Creates an interpretation with all-empty relations of the given
+    /// arities.
+    pub fn empty(arities: &[usize]) -> Self {
+        Interp {
+            rels: arities.iter().map(|&a| Relation::new(a)).collect(),
+        }
+    }
+
+    /// Creates an interpretation from explicit relations.
+    pub fn from_relations(rels: Vec<Relation>) -> Self {
+        Interp { rels }
+    }
+
+    /// Creates the **full** interpretation `(A^{k_1}, ..., A^{k_m})`.
+    pub fn full(universe_size: usize, arities: &[usize]) -> Self {
+        Interp {
+            rels: arities
+                .iter()
+                .map(|&a| Relation::full(universe_size, a))
+                .collect(),
+        }
+    }
+
+    /// Number of component relations `m`.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether there are no component relations.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Component access by IDB index.
+    pub fn get(&self, idx: usize) -> &Relation {
+        &self.rels[idx]
+    }
+
+    /// Mutable component access by IDB index.
+    pub fn get_mut(&mut self, idx: usize) -> &mut Relation {
+        &mut self.rels[idx]
+    }
+
+    /// All components as a slice.
+    pub fn relations(&self) -> &[Relation] {
+        &self.rels
+    }
+
+    /// Consumes into the component vector.
+    pub fn into_relations(self) -> Vec<Relation> {
+        self.rels
+    }
+
+    /// Coordinatewise union; returns the number of tuples added.
+    pub fn union_with(&mut self, other: &Interp) -> usize {
+        debug_assert_eq!(self.rels.len(), other.rels.len());
+        self.rels
+            .iter_mut()
+            .zip(&other.rels)
+            .map(|(a, b)| a.union_with(b))
+            .sum()
+    }
+
+    /// Coordinatewise intersection.
+    pub fn intersection(&self, other: &Interp) -> Interp {
+        debug_assert_eq!(self.rels.len(), other.rels.len());
+        Interp {
+            rels: self
+                .rels
+                .iter()
+                .zip(&other.rels)
+                .map(|(a, b)| a.intersection(b))
+                .collect(),
+        }
+    }
+
+    /// Coordinatewise difference `self \ other`.
+    pub fn difference(&self, other: &Interp) -> Interp {
+        debug_assert_eq!(self.rels.len(), other.rels.len());
+        Interp {
+            rels: self
+                .rels
+                .iter()
+                .zip(&other.rels)
+                .map(|(a, b)| a.difference(b))
+                .collect(),
+        }
+    }
+
+    /// Coordinatewise subset test (the paper's ordering on interpretations).
+    pub fn is_subset(&self, other: &Interp) -> bool {
+        self.rels
+            .iter()
+            .zip(&other.rels)
+            .all(|(a, b)| a.is_subset(b))
+    }
+
+    /// Whether two interpretations are ⊆-incomparable.
+    pub fn incomparable(&self, other: &Interp) -> bool {
+        !self.is_subset(other) && !other.is_subset(self)
+    }
+
+    /// Total number of tuples across components.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// Whether every component is empty.
+    pub fn all_empty(&self) -> bool {
+        self.rels.iter().all(Relation::is_empty)
+    }
+
+    /// Inserts a tuple into component `idx`; returns whether it was new.
+    pub fn insert(&mut self, idx: usize, t: Tuple) -> bool {
+        self.rels[idx].insert(t)
+    }
+
+    /// Membership test on component `idx`.
+    pub fn contains(&self, idx: usize, t: &Tuple) -> bool {
+        self.rels[idx].contains(t)
+    }
+
+    /// Deterministic rendering with component names supplied by the caller.
+    pub fn display_with_names(&self, names: &[String]) -> String {
+        let mut out = String::new();
+        for (i, r) in self.rels.iter().enumerate() {
+            let name = names.get(i).map(String::as_str).unwrap_or("?");
+            out.push_str(&format!("{name} = {r}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Interp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rels.iter().enumerate() {
+            writeln!(f, "S{i} = {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ids: &[u32]) -> Tuple {
+        Tuple::from_ids(ids)
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = Interp::empty(&[1, 2]);
+        assert_eq!(e.len(), 2);
+        assert!(e.all_empty());
+        let f = Interp::full(3, &[1, 2]);
+        assert_eq!(f.get(0).len(), 3);
+        assert_eq!(f.get(1).len(), 9);
+        assert!(e.is_subset(&f));
+        assert!(!f.is_subset(&e));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let mut a = Interp::empty(&[1]);
+        a.insert(0, t(&[0]));
+        let mut b = Interp::empty(&[1]);
+        b.insert(0, t(&[1]));
+        let added = a.union_with(&b);
+        assert_eq!(added, 1);
+        assert_eq!(a.total_tuples(), 2);
+        let d = a.difference(&b);
+        assert_eq!(d.get(0).len(), 1);
+        assert!(d.contains(0, &t(&[0])));
+    }
+
+    #[test]
+    fn intersection_coordinatewise() {
+        let mut a = Interp::empty(&[1, 1]);
+        a.insert(0, t(&[0]));
+        a.insert(1, t(&[2]));
+        let mut b = Interp::empty(&[1, 1]);
+        b.insert(0, t(&[0]));
+        b.insert(1, t(&[3]));
+        let i = a.intersection(&b);
+        assert_eq!(i.get(0).len(), 1);
+        assert!(i.get(1).is_empty());
+    }
+
+    #[test]
+    fn incomparability() {
+        // The paper's C_2 example: {1} vs {2} on a 2-cycle.
+        let mut a = Interp::empty(&[1]);
+        a.insert(0, t(&[0]));
+        let mut b = Interp::empty(&[1]);
+        b.insert(0, t(&[1]));
+        assert!(a.incomparable(&b));
+        assert!(!a.incomparable(&a));
+    }
+
+    #[test]
+    fn display_with_names() {
+        let mut a = Interp::empty(&[1]);
+        a.insert(0, t(&[1]));
+        let s = a.display_with_names(&["T".to_string()]);
+        assert_eq!(s, "T = {(1)}\n");
+    }
+
+    #[test]
+    fn insert_dedup() {
+        let mut a = Interp::empty(&[2]);
+        assert!(a.insert(0, t(&[0, 1])));
+        assert!(!a.insert(0, t(&[0, 1])));
+        assert!(a.contains(0, &t(&[0, 1])));
+    }
+}

@@ -1,0 +1,50 @@
+//! # inflog-eval
+//!
+//! Evaluation engines for DATALOG¬ programs, all built on one immediate-
+//! consequence operator Θ (§2 of *"Why Not Negation by Fixpoint?"*):
+//!
+//! * [`operator`] — the operator Θ itself, over compiled rule plans, with
+//!   synchronous (Jacobi) application and delta-restricted application;
+//! * [`naive`] / [`seminaive`] — least-fixpoint evaluation of *positive*
+//!   DATALOG programs (the paper's standard semantics);
+//! * [`inflationary()`](inflationary()) — the paper's §4 proposal: Θ̃(S) = S ∪ Θ(S) iterated to
+//!   its inductive fixpoint, defined for **every** DATALOG¬ program and
+//!   computable in polynomial time (data complexity);
+//! * [`stratified`] — the Chandra–Harel / Apt–Blair–Walker semantics the
+//!   paper contrasts with (stratification check + per-stratum evaluation);
+//! * [`wellfounded`] — Van Gelder's alternating-fixpoint semantics
+//!   (3-valued), an extension point for comparing negation semantics;
+//! * [`plan`] / [`resolve`] — the rule compiler: name resolution against a
+//!   database and join planning. Because the paper's semantics is
+//!   domain-grounded, plans may contain `Domain` steps that range a variable
+//!   over the whole universe — unsafe rules evaluate correctly.
+//!
+//! The different engines share plans and state types, so cross-engine
+//! agreement (naive ≡ semi-naive; inflationary ≡ least fixpoint on positive
+//! programs; stratified model is a fixpoint of Θ) is tested directly.
+
+pub mod error;
+pub mod inflationary;
+pub mod interp;
+pub mod naive;
+pub mod operator;
+pub mod plan;
+pub mod resolve;
+pub mod seminaive;
+pub mod stratified;
+pub mod trace;
+pub mod wellfounded;
+
+pub use error::EvalError;
+pub use inflationary::{inflationary, inflationary_naive};
+pub use interp::Interp;
+pub use naive::least_fixpoint_naive;
+pub use operator::{apply, apply_delta, apply_subset, apply_with_neg, enumerate_bindings, EvalContext};
+pub use resolve::{ensure_program_constants, CompiledProgram};
+pub use seminaive::least_fixpoint_seminaive;
+pub use stratified::{stratified_eval, stratify, Stratification};
+pub use trace::EvalTrace;
+pub use wellfounded::{well_founded, WellFoundedModel};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EvalError>;

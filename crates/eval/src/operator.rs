@@ -1,0 +1,565 @@
+//! The immediate-consequence operator Θ of §2, executed over compiled plans.
+//!
+//! Given a database `D` and an interpretation `S = (S_1, ..., S_m)` for the
+//! IDB predicates, `Θ(S)` returns the relations derived by applying every
+//! rule once, with variables ranging over the universe `A` and body
+//! negations evaluated against `S` itself (synchronous / Jacobi application —
+//! derivations within a round do not see each other).
+//!
+//! Variants:
+//! * [`apply`] — plain `Θ(S)`;
+//! * [`apply_subset`] — Θ restricted to a subset of rules (stratified
+//!   evaluation applies one stratum's rules at a time);
+//! * [`apply_delta`] — semi-naive: only derivations whose body uses at least
+//!   one tuple of a delta interpretation (sound for inflationary iteration:
+//!   under a growing `S`, a ground body instance can become newly true only
+//!   through a positive IDB atom — negative literals only decay);
+//! * [`apply_with_neg`] — negative IDB literals read a *separate*
+//!   interpretation (the alternating-fixpoint transform Γ of the
+//!   well-founded semantics needs this).
+
+use crate::interp::Interp;
+use crate::plan::{CTerm, Plan, PredRef, Source, Step};
+use crate::resolve::CompiledProgram;
+use crate::Result;
+use inflog_core::{Const, Database, Relation, Tuple};
+use std::collections::HashMap;
+
+/// Evaluation context: materialized EDB relations and the universe size.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    /// EDB relations by EDB id (absent in the database = empty).
+    pub edb: Vec<Relation>,
+    /// `|A|` — the range of `Domain` plan steps.
+    pub universe_size: usize,
+}
+
+impl EvalContext {
+    /// Builds a context for `cp` over `db`.
+    ///
+    /// # Errors
+    /// Propagates arity conflicts between the program and the database.
+    pub fn new(cp: &CompiledProgram, db: &Database) -> Result<Self> {
+        Ok(EvalContext {
+            edb: cp.edb_relations(db)?,
+            universe_size: db.universe_size(),
+        })
+    }
+}
+
+/// Options threading through one Θ application.
+struct ApplyOpts<'a> {
+    /// Restrict to these rule indices (source order); `None` = all rules.
+    rules: Option<&'a [usize]>,
+    /// If set, run delta plans against this delta interpretation.
+    delta: Option<&'a Interp>,
+    /// If set, negative IDB literals read this interpretation instead of `s`.
+    neg: Option<&'a Interp>,
+}
+
+/// `Θ(S)`.
+pub fn apply(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp) -> Interp {
+    run(
+        cp,
+        ctx,
+        s,
+        &ApplyOpts {
+            rules: None,
+            delta: None,
+            neg: None,
+        },
+    )
+}
+
+/// `Θ(S)` restricted to the rules with the given source indices.
+pub fn apply_subset(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, rules: &[usize]) -> Interp {
+    run(
+        cp,
+        ctx,
+        s,
+        &ApplyOpts {
+            rules: Some(rules),
+            delta: None,
+            neg: None,
+        },
+    )
+}
+
+/// Semi-naive step: derivations whose body uses at least one `delta` tuple
+/// in a positive IDB position. Rules without positive IDB atoms produce
+/// nothing here (they fire exhaustively in round one).
+pub fn apply_delta(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    s: &Interp,
+    delta: &Interp,
+    rules: Option<&[usize]>,
+) -> Interp {
+    run(
+        cp,
+        ctx,
+        s,
+        &ApplyOpts {
+            rules,
+            delta: Some(delta),
+            neg: None,
+        },
+    )
+}
+
+/// `Θ(S)` with negative IDB literals evaluated against `neg` instead of `s`
+/// (the well-founded Γ transform).
+pub fn apply_with_neg(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, neg: &Interp) -> Interp {
+    run(
+        cp,
+        ctx,
+        s,
+        &ApplyOpts {
+            rules: None,
+            delta: None,
+            neg: Some(neg),
+        },
+    )
+}
+
+/// Enumerates every variable binding that satisfies a plan containing **no
+/// IDB references** (positive EDB atoms, EDB negations, equalities,
+/// inequalities and `Domain` steps only).
+///
+/// The plan's head must be the identity tuple over all rule variables, so
+/// the emitted tuples *are* the bindings. Program grounding (the fixpoint
+/// completion encoding of §3) uses this to enumerate rule instantiations
+/// with the extensional part already evaluated away.
+///
+/// # Panics
+/// Panics (in debug builds) if the plan references IDB relations.
+pub fn enumerate_bindings(plan: &Plan, ctx: &EvalContext) -> Vec<Tuple> {
+    debug_assert!(
+        plan.steps.iter().all(|s| !matches!(
+            s,
+            Step::Scan { pred: PredRef::Idb(_), .. }
+                | Step::FilterPos { pred: PredRef::Idb(_), .. }
+                | Step::FilterNeg { pred: PredRef::Idb(_), .. }
+        )),
+        "grounding plans must not reference IDB relations"
+    );
+    let empty = Interp::from_relations(Vec::new());
+    let mut out = Interp::from_relations(vec![Relation::new(plan.num_vars)]);
+    let mut exec = Executor {
+        ctx,
+        s: &empty,
+        delta: None,
+        neg: &empty,
+        cache: HashMap::new(),
+    };
+    exec.run_plan(plan, 0, &mut out);
+    let mut rels = out.into_relations();
+    rels.pop().expect("one output relation").sorted()
+}
+
+/// Key for the per-application hash-index cache.
+#[derive(PartialEq, Eq, Hash)]
+struct IndexKey {
+    pred: PredRef,
+    source: Source,
+    cols: Vec<usize>,
+}
+
+struct Executor<'a> {
+    ctx: &'a EvalContext,
+    s: &'a Interp,
+    delta: Option<&'a Interp>,
+    neg: &'a Interp,
+    cache: HashMap<IndexKey, HashMap<Tuple, Vec<Tuple>>>,
+}
+
+fn run(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, opts: &ApplyOpts<'_>) -> Interp {
+    let mut out = cp.empty_interp();
+    let mut exec = Executor {
+        ctx,
+        s,
+        delta: opts.delta,
+        neg: opts.neg.unwrap_or(s),
+        cache: HashMap::new(),
+    };
+
+    let all_indices: Vec<usize>;
+    let selected: &[usize] = match opts.rules {
+        Some(r) => r,
+        None => {
+            all_indices = (0..cp.rules.len()).collect();
+            &all_indices
+        }
+    };
+
+    for &ri in selected {
+        let rule = &cp.rules[ri];
+        let head_pred = rule.head_pred;
+        if opts.delta.is_some() {
+            for plan in &rule.delta_plans {
+                exec.run_plan(plan, head_pred, &mut out);
+            }
+        } else {
+            exec.run_plan(&rule.full_plan, head_pred, &mut out);
+        }
+    }
+    out
+}
+
+impl<'a> Executor<'a> {
+    fn relation(&self, pred: PredRef, source: Source) -> &'a Relation {
+        match (pred, source) {
+            (PredRef::Edb(i), _) => &self.ctx.edb[i],
+            (PredRef::Idb(i), Source::Full) => self.s.get(i),
+            (PredRef::Idb(i), Source::Delta) => self
+                .delta
+                .expect("delta scan outside a delta application")
+                .get(i),
+        }
+    }
+
+    /// The relation a *negative* literal reads (the Γ transform swaps it).
+    fn neg_relation(&self, pred: PredRef) -> &'a Relation {
+        match pred {
+            PredRef::Edb(i) => &self.ctx.edb[i],
+            PredRef::Idb(i) => self.neg.get(i),
+        }
+    }
+
+    fn run_plan(&mut self, plan: &Plan, head_pred: usize, out: &mut Interp) {
+        let mut vals: Vec<Const> = vec![Const(0); plan.num_vars];
+        let mut bound = vec![false; plan.num_vars];
+        self.step(plan, 0, head_pred, &mut vals, &mut bound, out);
+    }
+
+    fn value(&self, t: &CTerm, vals: &[Const]) -> Const {
+        match t {
+            CTerm::Const(c) => *c,
+            CTerm::Var(v) => vals[*v],
+        }
+    }
+
+    fn build_tuple(&self, terms: &[CTerm], vals: &[Const]) -> Tuple {
+        terms
+            .iter()
+            .map(|t| self.value(t, vals))
+            .collect::<Vec<_>>()
+            .into()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(
+        &mut self,
+        plan: &Plan,
+        idx: usize,
+        head_pred: usize,
+        vals: &mut Vec<Const>,
+        bound: &mut Vec<bool>,
+        out: &mut Interp,
+    ) {
+        if idx == plan.steps.len() {
+            let head = self.build_tuple(&plan.head, vals);
+            out.insert(head_pred, head);
+            return;
+        }
+        match &plan.steps[idx] {
+            Step::Scan {
+                pred,
+                source,
+                terms,
+                key_cols,
+            } => {
+                let rel = self.relation(*pred, *source);
+                // Candidate tuples: via a hash index when key columns exist.
+                let candidates: Vec<Tuple> = if key_cols.is_empty() {
+                    rel.iter().cloned().collect()
+                } else {
+                    let key: Tuple = key_cols
+                        .iter()
+                        .map(|&c| self.value(&terms[c], vals))
+                        .collect::<Vec<_>>()
+                        .into();
+                    let index_key = IndexKey {
+                        pred: *pred,
+                        source: *source,
+                        cols: key_cols.clone(),
+                    };
+                    let index = self
+                        .cache
+                        .entry(index_key)
+                        .or_insert_with(|| rel.index_on(key_cols));
+                    index.get(&key).cloned().unwrap_or_default()
+                };
+                for t in candidates {
+                    let mut newly: Vec<usize> = Vec::new();
+                    let mut ok = true;
+                    for (col, term) in terms.iter().enumerate() {
+                        match term {
+                            CTerm::Const(c) => {
+                                if t[col] != *c {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            CTerm::Var(v) => {
+                                if bound[*v] {
+                                    if t[col] != vals[*v] {
+                                        ok = false;
+                                        break;
+                                    }
+                                } else {
+                                    vals[*v] = t[col];
+                                    bound[*v] = true;
+                                    newly.push(*v);
+                                }
+                            }
+                        }
+                    }
+                    if ok {
+                        self.step(plan, idx + 1, head_pred, vals, bound, out);
+                    }
+                    for v in newly {
+                        bound[v] = false;
+                    }
+                }
+            }
+            Step::Domain { var } => {
+                let var = *var;
+                bound[var] = true;
+                for c in 0..self.ctx.universe_size as u32 {
+                    vals[var] = Const(c);
+                    self.step(plan, idx + 1, head_pred, vals, bound, out);
+                }
+                bound[var] = false;
+            }
+            Step::FilterPos { pred, terms } => {
+                let t = self.build_tuple(terms, vals);
+                if self.relation(*pred, Source::Full).contains(&t) {
+                    self.step(plan, idx + 1, head_pred, vals, bound, out);
+                }
+            }
+            Step::FilterNeg { pred, terms } => {
+                let t = self.build_tuple(terms, vals);
+                if !self.neg_relation(*pred).contains(&t) {
+                    self.step(plan, idx + 1, head_pred, vals, bound, out);
+                }
+            }
+            Step::BindEq { var, from } => {
+                let var = *var;
+                vals[var] = self.value(from, vals);
+                bound[var] = true;
+                self.step(plan, idx + 1, head_pred, vals, bound, out);
+                bound[var] = false;
+            }
+            Step::FilterEq { a, b } => {
+                if self.value(a, vals) == self.value(b, vals) {
+                    self.step(plan, idx + 1, head_pred, vals, bound, out);
+                }
+            }
+            Step::FilterNeq { a, b } => {
+                if self.value(a, vals) != self.value(b, vals) {
+                    self.step(plan, idx + 1, head_pred, vals, bound, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_core::graphs::DiGraph;
+    use inflog_syntax::parse_program;
+
+    fn setup(src: &str, db: &Database) -> (CompiledProgram, EvalContext) {
+        let p = parse_program(src).unwrap();
+        let cp = CompiledProgram::compile(&p, db).unwrap();
+        let ctx = EvalContext::new(&cp, db).unwrap();
+        (cp, ctx)
+    }
+
+    fn t1(x: u32) -> Tuple {
+        Tuple::from_ids(&[x])
+    }
+
+    fn t2(x: u32, y: u32) -> Tuple {
+        Tuple::from_ids(&[x, y])
+    }
+
+    #[test]
+    fn theta_of_pi1_on_empty_t() {
+        // Paper §2: for pi_1 on D=(A,E), Θ(T) = {a : ∃y (E(y,a) ∧ ¬T(y))}.
+        // With T = ∅: every vertex with an incoming edge.
+        let db = DiGraph::path(4).to_database("E");
+        let (cp, ctx) = setup("T(x) :- E(y, x), !T(y).", &db);
+        let theta = apply(&cp, &ctx, &cp.empty_interp());
+        let tid = cp.idb_id("T").unwrap();
+        assert_eq!(theta.get(tid).sorted(), vec![t1(1), t1(2), t1(3)]);
+    }
+
+    #[test]
+    fn theta_fixpoint_check_on_path() {
+        // On L_4 (vertices v0..v3), the unique fixpoint of pi_1 is {v1, v3}
+        // (the paper's {2, 4, ...} in 1-based numbering).
+        let db = DiGraph::path(4).to_database("E");
+        let (cp, ctx) = setup("T(x) :- E(y, x), !T(y).", &db);
+        let tid = cp.idb_id("T").unwrap();
+        let mut fix = cp.empty_interp();
+        fix.insert(tid, t1(1));
+        fix.insert(tid, t1(3));
+        assert_eq!(apply(&cp, &ctx, &fix), fix);
+        // And {v1, v2} is not a fixpoint.
+        let mut not_fix = cp.empty_interp();
+        not_fix.insert(tid, t1(1));
+        not_fix.insert(tid, t1(2));
+        assert_ne!(apply(&cp, &ctx, &not_fix), not_fix);
+    }
+
+    #[test]
+    fn toggle_rule_has_no_fixpoint_on_nonempty_universe() {
+        // T(z) <- !T(w): Θ(∅) = A, Θ(A) = ∅ — the paper's "toggle".
+        let mut db = Database::new();
+        db.universe_mut().intern("a");
+        db.universe_mut().intern("b");
+        let (cp, ctx) = setup("T(z) :- !T(w).", &db);
+        let empty = cp.empty_interp();
+        let theta1 = apply(&cp, &ctx, &empty);
+        assert_eq!(theta1.total_tuples(), 2); // T = A
+        let theta2 = apply(&cp, &ctx, &theta1);
+        assert!(theta2.all_empty()); // back to ∅
+    }
+
+    #[test]
+    fn tc_single_application() {
+        let db = DiGraph::path(3).to_database("E");
+        let (cp, ctx) = setup("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).", &db);
+        let sid = cp.idb_id("S").unwrap();
+        let s1 = apply(&cp, &ctx, &cp.empty_interp());
+        assert_eq!(s1.get(sid).sorted(), vec![t2(0, 1), t2(1, 2)]);
+        let s2 = apply(&cp, &ctx, &s1);
+        assert_eq!(s2.get(sid).sorted(), vec![t2(0, 1), t2(0, 2), t2(1, 2)]);
+    }
+
+    #[test]
+    fn constants_in_heads_range_free_vars() {
+        // G(z, 1) <- . over a 2-element universe {0, 1}.
+        let mut db = Database::new();
+        db.universe_mut().intern("0");
+        db.universe_mut().intern("1");
+        let (cp, ctx) = setup("G(z, 1).", &db);
+        let g = cp.idb_id("G").unwrap();
+        let theta = apply(&cp, &ctx, &cp.empty_interp());
+        assert_eq!(theta.get(g).sorted(), vec![t2(0, 1), t2(1, 1)]);
+    }
+
+    #[test]
+    fn zero_ary_predicates() {
+        let mut db = Database::new();
+        db.universe_mut().intern("a");
+        let (cp, ctx) = setup("Win :- !Lose. Lose :- Lose.", &db);
+        let win = cp.idb_id("Win").unwrap();
+        let lose = cp.idb_id("Lose").unwrap();
+        let theta = apply(&cp, &ctx, &cp.empty_interp());
+        assert_eq!(theta.get(win).len(), 1);
+        assert_eq!(theta.get(lose).len(), 0);
+        // With Lose set, Win is not derived.
+        let mut s = cp.empty_interp();
+        s.insert(lose, Tuple::empty());
+        let theta = apply(&cp, &ctx, &s);
+        assert!(theta.get(win).is_empty());
+        assert!(!theta.get(lose).is_empty());
+    }
+
+    #[test]
+    fn inequality_filters() {
+        let db = DiGraph::complete(3).to_database("E");
+        let (cp, ctx) = setup("P(x, y) :- E(x, y), x != y.", &db);
+        let p = cp.idb_id("P").unwrap();
+        let theta = apply(&cp, &ctx, &cp.empty_interp());
+        assert_eq!(theta.get(p).len(), 6); // complete(3) has no self-loops anyway
+        let db2 = DiGraph::cycle(1).to_database("E"); // self-loop only
+        let (cp2, ctx2) = setup("P(x, y) :- E(x, y), x != y.", &db2);
+        assert!(apply(&cp2, &ctx2, &cp2.empty_interp()).all_empty());
+    }
+
+    #[test]
+    fn apply_subset_respects_rule_choice() {
+        let db = DiGraph::path(3).to_database("E");
+        let (cp, ctx) = setup("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).", &db);
+        let sid = cp.idb_id("S").unwrap();
+        // Only the recursive rule, from empty: derives nothing.
+        let only_rec = apply_subset(&cp, &ctx, &cp.empty_interp(), &[1]);
+        assert!(only_rec.get(sid).is_empty());
+        // Only the base rule: the edges.
+        let only_base = apply_subset(&cp, &ctx, &cp.empty_interp(), &[0]);
+        assert_eq!(only_base.get(sid).len(), 2);
+    }
+
+    #[test]
+    fn apply_delta_matches_full_difference() {
+        // Semi-naive invariant: new derivations from (S, Δ) where Δ = S
+        // equal Θ(S) minus what Θ(∅)-style rules would rederive. Check the
+        // weaker, sufficient property used by the engines:
+        // Θ(S) ⊇ apply_delta(S, Δ=S) ⊇ Θ(S) \ Θ(S⁻) for the TC program.
+        let db = DiGraph::path(4).to_database("E");
+        let (cp, ctx) = setup("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).", &db);
+        let s1 = apply(&cp, &ctx, &cp.empty_interp());
+        let full2 = apply(&cp, &ctx, &s1);
+        let delta2 = apply_delta(&cp, &ctx, &s1, &s1, None);
+        // Everything the delta pass derives is derivable by the full pass.
+        assert!(delta2.is_subset(&full2));
+        // And it covers all *new* tuples.
+        let new = full2.difference(&s1);
+        assert!(new.is_subset(&delta2));
+    }
+
+    #[test]
+    fn apply_with_neg_separates_contexts() {
+        // T(x) <- V(x), !U(x);  U(x) <- V(x), !T(x).
+        let mut db = Database::new();
+        db.insert_named_fact("V", &["a"]).unwrap();
+        let (cp, ctx) = setup("T(x) :- V(x), !U(x). U(x) :- V(x), !T(x).", &db);
+        let tid = cp.idb_id("T").unwrap();
+        let uid = cp.idb_id("U").unwrap();
+        // neg context = full: nothing derivable.
+        let full = cp.full_interp(db.universe_size());
+        let r = apply_with_neg(&cp, &ctx, &cp.empty_interp(), &full);
+        assert!(r.all_empty());
+        // neg context = empty: both derivable.
+        let r = apply_with_neg(&cp, &ctx, &cp.empty_interp(), &cp.empty_interp());
+        assert_eq!(r.get(tid).len(), 1);
+        assert_eq!(r.get(uid).len(), 1);
+    }
+
+    #[test]
+    fn equality_join() {
+        let db = DiGraph::path(3).to_database("E");
+        let (cp, ctx) = setup("P(x) :- E(x, y), E(y, z), y = z.", &db);
+        // y = z requires an edge y->y (self-loop): none on a path.
+        assert!(apply(&cp, &ctx, &cp.empty_interp()).all_empty());
+        let db2 = DiGraph::cycle(1).to_database("E");
+        let (cp2, ctx2) = setup("P(x) :- E(x, y), E(y, z), y = z.", &db2);
+        assert_eq!(apply(&cp2, &ctx2, &cp2.empty_interp()).total_tuples(), 1);
+    }
+
+    #[test]
+    fn repeated_variables_in_atom() {
+        // P(x) <- E(x, x): only self-loops match.
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(2, 2);
+        let db = g.to_database("E");
+        let (cp, ctx) = setup("P(x) :- E(x, x).", &db);
+        let p = cp.idb_id("P").unwrap();
+        let theta = apply(&cp, &ctx, &cp.empty_interp());
+        assert_eq!(theta.get(p).sorted(), vec![t1(2)]);
+    }
+
+    #[test]
+    fn empty_universe_yields_empty_results() {
+        let db = Database::new();
+        let (cp, ctx) = setup("T(z) :- !T(w).", &db);
+        // With A = ∅ even the toggle rule derives nothing.
+        assert!(apply(&cp, &ctx, &cp.empty_interp()).all_empty());
+    }
+}

@@ -1,0 +1,532 @@
+//! Rule execution plans: compiled, ordered step sequences for evaluating one
+//! rule body under a variable binding.
+//!
+//! The planner is a small query optimizer:
+//!
+//! * positive atoms become [`Step::Scan`]s, greedily ordered so that atoms
+//!   with the most already-bound argument positions run first (those
+//!   positions become hash-index keys);
+//! * equalities bind variables ([`Step::BindEq`]) or filter
+//!   ([`Step::FilterEq`]);
+//! * negated atoms and inequalities are pushed down to the earliest point at
+//!   which all their variables are bound;
+//! * variables bound by nothing — the paper's unsafe rules — get
+//!   [`Step::Domain`] steps that range them over the whole universe `A`,
+//!   implementing the paper's domain-grounded semantics.
+//!
+//! For semi-naive evaluation each rule additionally gets one *delta plan* per
+//! positive IDB atom occurrence: that occurrence reads the per-round delta
+//! relation (and is scanned first, since the delta is the smallest input).
+
+use inflog_core::Const;
+use std::fmt;
+
+/// A compiled term: a variable slot or a resolved constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CTerm {
+    /// Variable, identified by its slot in the rule's binding array.
+    Var(usize),
+    /// Constant already resolved against the database universe.
+    Const(Const),
+}
+
+impl fmt::Display for CTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CTerm::Var(v) => write!(f, "x{v}"),
+            CTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A reference to a relation: extensional (database) or intensional
+/// (computed), by dense id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredRef {
+    /// Database relation id.
+    Edb(usize),
+    /// Non-database relation id.
+    Idb(usize),
+}
+
+/// Which version of an IDB relation a scan reads (semi-naive evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// The full current relation.
+    Full,
+    /// The per-round delta.
+    Delta,
+}
+
+/// One step of a rule plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Iterate the tuples of a relation, consistent with already-bound
+    /// positions (`key_cols`), binding the rest.
+    Scan {
+        /// Relation to scan.
+        pred: PredRef,
+        /// Full or delta version (deltas exist for IDB only).
+        source: Source,
+        /// Argument terms of the atom.
+        terms: Vec<CTerm>,
+        /// Columns whose value is known *before* this step (constants or
+        /// previously bound variables) — used as a hash-index key.
+        key_cols: Vec<usize>,
+    },
+    /// Bind `var` to every constant of the universe in turn (domain
+    /// grounding for otherwise-unbound variables).
+    Domain {
+        /// Variable slot to bind.
+        var: usize,
+    },
+    /// Membership test with all variables bound.
+    FilterPos {
+        /// Relation to probe.
+        pred: PredRef,
+        /// Argument terms (all bound at this point).
+        terms: Vec<CTerm>,
+    },
+    /// Non-membership test with all variables bound.
+    FilterNeg {
+        /// Relation to probe.
+        pred: PredRef,
+        /// Argument terms (all bound at this point).
+        terms: Vec<CTerm>,
+    },
+    /// Bind an unbound variable to the value of a bound term.
+    BindEq {
+        /// Variable slot to bind.
+        var: usize,
+        /// Bound term supplying the value.
+        from: CTerm,
+    },
+    /// Equality test between two bound terms.
+    FilterEq {
+        /// Left term.
+        a: CTerm,
+        /// Right term.
+        b: CTerm,
+    },
+    /// Inequality test between two bound terms.
+    FilterNeq {
+        /// Left term.
+        a: CTerm,
+        /// Right term.
+        b: CTerm,
+    },
+}
+
+/// A resolved body literal, pre-planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RLit {
+    /// Positive atom.
+    Pos {
+        /// Relation.
+        pred: PredRef,
+        /// Arguments.
+        terms: Vec<CTerm>,
+    },
+    /// Negated atom.
+    Neg {
+        /// Relation.
+        pred: PredRef,
+        /// Arguments.
+        terms: Vec<CTerm>,
+    },
+    /// Equality.
+    Eq(CTerm, CTerm),
+    /// Inequality.
+    Neq(CTerm, CTerm),
+}
+
+impl RLit {
+    fn vars(&self) -> Vec<usize> {
+        fn tv(t: &CTerm, out: &mut Vec<usize>) {
+            if let CTerm::Var(v) = t {
+                out.push(*v);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            RLit::Pos { terms, .. } | RLit::Neg { terms, .. } => {
+                terms.iter().for_each(|t| tv(t, &mut out));
+            }
+            RLit::Eq(a, b) | RLit::Neq(a, b) => {
+                tv(a, &mut out);
+                tv(b, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// A complete plan for one rule (body steps + head construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Ordered execution steps.
+    pub steps: Vec<Step>,
+    /// Head terms (tuple construction; all variables bound after `steps`).
+    pub head: Vec<CTerm>,
+    /// Number of variable slots in the rule.
+    pub num_vars: usize,
+}
+
+/// Builds a plan for a rule body.
+///
+/// `delta_lit` optionally names a body literal index that must be a positive
+/// IDB atom; it is scanned first from the [`Source::Delta`] relation.
+///
+/// # Panics
+/// Panics if `delta_lit` does not refer to a positive IDB atom (an internal
+/// compiler invariant).
+pub fn plan_rule(
+    head: Vec<CTerm>,
+    body: &[RLit],
+    num_vars: usize,
+    delta_lit: Option<usize>,
+) -> Plan {
+    let mut steps = Vec::new();
+    let mut bound = vec![false; num_vars];
+    let mut remaining: Vec<(usize, &RLit)> = body.iter().enumerate().collect();
+
+    let term_bound = |t: &CTerm, bound: &[bool]| match t {
+        CTerm::Const(_) => true,
+        CTerm::Var(v) => bound[*v],
+    };
+
+    // Emit the delta scan first: the delta is the smallest relation.
+    if let Some(d) = delta_lit {
+        let lit = &body[d];
+        match lit {
+            RLit::Pos { pred, terms } => {
+                assert!(
+                    matches!(pred, PredRef::Idb(_)),
+                    "delta literal must be an IDB atom"
+                );
+                steps.push(Step::Scan {
+                    pred: *pred,
+                    source: Source::Delta,
+                    terms: terms.clone(),
+                    key_cols: Vec::new(),
+                });
+                for v in lit.vars() {
+                    bound[v] = true;
+                }
+                remaining.retain(|(i, _)| *i != d);
+            }
+            _ => panic!("delta literal must be a positive atom"),
+        }
+    }
+
+    while !remaining.is_empty() {
+        // Phase 1: drain every literal that is ready as a filter/bind.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            let mut i = 0;
+            while i < remaining.len() {
+                let (_, lit) = remaining[i];
+                let step = match lit {
+                    RLit::Eq(a, b) => match (term_bound(a, &bound), term_bound(b, &bound)) {
+                        (true, true) => Some(Step::FilterEq { a: *a, b: *b }),
+                        (true, false) => {
+                            let CTerm::Var(v) = b else { unreachable!() };
+                            Some(Step::BindEq { var: *v, from: *a })
+                        }
+                        (false, true) => {
+                            let CTerm::Var(v) = a else { unreachable!() };
+                            Some(Step::BindEq { var: *v, from: *b })
+                        }
+                        (false, false) => None,
+                    },
+                    RLit::Neq(a, b) if term_bound(a, &bound) && term_bound(b, &bound) => {
+                        Some(Step::FilterNeq { a: *a, b: *b })
+                    }
+                    RLit::Neg { pred, terms }
+                        if terms.iter().all(|t| term_bound(t, &bound)) =>
+                    {
+                        Some(Step::FilterNeg {
+                            pred: *pred,
+                            terms: terms.clone(),
+                        })
+                    }
+                    RLit::Pos { pred, terms }
+                        if terms.iter().all(|t| term_bound(t, &bound)) =>
+                    {
+                        Some(Step::FilterPos {
+                            pred: *pred,
+                            terms: terms.clone(),
+                        })
+                    }
+                    _ => None,
+                };
+                if let Some(s) = step {
+                    if let Step::BindEq { var, .. } = &s {
+                        bound[*var] = true;
+                    }
+                    steps.push(s);
+                    remaining.remove(i);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if remaining.is_empty() {
+            break;
+        }
+
+        // Phase 2: scan the positive atom with the most bound columns
+        // (ties: more constants, then source order).
+        let best = remaining
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, (idx, lit))| match lit {
+                RLit::Pos { pred, terms } => {
+                    let bound_cols = terms.iter().filter(|t| term_bound(t, &bound)).count();
+                    let const_cols = terms
+                        .iter()
+                        .filter(|t| matches!(t, CTerm::Const(_)))
+                        .count();
+                    Some((slot, *idx, *pred, terms.clone(), bound_cols, const_cols))
+                }
+                _ => None,
+            })
+            .max_by_key(|&(_, idx, _, _, bc, cc)| (bc, cc, std::cmp::Reverse(idx)));
+
+        if let Some((slot, _, pred, terms, _, _)) = best {
+            let key_cols: Vec<usize> = terms
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| term_bound(t, &bound))
+                .map(|(c, _)| c)
+                .collect();
+            for t in &terms {
+                if let CTerm::Var(v) = t {
+                    bound[*v] = true;
+                }
+            }
+            steps.push(Step::Scan {
+                pred,
+                source: Source::Full,
+                terms,
+                key_cols,
+            });
+            remaining.remove(slot);
+            continue;
+        }
+
+        // Phase 3: only negations / inequalities / var-var equalities with
+        // unbound variables remain. Ground the smallest-numbered unbound
+        // variable over the universe and retry.
+        let next_var = remaining
+            .iter()
+            .flat_map(|(_, l)| l.vars())
+            .filter(|&v| !bound[v])
+            .min()
+            .expect("unready literals must mention an unbound variable");
+        steps.push(Step::Domain { var: next_var });
+        bound[next_var] = true;
+    }
+
+    // Head variables never bound by the body range over the universe.
+    for t in &head {
+        if let CTerm::Var(v) = t {
+            if !bound[*v] {
+                steps.push(Step::Domain { var: *v });
+                bound[*v] = true;
+            }
+        }
+    }
+
+    Plan {
+        steps,
+        head,
+        num_vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: PredRef = PredRef::Edb(0);
+    const T: PredRef = PredRef::Idb(0);
+
+    fn v(i: usize) -> CTerm {
+        CTerm::Var(i)
+    }
+
+    #[test]
+    fn pi1_plan_scans_then_filters() {
+        // T(x) <- E(y,x), !T(y): scan E, then the negation is a filter.
+        let body = vec![
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(1), v(0)],
+            },
+            RLit::Neg {
+                pred: T,
+                terms: vec![v(1)],
+            },
+        ];
+        let p = plan_rule(vec![v(0)], &body, 2, None);
+        assert_eq!(p.steps.len(), 2);
+        assert!(matches!(p.steps[0], Step::Scan { pred: PredRef::Edb(0), .. }));
+        assert!(matches!(p.steps[1], Step::FilterNeg { .. }));
+    }
+
+    #[test]
+    fn toggle_rule_gets_domain_steps() {
+        // T(z) <- !Q(u), !T(w): all three variables need Domain steps.
+        let q = PredRef::Idb(1);
+        let body = vec![
+            RLit::Neg {
+                pred: q,
+                terms: vec![v(1)],
+            },
+            RLit::Neg {
+                pred: T,
+                terms: vec![v(2)],
+            },
+        ];
+        let p = plan_rule(vec![v(0)], &body, 3, None);
+        let domains = p
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Domain { .. }))
+            .count();
+        assert_eq!(domains, 3);
+        // Filters come after the Domain step binding their variable.
+        let first_filter = p
+            .steps
+            .iter()
+            .position(|s| matches!(s, Step::FilterNeg { .. }))
+            .unwrap();
+        assert!(first_filter >= 1);
+    }
+
+    #[test]
+    fn equality_binds_instead_of_domain() {
+        // P(y) <- V(x), x = y.
+        let vp = PredRef::Edb(1);
+        let body = vec![
+            RLit::Pos {
+                pred: vp,
+                terms: vec![v(0)],
+            },
+            RLit::Eq(v(0), v(1)),
+        ];
+        let p = plan_rule(vec![v(1)], &body, 2, None);
+        assert!(p.steps.iter().any(|s| matches!(s, Step::BindEq { var: 1, .. })));
+        assert!(!p.steps.iter().any(|s| matches!(s, Step::Domain { .. })));
+    }
+
+    #[test]
+    fn second_scan_uses_bound_key_cols() {
+        // S(x,y) <- E(x,z), S(z,y): after scanning E, S's first column is a key.
+        let s = PredRef::Idb(0);
+        let body = vec![
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(0), v(2)],
+            },
+            RLit::Pos {
+                pred: s,
+                terms: vec![v(2), v(1)],
+            },
+        ];
+        let p = plan_rule(vec![v(0), v(1)], &body, 3, None);
+        match &p.steps[1] {
+            Step::Scan { key_cols, .. } => assert_eq!(key_cols, &vec![0]),
+            other => panic!("expected scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_plan_scans_delta_first() {
+        let s = PredRef::Idb(0);
+        let body = vec![
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(0), v(2)],
+            },
+            RLit::Pos {
+                pred: s,
+                terms: vec![v(2), v(1)],
+            },
+        ];
+        let p = plan_rule(vec![v(0), v(1)], &body, 3, Some(1));
+        match &p.steps[0] {
+            Step::Scan { source, pred, .. } => {
+                assert_eq!(*source, Source::Delta);
+                assert_eq!(*pred, s);
+            }
+            other => panic!("expected delta scan, got {other:?}"),
+        }
+        // The E atom is now keyed on its second column (bound by the delta).
+        match &p.steps[1] {
+            Step::Scan { key_cols, .. } => assert_eq!(key_cols, &vec![1]),
+            other => panic!("expected scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fact_head_variables_get_domains() {
+        // G(z, c) <- .  : z ranges over the universe.
+        let p = plan_rule(vec![v(0), CTerm::Const(inflog_core::Const(1))], &[], 1, None);
+        assert_eq!(p.steps.len(), 1);
+        assert!(matches!(p.steps[0], Step::Domain { var: 0 }));
+    }
+
+    #[test]
+    fn var_var_equality_with_no_bindings() {
+        // P(x) <- x = y (both unbound): Domain then BindEq.
+        let body = vec![RLit::Eq(v(0), v(1))];
+        let p = plan_rule(vec![v(0)], &body, 2, None);
+        assert!(matches!(p.steps[0], Step::Domain { .. }));
+        assert!(matches!(p.steps[1], Step::BindEq { .. }));
+    }
+
+    #[test]
+    fn all_bound_positive_atom_becomes_filter() {
+        // P(x) <- E(x, x), E(x, x) — the second occurrence is a filter.
+        let body = vec![
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(0), v(0)],
+            },
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(0), v(0)],
+            },
+        ];
+        let p = plan_rule(vec![v(0)], &body, 1, None);
+        let scans = p
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Scan { .. }))
+            .count();
+        let filters = p
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::FilterPos { .. }))
+            .count();
+        assert_eq!((scans, filters), (1, 1));
+    }
+
+    #[test]
+    fn neq_filter_after_binding() {
+        let body = vec![
+            RLit::Neq(v(0), v(1)),
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(0), v(1)],
+            },
+        ];
+        let p = plan_rule(vec![v(0)], &body, 2, None);
+        assert!(matches!(p.steps[0], Step::Scan { .. }));
+        assert!(matches!(p.steps[1], Step::FilterNeq { .. }));
+    }
+}

@@ -1,0 +1,377 @@
+//! Name resolution: from a syntactic [`Program`] and a [`Database`] to a
+//! [`CompiledProgram`] of dense predicate ids and execution plans.
+
+use crate::error::EvalError;
+use crate::interp::Interp;
+use crate::plan::{plan_rule, CTerm, Plan, PredRef, RLit};
+use crate::Result;
+use inflog_core::{Database, Relation};
+use inflog_syntax::{Atom, Literal, Program, Term};
+use std::collections::HashMap;
+
+/// One compiled rule: the full plan plus one delta plan per positive IDB
+/// atom occurrence (for semi-naive evaluation).
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// IDB id of the head predicate.
+    pub head_pred: usize,
+    /// Resolved head terms.
+    pub head_terms: Vec<CTerm>,
+    /// Resolved body literals (source order) — program grounding re-plans
+    /// these with the IDB part held symbolic.
+    pub body: Vec<RLit>,
+    /// Number of variable slots in the rule.
+    pub num_vars: usize,
+    /// Plan evaluating the whole body.
+    pub full_plan: Plan,
+    /// Delta plans, one per positive IDB atom occurrence in the body.
+    pub delta_plans: Vec<Plan>,
+    /// Whether the body contains at least one positive IDB atom. Rules
+    /// without one can fire new derivations only in the first round of an
+    /// inflationary/semi-naive iteration (their body truth only decays as
+    /// the IDB relations grow).
+    pub has_pos_idb: bool,
+    /// Index of the source rule in the original program.
+    pub src_index: usize,
+}
+
+/// A program compiled against a database universe: dense IDB/EDB ids,
+/// resolved constants, and per-rule plans.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// IDB predicate names, by IDB id (sorted by name — deterministic).
+    pub idb_names: Vec<String>,
+    /// IDB arities, by IDB id.
+    pub idb_arities: Vec<usize>,
+    /// EDB predicate names, by EDB id.
+    pub edb_names: Vec<String>,
+    /// EDB arities, by EDB id.
+    pub edb_arities: Vec<usize>,
+    /// Compiled rules in source order.
+    pub rules: Vec<CompiledRule>,
+    idb_index: HashMap<String, usize>,
+}
+
+impl CompiledProgram {
+    /// Compiles `program` against `db`'s universe and relations.
+    ///
+    /// # Errors
+    /// * [`EvalError::ArityMismatch`] — predicate used with two arities, or
+    ///   a program arity conflicting with the database relation's;
+    /// * [`EvalError::UnknownConstant`] — a program constant missing from the
+    ///   database universe.
+    pub fn compile(program: &Program, db: &Database) -> Result<Self> {
+        // Classify predicates and fix arities.
+        let idb_set = program.idb_predicates();
+        let edb_set = program.edb_predicates();
+        let arities = check_arities(program)?;
+
+        let idb_names: Vec<String> = idb_set.into_iter().collect();
+        let edb_names: Vec<String> = edb_set.into_iter().collect();
+        let idb_index: HashMap<String, usize> = idb_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let edb_index: HashMap<String, usize> = edb_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let idb_arities: Vec<usize> = idb_names.iter().map(|n| arities[n]).collect();
+        let edb_arities: Vec<usize> = edb_names.iter().map(|n| arities[n]).collect();
+
+        // EDB arities must agree with the database where present.
+        for (name, &arity) in edb_names.iter().zip(&edb_arities) {
+            if let Some(r) = db.relation(name) {
+                if r.arity() != arity {
+                    return Err(EvalError::ArityMismatch {
+                        predicate: name.clone(),
+                        expected: r.arity(),
+                        found: arity,
+                    });
+                }
+            }
+        }
+
+        // Per-rule compilation.
+        let mut rules = Vec::with_capacity(program.rules.len());
+        for (src_index, rule) in program.rules.iter().enumerate() {
+            // Variable slots in first-occurrence order.
+            let var_names = rule.variables();
+            let var_slot: HashMap<&str, usize> = var_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), i))
+                .collect();
+            let num_vars = var_names.len();
+
+            let cterm = |t: &Term| -> Result<CTerm> {
+                match t {
+                    Term::Var(v) => Ok(CTerm::Var(var_slot[v.as_str()])),
+                    Term::Const(c) => match db.universe().lookup(c) {
+                        Some(k) => Ok(CTerm::Const(k)),
+                        None => Err(EvalError::UnknownConstant { name: c.clone() }),
+                    },
+                }
+            };
+            let catom = |a: &Atom| -> Result<(PredRef, Vec<CTerm>)> {
+                let pred = match idb_index.get(&a.predicate) {
+                    Some(&i) => PredRef::Idb(i),
+                    None => PredRef::Edb(edb_index[&a.predicate]),
+                };
+                let terms: Result<Vec<CTerm>> = a.terms.iter().map(&cterm).collect();
+                Ok((pred, terms?))
+            };
+
+            let head_pred = idb_index[&rule.head.predicate];
+            let head_terms: Result<Vec<CTerm>> = rule.head.terms.iter().map(&cterm).collect();
+            let head_terms = head_terms?;
+
+            let mut body = Vec::with_capacity(rule.body.len());
+            for lit in &rule.body {
+                body.push(match lit {
+                    Literal::Pos(a) => {
+                        let (pred, terms) = catom(a)?;
+                        RLit::Pos { pred, terms }
+                    }
+                    Literal::Neg(a) => {
+                        let (pred, terms) = catom(a)?;
+                        RLit::Neg { pred, terms }
+                    }
+                    Literal::Eq(s, t) => RLit::Eq(cterm(s)?, cterm(t)?),
+                    Literal::Neq(s, t) => RLit::Neq(cterm(s)?, cterm(t)?),
+                });
+            }
+
+            let full_plan = plan_rule(head_terms.clone(), &body, num_vars, None);
+            let pos_idb_lits: Vec<usize> = body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| matches!(l, RLit::Pos { pred: PredRef::Idb(_), .. }))
+                .map(|(i, _)| i)
+                .collect();
+            let delta_plans: Vec<Plan> = pos_idb_lits
+                .iter()
+                .map(|&i| plan_rule(head_terms.clone(), &body, num_vars, Some(i)))
+                .collect();
+
+            rules.push(CompiledRule {
+                head_pred,
+                head_terms,
+                num_vars,
+                full_plan,
+                has_pos_idb: !pos_idb_lits.is_empty(),
+                delta_plans,
+                src_index,
+                body,
+            });
+        }
+
+        Ok(CompiledProgram {
+            idb_names,
+            idb_arities,
+            edb_names,
+            edb_arities,
+            rules,
+            idb_index,
+        })
+    }
+
+    /// Number of IDB predicates.
+    pub fn num_idb(&self) -> usize {
+        self.idb_names.len()
+    }
+
+    /// IDB id of a predicate name.
+    pub fn idb_id(&self, name: &str) -> Option<usize> {
+        self.idb_index.get(name).copied()
+    }
+
+    /// The all-empty interpretation (the iteration start Θ⁰ = Θ(∅) begins
+    /// from this).
+    pub fn empty_interp(&self) -> Interp {
+        Interp::empty(&self.idb_arities)
+    }
+
+    /// The full interpretation `(A^{k_1}, ..., A^{k_m})`.
+    pub fn full_interp(&self, universe_size: usize) -> Interp {
+        Interp::full(universe_size, &self.idb_arities)
+    }
+
+    /// Materializes the EDB relations from the database (absent relations
+    /// are empty at the program's declared arity).
+    ///
+    /// # Errors
+    /// Propagates arity conflicts between program and database.
+    pub fn edb_relations(&self, db: &Database) -> Result<Vec<Relation>> {
+        self.edb_names
+            .iter()
+            .zip(&self.edb_arities)
+            .map(|(name, &arity)| match db.relation(name) {
+                Some(r) if r.arity() == arity => Ok(r.clone()),
+                Some(r) => Err(EvalError::ArityMismatch {
+                    predicate: name.clone(),
+                    expected: r.arity(),
+                    found: arity,
+                }),
+                None => Ok(Relation::new(arity)),
+            })
+            .collect()
+    }
+
+    /// Renders an interpretation with this program's IDB names and the
+    /// database universe's constant names.
+    pub fn display_interp(&self, interp: &Interp, db: &Database) -> String {
+        let mut out = String::new();
+        for (i, name) in self.idb_names.iter().enumerate() {
+            let rows: Vec<String> = interp
+                .get(i)
+                .sorted()
+                .iter()
+                .map(|t| t.display_with(|c| db.universe().display(c)))
+                .collect();
+            out.push_str(&format!("{name} = {{{}}}\n", rows.join(", ")));
+        }
+        out
+    }
+}
+
+/// Checks that every predicate is used with one arity program-wide.
+fn check_arities(program: &Program) -> Result<HashMap<String, usize>> {
+    let mut arities: HashMap<String, usize> = HashMap::new();
+    let mut check = |a: &Atom| -> Result<()> {
+        match arities.get(&a.predicate) {
+            Some(&k) if k != a.arity() => Err(EvalError::ArityMismatch {
+                predicate: a.predicate.clone(),
+                expected: k,
+                found: a.arity(),
+            }),
+            Some(_) => Ok(()),
+            None => {
+                arities.insert(a.predicate.clone(), a.arity());
+                Ok(())
+            }
+        }
+    };
+    for rule in &program.rules {
+        check(&rule.head)?;
+        for lit in &rule.body {
+            if let Some(a) = lit.atom() {
+                check(a)?;
+            }
+        }
+    }
+    Ok(arities)
+}
+
+/// Interns every constant mentioned by `program` into `db`'s universe, so
+/// that compilation cannot fail with `UnknownConstant`.
+///
+/// Use when the program (not the data) introduces constants — e.g. the
+/// Theorem 4 construction over the binary domain `{0, 1}`.
+pub fn ensure_program_constants(db: &mut Database, program: &Program) {
+    for c in program.constants() {
+        db.universe_mut().intern(&c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_core::graphs::DiGraph;
+    use inflog_syntax::parse_program;
+
+    fn compile(src: &str, db: &Database) -> CompiledProgram {
+        CompiledProgram::compile(&parse_program(src).unwrap(), db).unwrap()
+    }
+
+    #[test]
+    fn compile_pi1() {
+        let db = DiGraph::path(3).to_database("E");
+        let cp = compile("T(x) :- E(y, x), !T(y).", &db);
+        assert_eq!(cp.idb_names, vec!["T"]);
+        assert_eq!(cp.edb_names, vec!["E"]);
+        assert_eq!(cp.idb_arities, vec![1]);
+        assert_eq!(cp.rules.len(), 1);
+        assert!(!cp.rules[0].has_pos_idb);
+        assert!(cp.rules[0].delta_plans.is_empty());
+    }
+
+    #[test]
+    fn compile_tc_has_delta_plans() {
+        let db = DiGraph::path(3).to_database("E");
+        let cp = compile("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).", &db);
+        assert!(!cp.rules[0].has_pos_idb);
+        assert!(cp.rules[1].has_pos_idb);
+        assert_eq!(cp.rules[1].delta_plans.len(), 1);
+    }
+
+    #[test]
+    fn idb_ids_sorted_by_name() {
+        let db = DiGraph::path(2).to_database("E");
+        let cp = compile(
+            "Z(x) :- E(x, y). A(x) :- E(x, y). M(x) :- A(x), Z(x).",
+            &db,
+        );
+        assert_eq!(cp.idb_names, vec!["A", "M", "Z"]);
+        assert_eq!(cp.idb_id("M"), Some(1));
+        assert_eq!(cp.idb_id("E"), None);
+    }
+
+    #[test]
+    fn unknown_constant_errors() {
+        let db = DiGraph::path(2).to_database("E");
+        let p = parse_program("T(x) :- E(x, y), y = '9'.").unwrap();
+        let err = CompiledProgram::compile(&p, &db).unwrap_err();
+        assert!(matches!(err, EvalError::UnknownConstant { .. }));
+    }
+
+    #[test]
+    fn ensure_constants_interns() {
+        let mut db = DiGraph::path(2).to_database("E");
+        let p = parse_program("T(x) :- E(x, y), y = 'extra'.").unwrap();
+        ensure_program_constants(&mut db, &p);
+        assert!(CompiledProgram::compile(&p, &db).is_ok());
+        assert!(db.universe().lookup("extra").is_some());
+    }
+
+    #[test]
+    fn program_arity_conflict_errors() {
+        let db = Database::new();
+        let p = parse_program("T(x) :- E(x). T(x) :- E(x, y).").unwrap();
+        assert!(matches!(
+            CompiledProgram::compile(&p, &db),
+            Err(EvalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn database_arity_conflict_errors() {
+        let mut db = Database::new();
+        db.insert_named_fact("E", &["a"]).unwrap(); // E/1 in the database
+        let p = parse_program("T(x) :- E(x, y).").unwrap(); // E/2 in the program
+        assert!(matches!(
+            CompiledProgram::compile(&p, &db),
+            Err(EvalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn absent_edb_is_empty() {
+        let db = Database::new();
+        let cp = compile("T(x) :- E(x, y).", &db);
+        let edb = cp.edb_relations(&db).unwrap();
+        assert_eq!(edb.len(), 1);
+        assert!(edb[0].is_empty());
+        assert_eq!(edb[0].arity(), 2);
+    }
+
+    #[test]
+    fn empty_and_full_interp() {
+        let db = DiGraph::path(3).to_database("E");
+        let cp = compile("T(x) :- E(y, x), !T(y).", &db);
+        assert!(cp.empty_interp().all_empty());
+        assert_eq!(cp.full_interp(db.universe_size()).total_tuples(), 3);
+    }
+}

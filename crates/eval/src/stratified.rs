@@ -1,0 +1,294 @@
+//! Stratified semantics (Chandra–Harel; Apt–Blair–Walker; Van Gelder).
+//!
+//! The paper's introduction recalls this semantics as the established
+//! treatment of negation that *does not cover all programs*: relation
+//! symbols are divided into layers and a relation may be used negatively
+//! only by strictly higher layers. §4 then shows the distance-query program
+//! is stratified yet its stratified meaning *differs* from its inflationary
+//! meaning — experiment E8 reproduces that divergence.
+//!
+//! [`stratify`] computes strata (or a recursion-through-negation witness);
+//! [`stratified_eval`] evaluates stratum by stratum, bottom-up. Within a
+//! stratum, negated IDB atoms refer only to lower (already fixed) strata, so
+//! the per-stratum operator is monotone and its least fixpoint is reached by
+//! accumulating iteration (semi-naive after the first round).
+
+use crate::error::EvalError;
+use crate::interp::Interp;
+use crate::operator::{apply_delta, apply_subset, EvalContext};
+use crate::resolve::CompiledProgram;
+use crate::trace::EvalTrace;
+use crate::Result;
+use inflog_core::Database;
+use inflog_syntax::{Literal, Program};
+use std::collections::BTreeMap;
+
+/// A stratification: stratum index per IDB predicate, plus rule grouping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stratification {
+    /// Stratum of each IDB predicate, by name.
+    pub strata: BTreeMap<String, usize>,
+    /// Number of strata.
+    pub num_strata: usize,
+}
+
+impl Stratification {
+    /// Stratum of a predicate (0 for EDB/unknown predicates).
+    pub fn stratum(&self, pred: &str) -> usize {
+        self.strata.get(pred).copied().unwrap_or(0)
+    }
+}
+
+/// Computes a stratification, or fails with a recursion-through-negation
+/// witness.
+///
+/// Uses the classic label-correcting iteration: `stratum(P) >= stratum(Q)`
+/// for positive body IDB atoms `Q`, `stratum(P) > stratum(Q)` for negated
+/// ones; a label exceeding the number of IDB predicates certifies a negative
+/// cycle.
+///
+/// # Errors
+/// [`EvalError::NotStratified`] when the program has recursion through
+/// negation (like the paper's `T(z) <- !Q(u), !T(w)` rule).
+pub fn stratify(program: &Program) -> Result<Stratification> {
+    let idb = program.idb_predicates();
+    let n = idb.len();
+    let mut strata: BTreeMap<String, usize> = idb.iter().map(|p| (p.clone(), 0)).collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in &program.rules {
+            let head = &rule.head.predicate;
+            let mut head_stratum = strata[head];
+            for lit in &rule.body {
+                let Some(atom) = lit.atom() else { continue };
+                let Some(&body_stratum) = strata.get(&atom.predicate) else {
+                    continue; // EDB: stratum 0
+                };
+                let required = match lit {
+                    Literal::Pos(_) => body_stratum,
+                    Literal::Neg(_) => body_stratum + 1,
+                    _ => unreachable!("atom() returned Some for eq literal"),
+                };
+                if required > head_stratum {
+                    head_stratum = required;
+                    if head_stratum > n {
+                        return Err(EvalError::NotStratified {
+                            witness: format!(
+                                "negative cycle through `{}` (rule: {rule})",
+                                atom.predicate
+                            ),
+                        });
+                    }
+                }
+            }
+            if head_stratum > strata[head] {
+                strata.insert(head.clone(), head_stratum);
+                changed = true;
+            }
+        }
+    }
+
+    let num_strata = strata.values().copied().max().map_or(0, |m| m + 1);
+    Ok(Stratification { strata, num_strata })
+}
+
+/// Evaluates a stratified program bottom-up; returns the perfect model.
+///
+/// # Errors
+/// [`EvalError::NotStratified`] or compilation errors.
+pub fn stratified_eval(program: &Program, db: &Database) -> Result<(Interp, EvalTrace)> {
+    let strat = stratify(program)?;
+    let cp = CompiledProgram::compile(program, db)?;
+    let ctx = EvalContext::new(&cp, db)?;
+    Ok(stratified_eval_compiled(&cp, &ctx, &strat, program))
+}
+
+/// Stratified evaluation over a compiled program.
+pub fn stratified_eval_compiled(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    strat: &Stratification,
+    program: &Program,
+) -> (Interp, EvalTrace) {
+    let mut trace = EvalTrace::default();
+    let mut s = cp.empty_interp();
+
+    // Group rule indices by the stratum of their head predicate.
+    let mut rules_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); strat.num_strata];
+    for (i, rule) in program.rules.iter().enumerate() {
+        rules_by_stratum[strat.stratum(&rule.head.predicate)].push(i);
+    }
+
+    for rules in &rules_by_stratum {
+        if rules.is_empty() {
+            continue;
+        }
+        // First round of this stratum: full application, accumulate.
+        let derived = apply_subset(cp, ctx, &s, rules);
+        let mut delta = derived.difference(&s);
+        let added = s.union_with(&delta);
+        if added > 0 {
+            trace.record_round(added);
+        }
+        // Then semi-naive rounds until the stratum stabilizes. Within the
+        // stratum the operator is monotone (negations see lower strata
+        // only), so delta iteration computes its least fixpoint.
+        while delta.total_tuples() > 0 {
+            let derived = apply_delta(cp, ctx, &s, &delta, Some(rules));
+            let new = derived.difference(&s);
+            if new.total_tuples() == 0 {
+                break;
+            }
+            trace.record_round(new.total_tuples());
+            s.union_with(&new);
+            delta = new;
+        }
+    }
+
+    trace.final_tuples = s.total_tuples();
+    (s, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::least_fixpoint_naive;
+    use crate::operator::apply;
+    use inflog_core::graphs::DiGraph;
+    use inflog_core::Tuple;
+    use inflog_syntax::parse_program;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positive_program_is_single_stratum() {
+        let p = parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).").unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.num_strata, 1);
+        assert_eq!(s.stratum("S"), 0);
+    }
+
+    #[test]
+    fn negation_on_lower_stratum_ok() {
+        let p = parse_program(
+            "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.num_strata, 2);
+        assert_eq!(s.stratum("S"), 0);
+        assert_eq!(s.stratum("C"), 1);
+    }
+
+    #[test]
+    fn pi1_is_not_stratified() {
+        // T uses itself negatively: recursion through negation.
+        let p = parse_program("T(x) :- E(y, x), !T(y).").unwrap();
+        assert!(matches!(
+            stratify(&p),
+            Err(EvalError::NotStratified { .. })
+        ));
+    }
+
+    #[test]
+    fn mutual_negative_recursion_rejected() {
+        let p = parse_program("A(x) :- V(x), !B(x). B(x) :- V(x), !A(x).").unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn paper_distance_program_has_two_strata() {
+        // §4's remark: the distance program is stratified with two strata.
+        let src = "
+            S1(x, y) :- E(x, y).
+            S1(x, y) :- E(x, z), S1(z, y).
+            S2(x, y) :- E(x, y).
+            S2(x, y) :- E(x, z), S2(z, y).
+            S3(x, y, u, v) :- E(x, y), !S2(u, v).
+            S3(x, y, u, v) :- E(x, z), S1(z, y), !S2(u, v).
+        ";
+        let p = parse_program(src).unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.num_strata, 2);
+        assert_eq!(s.stratum("S1"), 0);
+        assert_eq!(s.stratum("S2"), 0);
+        assert_eq!(s.stratum("S3"), 1);
+    }
+
+    #[test]
+    fn stratified_matches_naive_on_positive_programs() {
+        let p = parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).").unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..6 {
+            let db = DiGraph::random_gnp(7, 0.3, &mut rng).to_database("E");
+            let (a, _) = least_fixpoint_naive(&p, &db).unwrap();
+            let (b, _) = stratified_eval(&p, &db).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn complement_of_tc() {
+        // §5 hierarchy: TC-complement is stratified but not DATALOG.
+        let src = "
+            S(x, y) :- E(x, y).
+            S(x, y) :- E(x, z), S(z, y).
+            C(x, y) :- !S(x, y).
+        ";
+        let p = parse_program(src).unwrap();
+        let g = DiGraph::path(3);
+        let db = g.to_database("E");
+        let (m, _) = stratified_eval(&p, &db).unwrap();
+        let cp = CompiledProgram::compile(&p, &db).unwrap();
+        let cid = cp.idb_id("C").unwrap();
+        let tc = g.transitive_closure();
+        for u in 0..3u32 {
+            for v in 0..3u32 {
+                let t = Tuple::from_ids(&[u, v]);
+                assert_eq!(m.get(cid).contains(&t), !tc.contains(&(u, v)), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_model_is_a_supported_model() {
+        // The stratified (perfect) model is a fixpoint of Θ — the bridge
+        // between the paper's fixpoints and stratified semantics.
+        let src = "
+            S(x, y) :- E(x, y).
+            S(x, y) :- E(x, z), S(z, y).
+            C(x, y) :- !S(x, y).
+        ";
+        let p = parse_program(src).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let db = DiGraph::random_gnp(5, 0.35, &mut rng).to_database("E");
+            let (m, _) = stratified_eval(&p, &db).unwrap();
+            let cp = CompiledProgram::compile(&p, &db).unwrap();
+            let ctx = EvalContext::new(&cp, &db).unwrap();
+            assert_eq!(apply(&cp, &ctx, &m), m);
+        }
+    }
+
+    #[test]
+    fn three_strata_chain() {
+        let src = "
+            A(x) :- V(x).
+            B(x) :- V(x), !A(x).
+            C(x) :- V(x), !B(x).
+        ";
+        let p = parse_program(src).unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.num_strata, 3);
+        let mut db = inflog_core::Database::new();
+        db.insert_named_fact("V", &["a"]).unwrap();
+        let (m, _) = stratified_eval(&p, &db).unwrap();
+        let cp = CompiledProgram::compile(&p, &db).unwrap();
+        // A = {a}; B = ∅ (a ∈ A); C = {a} (a ∉ B).
+        assert_eq!(m.get(cp.idb_id("A").unwrap()).len(), 1);
+        assert_eq!(m.get(cp.idb_id("B").unwrap()).len(), 0);
+        assert_eq!(m.get(cp.idb_id("C").unwrap()).len(), 1);
+    }
+}

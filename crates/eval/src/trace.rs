@@ -1,0 +1,66 @@
+//! Evaluation traces: per-round statistics for the experiment tables.
+//!
+//! §4 of the paper bounds the inflationary iteration by `n_0 <= |A|^k`
+//! rounds; experiment E6 tabulates actual round counts against that bound,
+//! which is what this trace records.
+
+use std::fmt;
+
+/// Statistics from one fixpoint iteration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalTrace {
+    /// Number of rounds executed until stabilization (the round that
+    /// discovers no change is not counted).
+    pub rounds: usize,
+    /// Tuples newly added in each round.
+    pub added_per_round: Vec<usize>,
+    /// Total tuples in the final interpretation.
+    pub final_tuples: usize,
+}
+
+impl EvalTrace {
+    /// Records a round that added `added` tuples.
+    pub fn record_round(&mut self, added: usize) {
+        self.rounds += 1;
+        self.added_per_round.push(added);
+    }
+
+    /// Total tuples derived across rounds (equals `final_tuples` for
+    /// inflationary evaluation).
+    pub fn total_added(&self) -> usize {
+        self.added_per_round.iter().sum()
+    }
+}
+
+impl fmt::Display for EvalTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} tuples ({:?} per round)",
+            self.rounds, self.final_tuples, self.added_per_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut t = EvalTrace::default();
+        t.record_round(5);
+        t.record_round(3);
+        t.record_round(0);
+        assert_eq!(t.rounds, 3);
+        assert_eq!(t.total_added(), 8);
+    }
+
+    #[test]
+    fn display() {
+        let mut t = EvalTrace::default();
+        t.record_round(2);
+        t.final_tuples = 2;
+        assert_eq!(t.to_string(), "1 rounds, 2 tuples ([2] per round)");
+    }
+}

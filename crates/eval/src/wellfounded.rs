@@ -1,0 +1,198 @@
+//! Well-founded semantics via Van Gelder's alternating fixpoint.
+//!
+//! An extension beyond the paper's text: the negation-semantics landscape the
+//! paper's introduction surveys (negation as failure, stratified semantics)
+//! developed into the well-founded semantics, which — like Inflationary
+//! DATALOG — assigns a meaning to *every* DATALOG¬ program, but a 3-valued
+//! one. Experiment E9 compares all the semantics side by side.
+//!
+//! Construction: let `Γ(J)` be the least fixpoint of the *positivized*
+//! operator in which negative IDB literals are evaluated against the fixed
+//! interpretation `J`. `Γ` is antimonotone, so `Γ²` is monotone:
+//!
+//! * true facts `T*` = least fixpoint of `Γ²` (iterate `T_{k+1} = Γ(Γ(T_k))`
+//!   from ∅);
+//! * possible facts `U*` = `Γ(T*)` (the greatest fixpoint of `Γ²`);
+//! * undefined = `U* \ T*`; false = everything else.
+//!
+//! For stratified programs the result is total (no undefined facts) and
+//! coincides with the perfect model.
+
+use crate::interp::Interp;
+use crate::operator::{apply_with_neg, EvalContext};
+use crate::resolve::CompiledProgram;
+use crate::Result;
+use inflog_core::Database;
+use inflog_syntax::Program;
+
+/// The 3-valued well-founded model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WellFoundedModel {
+    /// Facts true in the well-founded model (`T*`).
+    pub true_facts: Interp,
+    /// Facts undefined in the well-founded model (`U* \ T*`).
+    pub undefined: Interp,
+    /// Number of alternating iterations until `Γ²` stabilized.
+    pub alternations: usize,
+}
+
+impl WellFoundedModel {
+    /// Whether the model is total (two-valued).
+    pub fn is_total(&self) -> bool {
+        self.undefined.total_tuples() == 0
+    }
+}
+
+/// Computes the well-founded model.
+///
+/// # Errors
+/// Compilation errors only — the well-founded semantics is total on
+/// programs.
+pub fn well_founded(program: &Program, db: &Database) -> Result<WellFoundedModel> {
+    let cp = CompiledProgram::compile(program, db)?;
+    let ctx = EvalContext::new(&cp, db)?;
+    Ok(well_founded_compiled(&cp, &ctx))
+}
+
+/// Computes the well-founded model over a compiled program.
+pub fn well_founded_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> WellFoundedModel {
+    let mut t = cp.empty_interp();
+    let mut alternations = 0;
+    loop {
+        let u = gamma(cp, ctx, &t);
+        let t_next = gamma(cp, ctx, &u);
+        alternations += 1;
+        if t_next == t {
+            return WellFoundedModel {
+                undefined: u.difference(&t),
+                true_facts: t,
+                alternations,
+            };
+        }
+        t = t_next;
+    }
+}
+
+/// `Γ(J)`: the least fixpoint of the operator with negations frozen at `J`.
+fn gamma(cp: &CompiledProgram, ctx: &EvalContext, j: &Interp) -> Interp {
+    let mut s = cp.empty_interp();
+    loop {
+        let derived = apply_with_neg(cp, ctx, &s, j);
+        let added = s.union_with(&derived);
+        if added == 0 {
+            return s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stratified::stratified_eval;
+    use inflog_core::graphs::DiGraph;
+    use inflog_core::Tuple;
+    use inflog_syntax::parse_program;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positive_program_total_and_least() {
+        let p = parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).").unwrap();
+        let db = DiGraph::path(4).to_database("E");
+        let wf = well_founded(&p, &db).unwrap();
+        assert!(wf.is_total());
+        let (lfp, _) = crate::naive::least_fixpoint_naive(&p, &db).unwrap();
+        assert_eq!(wf.true_facts, lfp);
+    }
+
+    #[test]
+    fn coincides_with_stratified_on_stratified_programs() {
+        let src = "
+            S(x, y) :- E(x, y).
+            S(x, y) :- E(x, z), S(z, y).
+            C(x, y) :- !S(x, y).
+        ";
+        let p = parse_program(src).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let db = DiGraph::random_gnp(5, 0.3, &mut rng).to_database("E");
+            let wf = well_founded(&p, &db).unwrap();
+            let (perfect, _) = stratified_eval(&p, &db).unwrap();
+            assert!(wf.is_total());
+            assert_eq!(wf.true_facts, perfect);
+        }
+    }
+
+    #[test]
+    fn mutual_negation_is_undefined() {
+        // A(x) <- V(x), !B(x); B(x) <- V(x), !A(x): classic undefined pair.
+        let p = parse_program("A(x) :- V(x), !B(x). B(x) :- V(x), !A(x).").unwrap();
+        let mut db = inflog_core::Database::new();
+        db.insert_named_fact("V", &["a"]).unwrap();
+        let wf = well_founded(&p, &db).unwrap();
+        assert!(!wf.is_total());
+        assert!(wf.true_facts.all_empty());
+        assert_eq!(wf.undefined.total_tuples(), 2);
+    }
+
+    #[test]
+    fn pi1_on_odd_cycle_all_undefined() {
+        // On C_3 the program pi_1 has no fixpoint; well-founded leaves every
+        // T(v) undefined.
+        let p = parse_program("T(x) :- E(y, x), !T(y).").unwrap();
+        let db = DiGraph::cycle(3).to_database("E");
+        let wf = well_founded(&p, &db).unwrap();
+        assert!(wf.true_facts.all_empty());
+        assert_eq!(wf.undefined.total_tuples(), 3);
+    }
+
+    #[test]
+    fn pi1_on_path_is_total_and_matches_unique_fixpoint() {
+        // On L_n pi_1 has the unique fixpoint {2, 4, ...}; WFS is total
+        // there and computes exactly it.
+        let p = parse_program("T(x) :- E(y, x), !T(y).").unwrap();
+        let db = DiGraph::path(5).to_database("E");
+        let wf = well_founded(&p, &db).unwrap();
+        assert!(wf.is_total());
+        let cp = CompiledProgram::compile(&p, &db).unwrap();
+        let tid = cp.idb_id("T").unwrap();
+        assert_eq!(
+            wf.true_facts.get(tid).sorted(),
+            vec![Tuple::from_ids(&[1]), Tuple::from_ids(&[3])]
+        );
+    }
+
+    #[test]
+    fn even_cycle_undefined_everywhere() {
+        // On C_4, pi_1 has two incomparable fixpoints; the well-founded
+        // model stays agnostic: all of T is undefined.
+        let p = parse_program("T(x) :- E(y, x), !T(y).").unwrap();
+        let db = DiGraph::cycle(4).to_database("E");
+        let wf = well_founded(&p, &db).unwrap();
+        assert!(wf.true_facts.all_empty());
+        assert_eq!(wf.undefined.total_tuples(), 4);
+    }
+
+    #[test]
+    fn win_move_game() {
+        // Win(x) <- Move(x,y), !Win(y): the canonical WFS example on a path
+        // v0 -> v1 -> v2: v2 lost (no moves), v1 wins (moves to lost v2),
+        // v0 lost (only move leads to winning v1).
+        let p = parse_program("Win(x) :- Move(x, y), !Win(y).").unwrap();
+        let db = DiGraph::path(3).to_database("Move");
+        let wf = well_founded(&p, &db).unwrap();
+        assert!(wf.is_total());
+        let cp = CompiledProgram::compile(&p, &db).unwrap();
+        let w = cp.idb_id("Win").unwrap();
+        assert_eq!(wf.true_facts.get(w).sorted(), vec![Tuple::from_ids(&[1])]);
+    }
+
+    #[test]
+    fn alternations_are_bounded() {
+        let p = parse_program("Win(x) :- Move(x, y), !Win(y).").unwrap();
+        let db = DiGraph::path(8).to_database("Move");
+        let wf = well_founded(&p, &db).unwrap();
+        // Γ² is monotone on a lattice of height ≤ |A| here.
+        assert!(wf.alternations <= 9, "alternations = {}", wf.alternations);
+    }
+}

@@ -1,0 +1,125 @@
+//! Exhaustive fixpoint enumeration — the SAT-free ground truth.
+//!
+//! Iterates every subset of the potential-tuple space and checks `Θ(S) = S`
+//! with the relational operator. Exponential (`2^{Σ|A|^k}` candidates), so a
+//! hard cap guards against accidental blowups; experiments use it only on
+//! the paper's small worked examples (L_n, C_n, G_n with few copies) and
+//! property tests compare it against the SAT-based analyzer.
+
+use crate::error::FixpointError;
+use crate::ground::GroundProgram;
+use crate::Result;
+use inflog_core::Database;
+use inflog_eval::{apply, CompiledProgram, EvalContext, Interp};
+use inflog_syntax::Program;
+
+/// Enumerates **all** fixpoints of `(program, db)` by exhaustive search.
+///
+/// `cap_bits` bounds the search-space exponent; the default analyzer
+/// experiments pass 20 (≈ one million candidates).
+///
+/// # Errors
+/// * [`FixpointError::SearchSpaceTooLarge`] if `Σ|A|^k > cap_bits`;
+/// * compilation errors.
+pub fn enumerate_fixpoints_brute(
+    program: &Program,
+    db: &Database,
+    cap_bits: usize,
+) -> Result<Vec<Interp>> {
+    let cp = CompiledProgram::compile(program, db)?;
+    let ctx = EvalContext::new(&cp, db)?;
+    let g = GroundProgram::build_compiled(&cp, &ctx);
+    if g.total_tuples > cap_bits {
+        return Err(FixpointError::SearchSpaceTooLarge {
+            tuples: g.total_tuples,
+            cap: cap_bits,
+        });
+    }
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << g.total_tuples) {
+        let bits: Vec<bool> = (0..g.total_tuples).map(|i| mask >> i & 1 == 1).collect();
+        let s = g.bits_to_interp(&bits);
+        if apply(&cp, &ctx, &s) == s {
+            out.push(s);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_core::graphs::DiGraph;
+    use inflog_syntax::parse_program;
+
+    const PI1: &str = "T(x) :- E(y, x), !T(y).";
+
+    #[test]
+    fn paper_table_paths() {
+        // L_n: exactly one fixpoint, the even-position set.
+        for n in 1..=6usize {
+            let db = DiGraph::path(n).to_database("E");
+            let p = parse_program(PI1).unwrap();
+            let fps = enumerate_fixpoints_brute(&p, &db, 20).unwrap();
+            assert_eq!(fps.len(), 1, "L_{n}");
+            assert_eq!(fps[0].total_tuples(), n / 2, "L_{n} fixpoint size");
+        }
+    }
+
+    #[test]
+    fn paper_table_cycles() {
+        // C_n: no fixpoint for odd n, exactly two (incomparable) for even n.
+        for n in 2..=7usize {
+            let db = DiGraph::cycle(n).to_database("E");
+            let p = parse_program(PI1).unwrap();
+            let fps = enumerate_fixpoints_brute(&p, &db, 20).unwrap();
+            if n % 2 == 1 {
+                assert!(fps.is_empty(), "C_{n} must have no fixpoint");
+            } else {
+                assert_eq!(fps.len(), 2, "C_{n} must have two fixpoints");
+                assert!(fps[0].incomparable(&fps[1]), "C_{n}: incomparable");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table_gn() {
+        // G_n = n disjoint copies of C_2: exactly 2^n pairwise incomparable
+        // fixpoints, hence no least fixpoint.
+        for copies in 1..=3usize {
+            let db = DiGraph::disjoint_cycles(copies, 2).to_database("E");
+            let p = parse_program(PI1).unwrap();
+            let fps = enumerate_fixpoints_brute(&p, &db, 20).unwrap();
+            assert_eq!(fps.len(), 1 << copies, "G_{copies}");
+            for i in 0..fps.len() {
+                for j in (i + 1)..fps.len() {
+                    assert!(fps[i].incomparable(&fps[j]), "G_{copies}: {i} vs {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let db = DiGraph::cycle(25).to_database("E");
+        let p = parse_program(PI1).unwrap();
+        assert!(matches!(
+            enumerate_fixpoints_brute(&p, &db, 20),
+            Err(FixpointError::SearchSpaceTooLarge { tuples: 25, cap: 20 })
+        ));
+    }
+
+    #[test]
+    fn positive_program_fixpoints_contain_least() {
+        let src = "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).";
+        let p = parse_program(src).unwrap();
+        let db = DiGraph::path(3).to_database("E");
+        let fps = enumerate_fixpoints_brute(&p, &db, 20).unwrap();
+        assert!(!fps.is_empty());
+        let (lfp, _) = inflog_eval::least_fixpoint_naive(&p, &db).unwrap();
+        assert!(fps.contains(&lfp));
+        for f in &fps {
+            assert!(lfp.is_subset(f), "least fixpoint below all fixpoints");
+        }
+    }
+}

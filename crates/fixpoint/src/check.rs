@@ -1,0 +1,92 @@
+//! Fixpoint checking: is `Θ(S) = S`?
+//!
+//! This is the polynomial-time "verify" half of the paper's NP upper bound
+//! for fixpoint existence.
+
+use crate::Result;
+use inflog_core::Database;
+use inflog_eval::{apply, CompiledProgram, EvalContext, Interp};
+use inflog_syntax::Program;
+
+/// Checks whether `s` is a fixpoint of `(program, db)`.
+///
+/// # Errors
+/// Compilation errors from resolving the program against the database.
+pub fn is_fixpoint(program: &Program, db: &Database, s: &Interp) -> Result<bool> {
+    let cp = CompiledProgram::compile(program, db)?;
+    let ctx = EvalContext::new(&cp, db)?;
+    Ok(is_fixpoint_compiled(&cp, &ctx, s))
+}
+
+/// Checks whether `s` is a fixpoint, over a compiled program.
+pub fn is_fixpoint_compiled(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp) -> bool {
+    apply(cp, ctx, s) == *s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_core::graphs::DiGraph;
+    use inflog_core::Tuple;
+    use inflog_syntax::parse_program;
+
+    const PI1: &str = "T(x) :- E(y, x), !T(y).";
+
+    fn interp_with(cp: &CompiledProgram, pred: &str, ids: &[&[u32]]) -> Interp {
+        let mut s = cp.empty_interp();
+        let idx = cp.idb_id(pred).unwrap();
+        for t in ids {
+            s.insert(idx, Tuple::from_ids(t));
+        }
+        s
+    }
+
+    #[test]
+    fn path_unique_fixpoint() {
+        // L_4 = v0 -> v1 -> v2 -> v3: fixpoint is {v1, v3} ("{2,4}" 1-based).
+        let db = DiGraph::path(4).to_database("E");
+        let p = parse_program(PI1).unwrap();
+        let cp = CompiledProgram::compile(&p, &db).unwrap();
+        let fix = interp_with(&cp, "T", &[&[1], &[3]]);
+        assert!(is_fixpoint(&p, &db, &fix).unwrap());
+        let not_fix = interp_with(&cp, "T", &[&[0], &[2]]);
+        assert!(!is_fixpoint(&p, &db, &not_fix).unwrap());
+    }
+
+    #[test]
+    fn even_cycle_two_fixpoints() {
+        // C_4: exactly the two alternating sets are fixpoints.
+        let db = DiGraph::cycle(4).to_database("E");
+        let p = parse_program(PI1).unwrap();
+        let cp = CompiledProgram::compile(&p, &db).unwrap();
+        assert!(is_fixpoint(&p, &db, &interp_with(&cp, "T", &[&[0], &[2]])).unwrap());
+        assert!(is_fixpoint(&p, &db, &interp_with(&cp, "T", &[&[1], &[3]])).unwrap());
+        assert!(!is_fixpoint(&p, &db, &interp_with(&cp, "T", &[&[0], &[1]])).unwrap());
+        assert!(!is_fixpoint(&p, &db, &cp.empty_interp()).unwrap());
+    }
+
+    #[test]
+    fn odd_cycle_candidates_all_fail() {
+        // C_3: the paper proves no fixpoint exists; spot-check all 8 subsets.
+        let db = DiGraph::cycle(3).to_database("E");
+        let p = parse_program(PI1).unwrap();
+        let cp = CompiledProgram::compile(&p, &db).unwrap();
+        for bits in 0u32..8 {
+            let mut s = cp.empty_interp();
+            for v in 0..3u32 {
+                if bits >> v & 1 == 1 {
+                    s.insert(0, Tuple::from_ids(&[v]));
+                }
+            }
+            assert!(!is_fixpoint(&p, &db, &s).unwrap(), "bits = {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn positive_program_least_fixpoint_is_fixpoint() {
+        let db = DiGraph::path(4).to_database("E");
+        let p = parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).").unwrap();
+        let (lfp, _) = inflog_eval::least_fixpoint_naive(&p, &db).unwrap();
+        assert!(is_fixpoint(&p, &db, &lfp).unwrap());
+    }
+}

@@ -1,0 +1,196 @@
+//! The grounded completion as CNF: fixpoints of Θ are exactly the models.
+//!
+//! One Boolean variable `v_t` per potential IDB tuple, plus Tseitin
+//! auxiliaries per multi-literal body. The fixpoint condition `S = Θ(S)`
+//! becomes, per tuple,
+//!
+//! ```text
+//! v_t ↔ ⋁_{b ∈ bodies(t)} ( ⋀_{p ∈ pos(b)} v_p  ∧  ⋀_{q ∈ neg(b)} ¬v_q )
+//! ```
+//!
+//! — the grounded **Clark completion**; its models are the supported models
+//! of π on D, i.e. the paper's fixpoints. The CDCL solver then realizes the
+//! paper's NP upper bound for fixpoint existence; blocking clauses realize
+//! Theorem 2's US machinery; assumption queries realize Theorem 3's NP
+//! oracle.
+
+use crate::ground::GroundProgram;
+use inflog_eval::Interp;
+use inflog_sat::{Cnf, Lit, Var};
+
+/// The completion encoding of a grounded program.
+#[derive(Debug, Clone)]
+pub struct CompletionEncoding {
+    /// The CNF formula.
+    pub cnf: Cnf,
+    /// Variables for the tuple-id space: `tuple_vars[id]` is `v_id`.
+    /// (Auxiliary Tseitin variables are allocated after these.)
+    pub tuple_vars: Vec<Var>,
+}
+
+impl CompletionEncoding {
+    /// Builds the completion CNF from a grounding.
+    pub fn build(g: &GroundProgram) -> Self {
+        let mut cnf = Cnf::new();
+        let tuple_vars = cnf.new_vars(g.total_tuples);
+
+        for (id, bodies) in g.bodies.iter().enumerate() {
+            let v = tuple_vars[id].pos();
+            // Literal for each body (aux var unless the body is a single
+            // literal or empty).
+            let mut body_lits: Vec<Lit> = Vec::with_capacity(bodies.len());
+            let mut always_derivable = false;
+            for b in bodies {
+                let lits: Vec<Lit> = b
+                    .pos
+                    .iter()
+                    .map(|&p| tuple_vars[p].pos())
+                    .chain(b.neg.iter().map(|&q| tuple_vars[q].neg()))
+                    .collect();
+                match lits.len() {
+                    0 => {
+                        // Empty body: t is unconditionally derivable.
+                        always_derivable = true;
+                        break;
+                    }
+                    1 => body_lits.push(lits[0]),
+                    _ => {
+                        let aux = cnf.new_var().pos();
+                        cnf.add_and_gate_n(aux, &lits);
+                        body_lits.push(aux);
+                    }
+                }
+            }
+            if always_derivable {
+                cnf.add_unit(v);
+            } else {
+                cnf.add_or_gate_n(v, &body_lits);
+            }
+        }
+
+        CompletionEncoding { cnf, tuple_vars }
+    }
+
+    /// Extracts the interpretation from a SAT model.
+    pub fn interp_from_model(&self, g: &GroundProgram, model: &[bool]) -> Interp {
+        let bits: Vec<bool> = self.tuple_vars.iter().map(|v| model[v.index()]).collect();
+        g.bits_to_interp(&bits)
+    }
+
+    /// The assumption literal asserting `t ∈ S` (`positive`) or `t ∉ S`.
+    pub fn tuple_assumption(&self, id: usize, positive: bool) -> Lit {
+        if positive {
+            self.tuple_vars[id].pos()
+        } else {
+            self.tuple_vars[id].neg()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_core::graphs::DiGraph;
+    use inflog_core::Database;
+    use inflog_eval::{apply, CompiledProgram, EvalContext};
+    use inflog_sat::{brute_force_count, Solver};
+    use inflog_syntax::parse_program;
+
+    const PI1: &str = "T(x) :- E(y, x), !T(y).";
+
+    fn encode(src: &str, db: &Database) -> (CompletionEncoding, GroundProgram) {
+        let g = GroundProgram::build(&parse_program(src).unwrap(), db).unwrap();
+        let e = CompletionEncoding::build(&g);
+        (e, g)
+    }
+
+    #[test]
+    fn path_encoding_sat_and_model_is_fixpoint() {
+        let db = DiGraph::path(4).to_database("E");
+        let (e, g) = encode(PI1, &db);
+        let mut s = Solver::from_cnf(&e.cnf);
+        let model = s.solve().model().expect("L_4 has a fixpoint").to_vec();
+        let interp = e.interp_from_model(&g, &model);
+        let p = parse_program(PI1).unwrap();
+        assert!(crate::check::is_fixpoint(&p, &db, &interp).unwrap());
+        // And it is the known unique fixpoint {v1, v3}.
+        assert_eq!(interp.total_tuples(), 2);
+    }
+
+    #[test]
+    fn odd_cycle_unsat() {
+        for n in [3usize, 5, 7] {
+            let db = DiGraph::cycle(n).to_database("E");
+            let (e, _) = encode(PI1, &db);
+            assert!(
+                !Solver::from_cnf(&e.cnf).solve().is_sat(),
+                "C_{n} must have no fixpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn even_cycle_sat() {
+        for n in [2usize, 4, 6] {
+            let db = DiGraph::cycle(n).to_database("E");
+            let (e, _) = encode(PI1, &db);
+            assert!(Solver::from_cnf(&e.cnf).solve().is_sat());
+        }
+    }
+
+    #[test]
+    fn model_count_matches_exhaustive_fixpoint_count() {
+        // On C_4 (4 tuple vars + auxes) the models projected to tuple vars
+        // must number exactly 2. Since every aux is functionally determined,
+        // total model count equals projected count here.
+        let db = DiGraph::cycle(4).to_database("E");
+        let (e, g) = encode(PI1, &db);
+        assert!(e.cnf.num_vars() <= 20);
+        let count = brute_force_count(&e.cnf);
+        assert_eq!(count, 2);
+        assert_eq!(g.total_tuples, 4);
+    }
+
+    #[test]
+    fn toggle_rule_encoding_unsat() {
+        let mut db = Database::new();
+        db.universe_mut().intern("a");
+        let (e, _) = encode("T(z) :- !T(w).", &db);
+        assert!(!Solver::from_cnf(&e.cnf).solve().is_sat());
+    }
+
+    #[test]
+    fn positive_program_models_contain_least_fixpoint() {
+        let src = "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).";
+        let db = DiGraph::path(3).to_database("E");
+        let (e, g) = encode(src, &db);
+        let p = parse_program(src).unwrap();
+        let (lfp, _) = inflog_eval::least_fixpoint_naive(&p, &db).unwrap();
+        let mut s = Solver::from_cnf(&e.cnf);
+        let model = s.solve().model().expect("positive: lfp exists").to_vec();
+        let interp = e.interp_from_model(&g, &model);
+        // The found model is a fixpoint and contains the least fixpoint.
+        let cp = CompiledProgram::compile(&p, &db).unwrap();
+        let ctx = EvalContext::new(&cp, &db).unwrap();
+        assert_eq!(apply(&cp, &ctx, &interp), interp);
+        assert!(lfp.is_subset(&interp));
+    }
+
+    #[test]
+    fn assumption_literals() {
+        let db = DiGraph::cycle(4).to_database("E");
+        let (e, g) = encode(PI1, &db);
+        // Assume T(v0): forces the {v0, v2} fixpoint.
+        let id0 = g.tuple_id(0, &inflog_core::Tuple::from_ids(&[0]));
+        let mut s = Solver::from_cnf(&e.cnf);
+        let model = s
+            .solve_with_assumptions(&[e.tuple_assumption(id0, true)])
+            .model()
+            .expect("fixpoint with T(v0) exists")
+            .to_vec();
+        let interp = e.interp_from_model(&g, &model);
+        assert!(interp.contains(0, &inflog_core::Tuple::from_ids(&[0])));
+        assert!(interp.contains(0, &inflog_core::Tuple::from_ids(&[2])));
+        assert_eq!(interp.total_tuples(), 2);
+    }
+}

@@ -1,0 +1,374 @@
+//! Program grounding: the propositional view of `(π, D)`.
+//!
+//! For every potential IDB tuple `t ∈ A^k` (one per IDB predicate/tuple
+//! pair, densely numbered), the grounding collects the **bodies** that can
+//! derive it: one per rule instantiation whose extensional part (EDB atoms,
+//! equalities, inequalities) already holds in `D`. What remains of a body is
+//! purely intensional — positive and negated IDB tuple ids — so that
+//!
+//! ```text
+//! t ∈ Θ(S)  ⟺  some body b of t has  pos(b) ⊆ S  and  neg(b) ∩ S = ∅.
+//! ```
+//!
+//! This is the object Theorem 1's "guess and verify" argument works over,
+//! and the direct input to the completion CNF of [`encode`](crate::encode).
+//!
+//! Grounding enumerates, per rule, the variable bindings that satisfy the
+//! extensional part (reusing the evaluator's planner, with unconstrained
+//! variables ranging over `A` — the paper's domain-grounded semantics), so
+//! its cost is `O(|A|^vars)` per rule: polynomial for a fixed program, and
+//! the precise source of the exponential *expression* complexity (Theorem 4)
+//! measured in experiment E10.
+
+use crate::Result;
+use inflog_core::{Database, Tuple};
+use inflog_eval::plan::{plan_rule, CTerm, PredRef, RLit};
+use inflog_eval::{enumerate_bindings, CompiledProgram, EvalContext, Interp};
+use inflog_syntax::Program;
+use std::collections::HashSet;
+
+/// A ground rule body, reduced to its intensional part.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroundBody {
+    /// Tuple ids that must be in `S`.
+    pub pos: Vec<usize>,
+    /// Tuple ids that must not be in `S`.
+    pub neg: Vec<usize>,
+}
+
+/// The grounded program: dense tuple-id space plus per-tuple bodies.
+#[derive(Debug, Clone)]
+pub struct GroundProgram {
+    /// `|A|`.
+    pub universe_size: usize,
+    /// IDB arities by IDB id (mirrors the compiled program).
+    pub idb_arities: Vec<usize>,
+    /// Tuple-id offset per IDB predicate: the ids of predicate `i` occupy
+    /// `offsets[i] .. offsets[i] + |A|^{arity_i}`.
+    pub offsets: Vec<usize>,
+    /// Total number of potential tuples (`Σ_i |A|^{k_i}` — the paper's
+    /// `n^s` guess size).
+    pub total_tuples: usize,
+    /// Bodies that can derive each tuple id (possibly empty).
+    pub bodies: Vec<Vec<GroundBody>>,
+}
+
+impl GroundProgram {
+    /// Grounds `program` against `db`.
+    ///
+    /// # Errors
+    /// Compilation errors from resolving the program against the database.
+    pub fn build(program: &Program, db: &Database) -> Result<Self> {
+        let cp = CompiledProgram::compile(program, db)?;
+        let ctx = EvalContext::new(&cp, db)?;
+        Ok(Self::build_compiled(&cp, &ctx))
+    }
+
+    /// Grounds an already-compiled program.
+    pub fn build_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> Self {
+        let n = ctx.universe_size;
+        let mut offsets = Vec::with_capacity(cp.idb_arities.len());
+        let mut total = 0usize;
+        for &k in &cp.idb_arities {
+            offsets.push(total);
+            total += n.checked_pow(k as u32).expect("tuple space overflow");
+        }
+        let mut g = GroundProgram {
+            universe_size: n,
+            idb_arities: cp.idb_arities.clone(),
+            offsets,
+            total_tuples: total,
+            bodies: vec![Vec::new(); total],
+        };
+
+        for rule in &cp.rules {
+            // Split the body: extensional part drives enumeration,
+            // intensional part is collected symbolically.
+            let ext: Vec<RLit> = rule
+                .body
+                .iter()
+                .filter(|l| match l {
+                    RLit::Pos { pred, .. } | RLit::Neg { pred, .. } => {
+                        matches!(pred, PredRef::Edb(_))
+                    }
+                    RLit::Eq(_, _) | RLit::Neq(_, _) => true,
+                })
+                .cloned()
+                .collect();
+            let idb_lits: Vec<(&RLit, bool)> = rule
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    RLit::Pos { pred: PredRef::Idb(_), .. } => Some((l, true)),
+                    RLit::Neg { pred: PredRef::Idb(_), .. } => Some((l, false)),
+                    _ => None,
+                })
+                .collect();
+
+            // Identity head: the emitted tuples are the full bindings. The
+            // planner Domain-grounds every variable the extensional part
+            // does not bind.
+            let identity: Vec<CTerm> = (0..rule.num_vars).map(CTerm::Var).collect();
+            let gplan = plan_rule(identity, &ext, rule.num_vars, None);
+            let bindings = enumerate_bindings(&gplan, ctx);
+
+            let mut seen: HashSet<(usize, GroundBody)> = HashSet::new();
+            for binding in bindings {
+                let value = |t: &CTerm| match t {
+                    CTerm::Var(v) => binding[*v],
+                    CTerm::Const(c) => *c,
+                };
+                let head_tuple: Tuple = rule
+                    .head_terms
+                    .iter()
+                    .map(&value)
+                    .collect::<Vec<_>>()
+                    .into();
+                let head_id = g.tuple_id(rule.head_pred, &head_tuple);
+
+                let mut pos = Vec::new();
+                let mut neg = Vec::new();
+                for (lit, positive) in &idb_lits {
+                    let (pred, terms) = match lit {
+                        RLit::Pos { pred, terms } | RLit::Neg { pred, terms } => (pred, terms),
+                        _ => unreachable!("filtered to atoms"),
+                    };
+                    let PredRef::Idb(idb) = pred else {
+                        unreachable!("filtered to IDB")
+                    };
+                    let t: Tuple = terms.iter().map(&value).collect::<Vec<_>>().into();
+                    let id = g.tuple_id(*idb, &t);
+                    if *positive {
+                        pos.push(id);
+                    } else {
+                        neg.push(id);
+                    }
+                }
+                pos.sort_unstable();
+                pos.dedup();
+                neg.sort_unstable();
+                neg.dedup();
+                // A body demanding t ∈ S and t ∉ S is unsatisfiable: drop.
+                if pos.iter().any(|p| neg.binary_search(p).is_ok()) {
+                    continue;
+                }
+                let body = GroundBody { pos, neg };
+                if seen.insert((head_id, body.clone())) {
+                    g.bodies[head_id].push(body);
+                }
+            }
+        }
+        g
+    }
+
+    /// Dense id of `(idb, tuple)`: offset plus the tuple's mixed-radix rank.
+    pub fn tuple_id(&self, idb: usize, t: &Tuple) -> usize {
+        let n = self.universe_size;
+        let mut rank = 0usize;
+        for c in t.items() {
+            rank = rank * n + c.index();
+        }
+        self.offsets[idb] + rank
+    }
+
+    /// Inverse of [`tuple_id`](Self::tuple_id).
+    pub fn id_to_tuple(&self, id: usize) -> (usize, Tuple) {
+        let idb = match self.offsets.binary_search(&id) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let mut rank = id - self.offsets[idb];
+        let k = self.idb_arities[idb];
+        let n = self.universe_size;
+        let mut digits = vec![0u32; k];
+        for d in (0..k).rev() {
+            digits[d] = (rank % n) as u32;
+            rank /= n;
+        }
+        (idb, Tuple::from_ids(&digits))
+    }
+
+    /// Converts an interpretation to its characteristic bit vector over the
+    /// tuple-id space.
+    pub fn interp_to_bits(&self, s: &Interp) -> Vec<bool> {
+        let mut bits = vec![false; self.total_tuples];
+        for (idb, rel) in s.relations().iter().enumerate() {
+            for t in rel.iter() {
+                bits[self.tuple_id(idb, t)] = true;
+            }
+        }
+        bits
+    }
+
+    /// Converts a bit vector over the tuple-id space to an interpretation.
+    pub fn bits_to_interp(&self, bits: &[bool]) -> Interp {
+        let mut s = Interp::empty(&self.idb_arities);
+        for (id, &b) in bits.iter().enumerate() {
+            if b {
+                let (idb, t) = self.id_to_tuple(id);
+                s.insert(idb, t);
+            }
+        }
+        s
+    }
+
+    /// Evaluates `t ∈ Θ(S)` propositionally from the grounding, given `S`
+    /// as a bit vector. Used to cross-check the grounding against the
+    /// relational operator.
+    pub fn derivable(&self, id: usize, bits: &[bool]) -> bool {
+        self.bodies[id].iter().any(|b| {
+            b.pos.iter().all(|&p| bits[p]) && b.neg.iter().all(|&q| !bits[q])
+        })
+    }
+
+    /// Total number of ground bodies (a size measure for E10's tables).
+    pub fn num_bodies(&self) -> usize {
+        self.bodies.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_core::graphs::DiGraph;
+    use inflog_eval::apply;
+    use inflog_syntax::parse_program;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const PI1: &str = "T(x) :- E(y, x), !T(y).";
+
+    fn build(src: &str, db: &Database) -> (GroundProgram, CompiledProgram, EvalContext) {
+        let p = parse_program(src).unwrap();
+        let cp = CompiledProgram::compile(&p, db).unwrap();
+        let ctx = EvalContext::new(&cp, db).unwrap();
+        let g = GroundProgram::build_compiled(&cp, &ctx);
+        (g, cp, ctx)
+    }
+
+    #[test]
+    fn tuple_id_roundtrip() {
+        let db = DiGraph::path(3).to_database("E");
+        let (g, _, _) = build("A(x) :- E(x, y). B(x, y) :- E(x, y).", &db);
+        assert_eq!(g.total_tuples, 3 + 9);
+        for id in 0..g.total_tuples {
+            let (idb, t) = g.id_to_tuple(id);
+            assert_eq!(g.tuple_id(idb, &t), id);
+        }
+    }
+
+    #[test]
+    fn pi1_grounding_on_path() {
+        // On L_3 (v0->v1->v2): T(v1) derivable via body {¬T(v0)},
+        // T(v2) via {¬T(v1)}, T(v0) has no bodies.
+        let db = DiGraph::path(3).to_database("E");
+        let (g, _, _) = build(PI1, &db);
+        assert_eq!(g.total_tuples, 3);
+        assert!(g.bodies[0].is_empty());
+        assert_eq!(g.bodies[1], vec![GroundBody { pos: vec![], neg: vec![0] }]);
+        assert_eq!(g.bodies[2], vec![GroundBody { pos: vec![], neg: vec![1] }]);
+    }
+
+    #[test]
+    fn derivable_matches_theta_exhaustively() {
+        // Cross-check the propositional view against the relational Θ on
+        // all 2^|space| interpretations for small instances.
+        let cases = [
+            (PI1, DiGraph::cycle(3).to_database("E")),
+            (PI1, DiGraph::path(3).to_database("E")),
+            (
+                "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).",
+                DiGraph::path(2).to_database("E"),
+            ),
+            (
+                "A(x) :- E(x, y), !B(y). B(x) :- E(y, x), !A(x).",
+                DiGraph::cycle(2).to_database("E"),
+            ),
+        ];
+        for (src, db) in cases {
+            let (g, cp, ctx) = build(src, &db);
+            assert!(g.total_tuples <= 8, "keep the exhaustive check small");
+            for mask in 0u32..(1 << g.total_tuples) {
+                let bits: Vec<bool> = (0..g.total_tuples).map(|i| mask >> i & 1 == 1).collect();
+                let s = g.bits_to_interp(&bits);
+                let theta = apply(&cp, &ctx, &s);
+                let theta_bits = g.interp_to_bits(&theta);
+                for (id, &theta_bit) in theta_bits.iter().enumerate() {
+                    assert_eq!(
+                        g.derivable(id, &bits),
+                        theta_bit,
+                        "src={src} mask={mask:b} id={id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_rule_grounding() {
+        // T(z) <- !Q(u), !T(w) over |A| = 2: every T tuple has bodies; the
+        // bodies pair each ¬Q(u) with each ¬T(w).
+        let mut db = Database::new();
+        db.universe_mut().intern("a");
+        db.universe_mut().intern("b");
+        let (g, cp, _) = build("T(z) :- !Q(u), !T(w). Q(x) :- Q(x).", &db);
+        let t0 = g.tuple_id(cp.idb_id("T").unwrap(), &Tuple::from_ids(&[0]));
+        assert_eq!(g.bodies[t0].len(), 4, "2 choices of u × 2 choices of w");
+    }
+
+    #[test]
+    fn contradictory_bodies_dropped() {
+        // P(x) <- Q(x), !Q(x) can never fire.
+        let mut db = Database::new();
+        db.universe_mut().intern("a");
+        let (g, _, _) = build("P(x) :- Q(x), !Q(x). Q(x) :- Q(x).", &db);
+        let pid = 0; // P sorts before Q
+        assert!(g.bodies[pid].is_empty());
+    }
+
+    #[test]
+    fn head_constants_restrict_heads() {
+        let mut db = Database::new();
+        db.universe_mut().intern("0");
+        db.universe_mut().intern("1");
+        let (g, cp, _) = build("G(z, 1).", &db);
+        let gid = cp.idb_id("G").unwrap();
+        // Exactly (0,1) and (1,1) have (empty) bodies.
+        let derivable: Vec<usize> = (0..g.total_tuples)
+            .filter(|&id| !g.bodies[id].is_empty())
+            .collect();
+        assert_eq!(
+            derivable,
+            vec![
+                g.tuple_id(gid, &Tuple::from_ids(&[0, 1])),
+                g.tuple_id(gid, &Tuple::from_ids(&[1, 1]))
+            ]
+        );
+        // And their bodies are the always-true empty body.
+        assert_eq!(g.bodies[derivable[0]], vec![GroundBody { pos: vec![], neg: vec![] }]);
+    }
+
+    #[test]
+    fn interp_bits_roundtrip_random() {
+        let db = DiGraph::cycle(3).to_database("E");
+        let (g, _, _) = build("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).", &db);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let bits: Vec<bool> = (0..g.total_tuples).map(|_| rng.gen_bool(0.4)).collect();
+            let s = g.bits_to_interp(&bits);
+            assert_eq!(g.interp_to_bits(&s), bits);
+        }
+    }
+
+    #[test]
+    fn body_count_grows_with_universe() {
+        // E10's observable: grounding size grows polynomially in |A| for a
+        // fixed program.
+        let p = PI1;
+        let g3 = build(p, &DiGraph::cycle(3).to_database("E")).0;
+        let g6 = build(p, &DiGraph::cycle(6).to_database("E")).0;
+        assert!(g6.num_bodies() > g3.num_bodies());
+        assert_eq!(g3.num_bodies(), 3); // one body per edge
+        assert_eq!(g6.num_bodies(), 6);
+    }
+}

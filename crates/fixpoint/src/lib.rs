@@ -1,0 +1,47 @@
+//! # inflog-fixpoint
+//!
+//! Fixpoint analysis for DATALOG¬ programs — the executable content of §§2–3
+//! of *"Why Not Negation by Fixpoint?"*.
+//!
+//! A sequence `S` of IDB relations is a **fixpoint** of `(π, D)` when
+//! `Θ(S) = S`. These are exactly the *supported models* of π on D (models of
+//! the grounded Clark completion), which is what makes the NP machinery
+//! concrete:
+//!
+//! * [`check`] — is a given `S` a fixpoint? (one Θ application);
+//! * [`ground`] — ground the program over the universe: for every potential
+//!   IDB tuple, the set of rule-instantiation bodies that can derive it,
+//!   with the extensional part already evaluated away;
+//! * [`encode`] — the grounded completion as CNF: one Boolean per potential
+//!   tuple, `v_t ↔ ⋁ bodies(t)` via Tseitin gates — "guess relations of size
+//!   n^s and verify" (the paper's NP upper bound) handed to a CDCL solver;
+//! * [`analysis`] — [`FixpointAnalyzer`]: existence, enumeration/counting
+//!   (Theorem 2's US machinery), uniqueness, and the **least fixpoint** both
+//!   by enumeration-and-intersection and by the FONP oracle algorithm of
+//!   Theorem 3 (one SAT call per tuple under an assumption, then a single
+//!   final Θ check on the intersection);
+//! * [`brute`] — exhaustive fixpoint enumeration over the `2^(Σ|A|^k)`
+//!   candidate space, fully independent of the SAT path (tests compare the
+//!   two);
+//! * [`stable`] — Gelfond–Lifschitz stable models as an extension: the
+//!   paper's fixpoints are the *supported* models, and stable ⊆ supported
+//!   (the containment, and its strictness, are tested).
+
+pub mod analysis;
+pub mod brute;
+pub mod check;
+pub mod encode;
+pub mod error;
+pub mod ground;
+pub mod stable;
+
+pub use analysis::{FixpointAnalyzer, FonpStats, LeastFixpointResult};
+pub use brute::enumerate_fixpoints_brute;
+pub use check::{is_fixpoint, is_fixpoint_compiled};
+pub use encode::CompletionEncoding;
+pub use error::FixpointError;
+pub use ground::{GroundBody, GroundProgram};
+pub use stable::StableAnalyzer;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FixpointError>;

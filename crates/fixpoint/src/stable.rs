@@ -1,0 +1,250 @@
+//! Stable models (Gelfond–Lifschitz), connecting the paper's fixpoints to
+//! the semantics that later "won" in answer-set programming (XSB, Smodels,
+//! clingo, DLV — the lineage the paper's negation-as-failure discussion
+//! anticipates).
+//!
+//! The paper's fixpoints of Θ are the **supported models** (models of the
+//! grounded Clark completion). A *stable* model additionally requires every
+//! atom to have a non-circular derivation: `S` is stable iff `S` is the
+//! least model of its **reduct** — the ground program with negative
+//! literals evaluated against `S` and removed:
+//!
+//! ```text
+//! reduct_S = { head <- pos(b)  :  body b, neg(b) ∩ S = ∅ }
+//! ```
+//!
+//! Facts used here (and tested):
+//! * every stable model is a fixpoint of Θ (stable ⊆ supported), but not
+//!   conversely — `P(x) <- P(x)` has the supported model `{a}` whose
+//!   support is circular;
+//! * the well-founded true facts are contained in every stable model, and
+//!   a *total* well-founded model is the unique stable model;
+//! * for stratified programs the perfect model is the unique stable model.
+
+use crate::ground::GroundProgram;
+use crate::Result;
+use inflog_core::Database;
+use inflog_eval::{CompiledProgram, EvalContext, Interp};
+use inflog_syntax::Program;
+
+/// Stable-model analysis over a grounded program.
+#[derive(Debug, Clone)]
+pub struct StableAnalyzer {
+    ground: GroundProgram,
+}
+
+impl StableAnalyzer {
+    /// Grounds `(program, db)` for stable-model queries.
+    ///
+    /// # Errors
+    /// Compilation errors.
+    pub fn new(program: &Program, db: &Database) -> Result<Self> {
+        let cp = CompiledProgram::compile(program, db)?;
+        let ctx = EvalContext::new(&cp, db)?;
+        Ok(StableAnalyzer {
+            ground: GroundProgram::build_compiled(&cp, &ctx),
+        })
+    }
+
+    /// Builds from an existing grounding.
+    pub fn from_ground(ground: GroundProgram) -> Self {
+        StableAnalyzer { ground }
+    }
+
+    /// The underlying grounding.
+    pub fn ground(&self) -> &GroundProgram {
+        &self.ground
+    }
+
+    /// Computes the least model of the reduct of the grounded program with
+    /// respect to `candidate` (as a bit vector over tuple ids).
+    pub fn reduct_least_model(&self, candidate: &[bool]) -> Vec<bool> {
+        let g = &self.ground;
+        let mut model = vec![false; g.total_tuples];
+        // Naive positive iteration to the least fixpoint; the reduct is a
+        // definite (negation-free) program so this is Tarski's climb.
+        loop {
+            let mut changed = false;
+            for id in 0..g.total_tuples {
+                if model[id] {
+                    continue;
+                }
+                let derivable = g.bodies[id].iter().any(|b| {
+                    b.neg.iter().all(|&q| !candidate[q])
+                        && b.pos.iter().all(|&p| model[p])
+                });
+                if derivable {
+                    model[id] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return model;
+            }
+        }
+    }
+
+    /// Whether `s` is a stable model of the program.
+    pub fn is_stable(&self, s: &Interp) -> bool {
+        let bits = self.ground.interp_to_bits(s);
+        self.reduct_least_model(&bits) == bits
+    }
+
+    /// Enumerates all stable models by exhaustive search over the candidate
+    /// space (ground truth; exponential).
+    ///
+    /// # Errors
+    /// [`crate::FixpointError::SearchSpaceTooLarge`] beyond `cap_bits`.
+    pub fn enumerate_stable_brute(&self, cap_bits: usize) -> Result<Vec<Interp>> {
+        let g = &self.ground;
+        if g.total_tuples > cap_bits {
+            return Err(crate::FixpointError::SearchSpaceTooLarge {
+                tuples: g.total_tuples,
+                cap: cap_bits,
+            });
+        }
+        let mut out = Vec::new();
+        for mask in 0u64..(1u64 << g.total_tuples) {
+            let bits: Vec<bool> = (0..g.total_tuples).map(|i| mask >> i & 1 == 1).collect();
+            if self.reduct_least_model(&bits) == bits {
+                out.push(g.bits_to_interp(&bits));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FixpointAnalyzer;
+    use crate::brute::enumerate_fixpoints_brute;
+    use inflog_core::graphs::DiGraph;
+    use inflog_eval::{stratified_eval, well_founded};
+    use inflog_syntax::parse_program;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const PI1: &str = "T(x) :- E(y, x), !T(y).";
+
+    fn analyzer(src: &str, db: &Database) -> StableAnalyzer {
+        StableAnalyzer::new(&parse_program(src).unwrap(), db).unwrap()
+    }
+
+    #[test]
+    fn self_support_is_supported_but_not_stable() {
+        // P(x) <- P(x) over A = {a}: {a} is a fixpoint of Θ (supported)
+        // but not stable (its support is circular); ∅ is both.
+        let mut db = Database::new();
+        db.universe_mut().intern("a");
+        let p = parse_program("P(x) :- P(x).").unwrap();
+        let fps = enumerate_fixpoints_brute(&p, &db, 20).unwrap();
+        assert_eq!(fps.len(), 2, "∅ and {{a}} are supported");
+        let st = analyzer("P(x) :- P(x).", &db);
+        let stable = st.enumerate_stable_brute(20).unwrap();
+        assert_eq!(stable.len(), 1, "only ∅ is stable");
+        assert!(stable[0].all_empty());
+    }
+
+    #[test]
+    fn stable_models_are_fixpoints() {
+        let cases = [
+            (PI1, DiGraph::path(4)),
+            (PI1, DiGraph::cycle(4)),
+            (PI1, DiGraph::cycle(3)),
+            ("A(x) :- E(x, y), !B(y). B(x) :- E(y, x), !A(x).", DiGraph::cycle(3)),
+        ];
+        for (src, g) in cases {
+            let db = g.to_database("E");
+            let program = parse_program(src).unwrap();
+            let st = analyzer(src, &db);
+            let stable = st.enumerate_stable_brute(20).unwrap();
+            let fps = enumerate_fixpoints_brute(&program, &db, 20).unwrap();
+            for s in &stable {
+                assert!(fps.contains(s), "stable ⊆ supported on {src} / {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn pi1_stable_equals_supported_on_cycles() {
+        // On even cycles the two alternating fixpoints are non-circular:
+        // each T(v) is supported by the *absence* of its predecessor, so
+        // both are stable. Odd cycles have neither.
+        let st = analyzer(PI1, &DiGraph::cycle(4).to_database("E"));
+        assert_eq!(st.enumerate_stable_brute(20).unwrap().len(), 2);
+        let st = analyzer(PI1, &DiGraph::cycle(5).to_database("E"));
+        assert!(st.enumerate_stable_brute(20).unwrap().is_empty());
+    }
+
+    #[test]
+    fn total_wfs_is_the_unique_stable_model() {
+        let src = "Win(x) :- Move(x, y), !Win(y).";
+        for g in [DiGraph::path(4), DiGraph::star(4), DiGraph::binary_tree(7)] {
+            let db = g.to_database("Move");
+            let program = parse_program(src).unwrap();
+            let wf = well_founded(&program, &db).unwrap();
+            assert!(wf.is_total(), "{g}");
+            let st = analyzer(src, &db);
+            let stable = st.enumerate_stable_brute(20).unwrap();
+            assert_eq!(stable.len(), 1, "{g}");
+            assert_eq!(stable[0], wf.true_facts, "{g}");
+        }
+    }
+
+    #[test]
+    fn wfs_true_facts_below_every_stable_model() {
+        let src = PI1;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..6 {
+            let g = DiGraph::random_gnp(4, 0.35, &mut rng);
+            let db = g.to_database("E");
+            let program = parse_program(src).unwrap();
+            let wf = well_founded(&program, &db).unwrap();
+            let st = analyzer(src, &db);
+            for s in st.enumerate_stable_brute(20).unwrap() {
+                assert!(wf.true_facts.is_subset(&s), "graph {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_perfect_model_is_unique_stable() {
+        let src = "
+            S(x, y) :- E(x, y).
+            S(x, y) :- E(x, z), S(z, y).
+            C(x, y) :- !S(x, y).
+        ";
+        let g = DiGraph::path(3);
+        let db = g.to_database("E");
+        let program = parse_program(src).unwrap();
+        let (perfect, _) = stratified_eval(&program, &db).unwrap();
+        let st = analyzer(src, &db);
+        assert!(st.is_stable(&perfect));
+        let stable = st.enumerate_stable_brute(20).unwrap();
+        assert_eq!(stable, vec![perfect]);
+    }
+
+    #[test]
+    fn is_stable_agrees_with_enumeration() {
+        let db = DiGraph::cycle(4).to_database("E");
+        let st = analyzer(PI1, &db);
+        let program = parse_program(PI1).unwrap();
+        let fa = FixpointAnalyzer::new(&program, &db).unwrap();
+        let stable = st.enumerate_stable_brute(20).unwrap();
+        for f in fa.enumerate_fixpoints(32) {
+            assert_eq!(st.is_stable(&f), stable.contains(&f));
+        }
+    }
+
+    #[test]
+    fn positive_program_unique_stable_is_lfp() {
+        let src = "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).";
+        let db = DiGraph::path(3).to_database("E");
+        let program = parse_program(src).unwrap();
+        let (lfp, _) = inflog_eval::least_fixpoint_naive(&program, &db).unwrap();
+        let st = analyzer(src, &db);
+        let stable = st.enumerate_stable_brute(20).unwrap();
+        assert_eq!(stable, vec![lfp]);
+    }
+}

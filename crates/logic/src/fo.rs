@@ -1,0 +1,399 @@
+//! First-order formulas and their evaluation on finite databases.
+
+use inflog_core::{Const, Database, Relation, Tuple};
+use inflog_syntax::Term;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A first-order formula over a relational vocabulary with equality.
+///
+/// Terms reuse the syntax crate's [`Term`] (named variables and constants).
+/// Relation symbols are resolved at evaluation time: first against an
+/// "extra" interpretation (for second-order variables / IDB relations), then
+/// against the database (absent relations are empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fo {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// `pred(terms...)`.
+    Atom {
+        /// Relation symbol.
+        pred: String,
+        /// Argument terms.
+        terms: Vec<Term>,
+    },
+    /// `t1 = t2`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Fo>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<Fo>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<Fo>),
+    /// Implication.
+    Implies(Box<Fo>, Box<Fo>),
+    /// Universal quantification.
+    Forall(String, Box<Fo>),
+    /// Existential quantification.
+    Exists(String, Box<Fo>),
+}
+
+impl Fo {
+    /// Atom constructor.
+    pub fn atom(pred: impl Into<String>, terms: Vec<Term>) -> Fo {
+        Fo::Atom {
+            pred: pred.into(),
+            terms,
+        }
+    }
+
+    /// Negation (with double-negation collapse).
+    #[must_use]
+    pub fn negate(self) -> Fo {
+        match self {
+            Fo::Not(inner) => *inner,
+            Fo::True => Fo::False,
+            Fo::False => Fo::True,
+            other => Fo::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(parts: Vec<Fo>) -> Fo {
+        Fo::And(parts)
+    }
+
+    /// Disjunction helper.
+    pub fn or(parts: Vec<Fo>) -> Fo {
+        Fo::Or(parts)
+    }
+
+    /// `∀v. self`.
+    #[must_use]
+    pub fn forall(self, v: impl Into<String>) -> Fo {
+        Fo::Forall(v.into(), Box::new(self))
+    }
+
+    /// `∃v. self`.
+    #[must_use]
+    pub fn exists(self, v: impl Into<String>) -> Fo {
+        Fo::Exists(v.into(), Box::new(self))
+    }
+
+    /// Free first-order variables.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        fn go(f: &Fo, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+            match f {
+                Fo::True | Fo::False => {}
+                Fo::Atom { terms, .. } => {
+                    for t in terms {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                out.insert(v.clone());
+                            }
+                        }
+                    }
+                }
+                Fo::Eq(a, b) => {
+                    for t in [a, b] {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                out.insert(v.clone());
+                            }
+                        }
+                    }
+                }
+                Fo::Not(g) => go(g, bound, out),
+                Fo::And(gs) | Fo::Or(gs) => {
+                    for g in gs {
+                        go(g, bound, out);
+                    }
+                }
+                Fo::Implies(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Fo::Forall(v, g) | Fo::Exists(v, g) => {
+                    bound.push(v.clone());
+                    go(g, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// All relation symbols mentioned.
+    pub fn predicates(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| {
+            if let Fo::Atom { pred, .. } = f {
+                out.insert(pred.clone());
+            }
+        });
+        out
+    }
+
+    fn visit(&self, f: &mut impl FnMut(&Fo)) {
+        f(self);
+        match self {
+            Fo::True | Fo::False | Fo::Atom { .. } | Fo::Eq(_, _) => {}
+            Fo::Not(g) => g.visit(f),
+            Fo::And(gs) | Fo::Or(gs) => gs.iter().for_each(|g| g.visit(f)),
+            Fo::Implies(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Fo::Forall(_, g) | Fo::Exists(_, g) => g.visit(f),
+        }
+    }
+}
+
+impl fmt::Display for Fo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fo::True => write!(f, "true"),
+            Fo::False => write!(f, "false"),
+            Fo::Atom { pred, terms } => {
+                write!(f, "{pred}(")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Fo::Eq(a, b) => write!(f, "{a} = {b}"),
+            Fo::Not(g) => write!(f, "!({g})"),
+            Fo::And(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Fo::Or(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Fo::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Fo::Forall(v, g) => write!(f, "forall {v}. {g}"),
+            Fo::Exists(v, g) => write!(f, "exists {v}. {g}"),
+        }
+    }
+}
+
+/// An interpretation for extra relation symbols (second-order variables,
+/// IDB relations) layered over a database.
+pub type ExtraRelations = HashMap<String, Relation>;
+
+/// Evaluates a sentence (or formula under `env`) on `db` with `extra`
+/// interpreting relation symbols not stored in the database.
+///
+/// Quantifiers range over the database universe. Relation lookup order:
+/// `extra`, then the database, then empty.
+pub fn eval_fo(
+    f: &Fo,
+    db: &Database,
+    extra: &ExtraRelations,
+    env: &mut HashMap<String, Const>,
+) -> bool {
+    match f {
+        Fo::True => true,
+        Fo::False => false,
+        Fo::Atom { pred, terms } => {
+            let tuple: Option<Vec<Const>> = terms.iter().map(|t| term_value(t, db, env)).collect();
+            let Some(items) = tuple else { return false };
+            let t = Tuple::from(items);
+            if let Some(r) = extra.get(pred) {
+                r.contains(&t)
+            } else if let Some(r) = db.relation(pred) {
+                r.contains(&t)
+            } else {
+                false
+            }
+        }
+        Fo::Eq(a, b) => match (term_value(a, db, env), term_value(b, db, env)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        },
+        Fo::Not(g) => !eval_fo(g, db, extra, env),
+        Fo::And(gs) => gs.iter().all(|g| eval_fo(g, db, extra, env)),
+        Fo::Or(gs) => gs.iter().any(|g| eval_fo(g, db, extra, env)),
+        Fo::Implies(a, b) => !eval_fo(a, db, extra, env) || eval_fo(b, db, extra, env),
+        Fo::Forall(v, g) => {
+            let saved = env.get(v).copied();
+            let ok = db.universe().iter().all(|c| {
+                env.insert(v.clone(), c);
+                eval_fo(g, db, extra, env)
+            });
+            restore(env, v, saved);
+            ok
+        }
+        Fo::Exists(v, g) => {
+            let saved = env.get(v).copied();
+            let ok = db.universe().iter().any(|c| {
+                env.insert(v.clone(), c);
+                eval_fo(g, db, extra, env)
+            });
+            restore(env, v, saved);
+            ok
+        }
+    }
+}
+
+/// Evaluates a **sentence** (no free variables) on `db` + `extra`.
+pub fn eval_sentence(f: &Fo, db: &Database, extra: &ExtraRelations) -> bool {
+    debug_assert!(
+        f.free_vars().is_empty(),
+        "eval_sentence requires a sentence; free: {:?}",
+        f.free_vars()
+    );
+    eval_fo(f, db, extra, &mut HashMap::new())
+}
+
+fn term_value(t: &Term, db: &Database, env: &HashMap<String, Const>) -> Option<Const> {
+    match t {
+        Term::Var(v) => env.get(v).copied(),
+        Term::Const(c) => db.universe().lookup(c),
+    }
+}
+
+fn restore(env: &mut HashMap<String, Const>, v: &str, saved: Option<Const>) {
+    match saved {
+        Some(c) => {
+            env.insert(v.to_owned(), c);
+        }
+        None => {
+            env.remove(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_core::graphs::DiGraph;
+    use inflog_syntax::{cst, var};
+
+    fn v(s: &str) -> Term {
+        var(s)
+    }
+
+    #[test]
+    fn atoms_and_quantifiers_on_graph() {
+        // ∀x ∃y E(x, y): every vertex has an out-edge. True on a cycle,
+        // false on a path.
+        let f = Fo::atom("E", vec![v("x"), v("y")])
+            .exists("y")
+            .forall("x");
+        let cycle = DiGraph::cycle(4).to_database("E");
+        let path = DiGraph::path(4).to_database("E");
+        assert!(eval_sentence(&f, &cycle, &ExtraRelations::new()));
+        assert!(!eval_sentence(&f, &path, &ExtraRelations::new()));
+    }
+
+    #[test]
+    fn equality_and_constants() {
+        let db = DiGraph::path(3).to_database("E");
+        // ∃x (x = v1): true.
+        let f = Fo::Eq(v("x"), cst("v1")).exists("x");
+        assert!(eval_sentence(&f, &db, &ExtraRelations::new()));
+        // Unknown constant: equality is false, not an error.
+        let g = Fo::Eq(v("x"), cst("nope")).exists("x");
+        assert!(!eval_sentence(&g, &db, &ExtraRelations::new()));
+    }
+
+    #[test]
+    fn implication_and_negation() {
+        // ∀x∀y (E(x,y) → ¬E(y,x)): antisymmetry. True on a path,
+        // false on C_2.
+        let f = Fo::Implies(
+            Box::new(Fo::atom("E", vec![v("x"), v("y")])),
+            Box::new(Fo::atom("E", vec![v("y"), v("x")]).negate()),
+        )
+        .forall("y")
+        .forall("x");
+        assert!(eval_sentence(
+            &f,
+            &DiGraph::path(3).to_database("E"),
+            &ExtraRelations::new()
+        ));
+        assert!(!eval_sentence(
+            &f,
+            &DiGraph::cycle(2).to_database("E"),
+            &ExtraRelations::new()
+        ));
+    }
+
+    #[test]
+    fn extra_relations_shadow_database() {
+        let db = DiGraph::path(2).to_database("E");
+        let f = Fo::atom("E", vec![v("x"), v("y")]).exists("y").exists("x");
+        let mut extra = ExtraRelations::new();
+        extra.insert("E".into(), Relation::new(2)); // shadow with empty
+        assert!(!eval_sentence(&f, &db, &extra));
+        assert!(eval_sentence(&f, &db, &ExtraRelations::new()));
+    }
+
+    #[test]
+    fn missing_relation_is_empty() {
+        let db = DiGraph::path(2).to_database("E");
+        let f = Fo::atom("Z", vec![v("x")]).exists("x");
+        assert!(!eval_sentence(&f, &db, &ExtraRelations::new()));
+    }
+
+    #[test]
+    fn free_vars_and_predicates() {
+        let f = Fo::And(vec![
+            Fo::atom("E", vec![v("x"), v("y")]).exists("y"),
+            Fo::atom("V", vec![v("z")]),
+        ]);
+        assert_eq!(
+            f.free_vars().into_iter().collect::<Vec<_>>(),
+            vec!["x", "z"]
+        );
+        assert_eq!(
+            f.predicates().into_iter().collect::<Vec<_>>(),
+            vec!["E", "V"]
+        );
+    }
+
+    #[test]
+    fn empty_connectives() {
+        let db = DiGraph::path(1).to_database("E");
+        assert!(eval_sentence(&Fo::And(vec![]), &db, &ExtraRelations::new()));
+        assert!(!eval_sentence(&Fo::Or(vec![]), &db, &ExtraRelations::new()));
+    }
+
+    #[test]
+    fn quantifier_shadowing_restores_env() {
+        // ∃x (E(x,x) ∨ ∀x ¬E(x,x)) — inner x shadows outer.
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 0);
+        let db = g.to_database("E");
+        let inner = Fo::atom("E", vec![v("x"), v("x")]).negate().forall("x");
+        let f = Fo::Or(vec![Fo::atom("E", vec![v("x"), v("x")]), inner]).exists("x");
+        assert!(eval_sentence(&f, &db, &ExtraRelations::new()));
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let f = Fo::atom("E", vec![v("x"), v("y")]).exists("y").forall("x");
+        assert_eq!(f.to_string(), "forall x. exists y. E(x, y)");
+    }
+}

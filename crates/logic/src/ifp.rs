@@ -1,0 +1,399 @@
+//! FO+IFP: inflationary-fixpoint logic, and the Proposition 1 compilers.
+//!
+//! Gurevich–Shelah's FO+IFP extends first-order logic with inflationary
+//! fixpoints of first-order-definable operators. Proposition 1 of the paper
+//! identifies Inflationary DATALOG with the **existential fragment**: a
+//! query is expressible in Inflationary DATALOG iff it is expressible in
+//! FO+IFP using operators definable by *existential* first-order formulas
+//! (no universal quantifiers; negation on atoms only — including on the
+//! inductively defined relations, which is where non-monotonicity enters).
+//!
+//! [`IfpSystem`] is a simultaneous inflationary induction: one defining
+//! formula per relation, iterated synchronously with accumulation —
+//! mirroring the paper's "simultaneous induction in the defining equations".
+//! [`IfpSystem::to_datalog`] and [`IfpSystem::from_datalog`] are the two
+//! directions of Proposition 1, and the tests check both round trips
+//! against the Datalog engine.
+
+use crate::fo::{eval_fo, ExtraRelations, Fo};
+use crate::transform::{dnf, is_nnf, nnf, prenex, NfLit, Quant};
+use inflog_core::{Database, Relation};
+use inflog_syntax::{Atom, Literal, Program, Rule, Term};
+use std::collections::HashMap;
+
+/// One inductively defined relation: `name(params) ← φ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfpDef {
+    /// Relation name (uppercase, like a predicate).
+    pub name: String,
+    /// Parameter variables denoting the candidate tuple (the formula's free
+    /// variables must be among these).
+    pub params: Vec<String>,
+    /// Defining formula over the vocabulary ∪ all defined relations.
+    pub formula: Fo,
+}
+
+/// A simultaneous inflationary induction system.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IfpSystem {
+    /// The definitions, iterated synchronously.
+    pub defs: Vec<IfpDef>,
+}
+
+impl IfpSystem {
+    /// Creates a system from `(name, params, formula)` triples.
+    pub fn new(defs: Vec<(&str, Vec<&str>, Fo)>) -> Self {
+        IfpSystem {
+            defs: defs
+                .into_iter()
+                .map(|(n, ps, f)| IfpDef {
+                    name: n.to_owned(),
+                    params: ps.into_iter().map(str::to_owned).collect(),
+                    formula: f,
+                })
+                .collect(),
+        }
+    }
+
+    /// Evaluates the system to its inductive fixpoint on `db`.
+    ///
+    /// Returns the final relations (by definition name) and the number of
+    /// rounds until stabilization.
+    pub fn eval(&self, db: &Database) -> (HashMap<String, Relation>, usize) {
+        let n = db.universe_size();
+        let mut state: ExtraRelations = self
+            .defs
+            .iter()
+            .map(|d| (d.name.clone(), Relation::new(d.params.len())))
+            .collect();
+        let mut rounds = 0usize;
+        loop {
+            let mut next = state.clone();
+            let mut changed = false;
+            for def in &self.defs {
+                let k = def.params.len();
+                for tuple in inflog_core::tuple::all_tuples(n, k) {
+                    if next[&def.name].contains(&tuple) {
+                        continue;
+                    }
+                    let mut env: HashMap<String, inflog_core::Const> = def
+                        .params
+                        .iter()
+                        .zip(tuple.items())
+                        .map(|(p, &c)| (p.clone(), c))
+                        .collect();
+                    // Negations and positives both read the *previous*
+                    // round (synchronous iteration, matching Θ^{n+1} =
+                    // Θ^n ∪ Θ(Θ^n)).
+                    if eval_fo(&def.formula, db, &state, &mut env) {
+                        next.get_mut(&def.name)
+                            .expect("definition present")
+                            .insert(tuple);
+                        changed = true;
+                    }
+                }
+            }
+            state = next;
+            if !changed {
+                break;
+            }
+            rounds += 1;
+        }
+        (state, rounds)
+    }
+
+    /// Whether every defining formula is in the existential fragment
+    /// (after NNF: no universal quantifiers, negation on atoms only).
+    pub fn is_existential(&self) -> bool {
+        self.defs.iter().all(|d| is_existential_fo(&nnf(&d.formula)))
+    }
+
+    /// Proposition 1, ⇒ direction: compiles an existential system to a
+    /// DATALOG¬ program whose inflationary semantics computes the same
+    /// relations.
+    ///
+    /// # Errors
+    /// Returns a message if some defining formula is not existential (after
+    /// NNF) or if the DNF pass exceeds `max_disjuncts`.
+    pub fn to_datalog(&self, max_disjuncts: usize) -> Result<Program, String> {
+        let mut rules = Vec::new();
+        for def in &self.defs {
+            let f = nnf(&def.formula);
+            if !is_existential_fo(&f) {
+                return Err(format!(
+                    "definition of {} is not existential: {}",
+                    def.name, def.formula
+                ));
+            }
+            let (prefix, matrix) = prenex(&f);
+            debug_assert!(prefix.iter().all(|(q, _)| *q == Quant::Exists));
+            if matrix_too_big(&matrix, max_disjuncts) {
+                return Err(format!("DNF of {} exceeds {max_disjuncts}", def.name));
+            }
+            let head_terms: Vec<Term> =
+                def.params.iter().map(|p| Term::Var(p.clone())).collect();
+            for conj in dnf(&matrix, max_disjuncts) {
+                let body: Vec<Literal> = conj
+                    .into_iter()
+                    .map(|l| match l {
+                        NfLit::Pos(p, ts) => Literal::Pos(Atom::new(p, ts)),
+                        NfLit::Neg(p, ts) => Literal::Neg(Atom::new(p, ts)),
+                        NfLit::Eq(a, b) => Literal::Eq(a, b),
+                        NfLit::Neq(a, b) => Literal::Neq(a, b),
+                    })
+                    .collect();
+                rules.push(Rule::new(
+                    Atom::new(def.name.clone(), head_terms.clone()),
+                    body,
+                ));
+            }
+        }
+        Ok(Program::new(rules))
+    }
+
+    /// Proposition 1, ⇐ direction: expresses a DATALOG¬ program as an
+    /// existential FO+IFP system (one defining formula per IDB predicate —
+    /// the disjunction over its rules of the existentially closed bodies).
+    pub fn from_datalog(program: &Program) -> IfpSystem {
+        let arities = program.predicate_arities();
+        let mut by_head: HashMap<String, Vec<&Rule>> = HashMap::new();
+        for r in &program.rules {
+            by_head.entry(r.head.predicate.clone()).or_default().push(r);
+        }
+        let mut defs = Vec::new();
+        for name in program.idb_predicates() {
+            let k = arities[&name];
+            let params: Vec<String> = (0..k).map(|i| format!("p{i}")).collect();
+            let mut disjuncts = Vec::new();
+            for (ri, rule) in by_head.get(&name).into_iter().flatten().enumerate() {
+                // Rename all rule variables to be disjoint from params.
+                let rename =
+                    |v: &str| -> String { format!("r{ri}_{v}") };
+                let rterm = |t: &Term| -> Term {
+                    match t {
+                        Term::Var(v) => Term::Var(rename(v)),
+                        Term::Const(c) => Term::Const(c.clone()),
+                    }
+                };
+                let mut conj: Vec<Fo> = Vec::new();
+                // Bind parameters to the head terms.
+                for (p, t) in params.iter().zip(&rule.head.terms) {
+                    conj.push(Fo::Eq(Term::Var(p.clone()), rterm(t)));
+                }
+                for lit in &rule.body {
+                    conj.push(match lit {
+                        Literal::Pos(a) => {
+                            Fo::atom(a.predicate.clone(), a.terms.iter().map(&rterm).collect())
+                        }
+                        Literal::Neg(a) => {
+                            Fo::atom(a.predicate.clone(), a.terms.iter().map(&rterm).collect())
+                                .negate()
+                        }
+                        Literal::Eq(a, b) => Fo::Eq(rterm(a), rterm(b)),
+                        Literal::Neq(a, b) => Fo::Eq(rterm(a), rterm(b)).negate(),
+                    });
+                }
+                // Existentially close the (renamed) rule variables.
+                let mut f = Fo::And(conj);
+                for v in rule.variables().iter().rev() {
+                    f = f.exists(rename(v));
+                }
+                disjuncts.push(f);
+            }
+            defs.push(IfpDef {
+                name,
+                params,
+                formula: Fo::Or(disjuncts),
+            });
+        }
+        IfpSystem { defs }
+    }
+}
+
+/// Existential-fragment check on an NNF formula.
+fn is_existential_fo(f: &Fo) -> bool {
+    debug_assert!(is_nnf(f));
+    match f {
+        Fo::True | Fo::False | Fo::Atom { .. } | Fo::Eq(_, _) | Fo::Not(_) => true,
+        Fo::And(gs) | Fo::Or(gs) => gs.iter().all(is_existential_fo),
+        Fo::Implies(_, _) => false,
+        Fo::Forall(_, _) => false,
+        Fo::Exists(_, g) => is_existential_fo(g),
+    }
+}
+
+/// Cheap pre-check that the DNF will not explode (counts a loose bound).
+fn matrix_too_big(f: &Fo, cap: usize) -> bool {
+    fn width(f: &Fo) -> usize {
+        match f {
+            Fo::True | Fo::False | Fo::Atom { .. } | Fo::Eq(_, _) | Fo::Not(_) => 1,
+            Fo::Or(gs) => gs.iter().map(width).sum(),
+            Fo::And(gs) => gs.iter().map(width).product(),
+            Fo::Implies(_, _) | Fo::Forall(_, _) | Fo::Exists(_, _) => 1,
+        }
+    }
+    width(f) > cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_core::graphs::DiGraph;
+    use inflog_eval::{inflationary, CompiledProgram};
+    use inflog_syntax::{parse_program, var};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TC: &str = "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).";
+    const PI1: &str = "T(x) :- E(y, x), !T(y).";
+
+    /// Compares an IFP system evaluation against the Datalog inflationary
+    /// engine on the same program.
+    fn assert_matches_inflationary(program_src: &str, db: &Database) {
+        let program = parse_program(program_src).unwrap();
+        let system = IfpSystem::from_datalog(&program);
+        let (ifp_result, _) = system.eval(db);
+        let (inf, _) = inflationary(&program, db).unwrap();
+        let cp = CompiledProgram::compile(&program, db).unwrap();
+        for (i, name) in cp.idb_names.iter().enumerate() {
+            assert_eq!(
+                &ifp_result[name],
+                inf.get(i),
+                "relation {name} differs on {program_src}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_datalog_tc() {
+        for g in [DiGraph::path(4), DiGraph::cycle(3), DiGraph::star(4)] {
+            assert_matches_inflationary(TC, &g.to_database("E"));
+        }
+    }
+
+    #[test]
+    fn from_datalog_with_negation() {
+        for g in [DiGraph::path(4), DiGraph::cycle(4)] {
+            assert_matches_inflationary(PI1, &g.to_database("E"));
+        }
+    }
+
+    #[test]
+    fn from_datalog_multi_idb_and_constants() {
+        let src = "
+            A(x) :- E(x, y), !B(y).
+            B(x) :- E(y, x), !A(x).
+            C(z, 'v0') :- A(z).
+        ";
+        for g in [DiGraph::path(3), DiGraph::cycle(3)] {
+            assert_matches_inflationary(src, &g.to_database("E"));
+        }
+    }
+
+    #[test]
+    fn from_datalog_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let g = DiGraph::random_gnp(4, 0.4, &mut rng);
+            assert_matches_inflationary(PI1, &g.to_database("E"));
+            assert_matches_inflationary(TC, &g.to_database("E"));
+        }
+    }
+
+    #[test]
+    fn hand_built_system_to_datalog() {
+        // Reachability from v0: R(p0) ← p0 = v0 ∨ ∃z (R(z) ∧ E(z, p0)).
+        let formula = Fo::Or(vec![
+            Fo::Eq(Term::Var("p0".into()), inflog_syntax::cst("v0")),
+            Fo::And(vec![
+                Fo::atom("R", vec![var("z")]),
+                Fo::atom("E", vec![var("z"), var("p0")]),
+            ])
+            .exists("z"),
+        ]);
+        let system = IfpSystem::new(vec![("R", vec!["p0"], formula)]);
+        assert!(system.is_existential());
+
+        let program = system.to_datalog(100).unwrap();
+        for g in [DiGraph::path(4), DiGraph::cycle(4), DiGraph::binary_tree(7)] {
+            let mut db = g.to_database("E");
+            inflog_eval::ensure_program_constants(&mut db, &program);
+            let (ifp_result, _) = system.eval(&db);
+            let (inf, _) = inflationary(&program, &db).unwrap();
+            let cp = CompiledProgram::compile(&program, &db).unwrap();
+            let rid = cp.idb_id("R").unwrap();
+            assert_eq!(&ifp_result["R"], inf.get(rid), "graph {g}");
+            // Sanity: reachable set from v0.
+            let dist = g.distances_from(0);
+            for v in 0..g.num_vertices() as u32 {
+                let t = inflog_core::Tuple::from_ids(&[v]);
+                assert_eq!(
+                    ifp_result["R"].contains(&t),
+                    dist[v as usize].is_some() || v == 0,
+                    "vertex {v} on {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_existential_rejected() {
+        // ∀y E(p0, y) is not existential.
+        let formula = Fo::atom("E", vec![var("p0"), var("y")]).forall("y");
+        let system = IfpSystem::new(vec![("D", vec!["p0"], formula)]);
+        assert!(!system.is_existential());
+        assert!(system.to_datalog(100).is_err());
+    }
+
+    #[test]
+    fn negation_on_atoms_is_existential() {
+        let formula = Fo::And(vec![
+            Fo::atom("E", vec![var("y"), var("p0")]),
+            Fo::atom("T", vec![var("y")]).negate(),
+        ])
+        .exists("y");
+        let system = IfpSystem::new(vec![("T", vec!["p0"], formula)]);
+        assert!(system.is_existential());
+        // And it is exactly pi_1.
+        let program = system.to_datalog(100).unwrap();
+        for g in [DiGraph::path(4), DiGraph::cycle(3)] {
+            let db = g.to_database("E");
+            let (ifp_result, _) = system.eval(&db);
+            let (inf, _) = inflationary(&program, &db).unwrap();
+            assert_eq!(&ifp_result["T"], inf.get(0), "graph {g}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_program_to_ifp_to_program() {
+        // π → system → π′: inflationary semantics must agree.
+        for src in [TC, PI1] {
+            let program = parse_program(src).unwrap();
+            let system = IfpSystem::from_datalog(&program);
+            let program2 = system.to_datalog(1000).unwrap();
+            for g in [DiGraph::path(3), DiGraph::cycle(4)] {
+                let db = g.to_database("E");
+                let (a, _) = inflationary(&program, &db).unwrap();
+                let cp1 = CompiledProgram::compile(&program, &db).unwrap();
+                let (b, _) = inflationary(&program2, &db).unwrap();
+                let cp2 = CompiledProgram::compile(&program2, &db).unwrap();
+                for name in &cp1.idb_names {
+                    let i = cp1.idb_id(name).unwrap();
+                    let j = cp2.idb_id(name).unwrap();
+                    assert_eq!(a.get(i), b.get(j), "{src} / {name} on {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_rounds_match_engine() {
+        // Same synchronous semantics ⇒ same round count.
+        let program = parse_program(TC).unwrap();
+        let db = DiGraph::path(5).to_database("E");
+        let system = IfpSystem::from_datalog(&program);
+        let (_, ifp_rounds) = system.eval(&db);
+        let (_, trace) = inflationary(&program, &db).unwrap();
+        assert_eq!(ifp_rounds, trace.rounds);
+    }
+}

@@ -1,0 +1,36 @@
+//! # inflog-logic
+//!
+//! The logic substrate behind Theorems 1–3 and Proposition 1 of *"Why Not
+//! Negation by Fixpoint?"*:
+//!
+//! * [`fo`] — first-order formulas over a relational vocabulary, with model
+//!   checking on finite databases (quantifiers range over the universe);
+//! * [`transform`] — negation normal form, prenexing (capture-free), and
+//!   DNF of quantifier-free matrices;
+//! * [`eso`] — existential second-order formulas `∃S̄ φ` (Fagin's normal
+//!   form for NP), brute-force checking, and the paper's **Skolem normal
+//!   form** transformation to `∃S̄ ∀x̄ ∃ȳ (θ₁ ∨ ... ∨ θ_k)`, which
+//!   eliminates ∀∃ alternations by encoding Skolem functions as witness
+//!   *relations*:
+//!   `(∀u)(∃v)χ ⟺ (∃X)[(∀u∀v)(X(u,v) → χ) ∧ (∀u)(∃v)X(u,v)]`;
+//! * [`to_datalog`] — the **Theorem 1 compiler**: from a Skolem-normal-form
+//!   ∃SO sentence to a DATALOG¬ program π_C such that a database satisfies
+//!   the sentence iff `(π_C, D)` has a fixpoint (NP ≡ fixpoint existence);
+//! * [`ifp`] — FO+IFP: simultaneous inflationary-fixpoint systems, their
+//!   evaluation, and the **Proposition 1 compilers** between Inflationary
+//!   DATALOG and the existential fragment of FO+IFP.
+//!
+//! Throughout, universes are assumed **nonempty** (the standard convention
+//! for Fagin-style arguments; quantifier equivalences like
+//! `ψ ∨ ∃x φ ≡ ∃x (ψ ∨ φ)` need it).
+
+pub mod eso;
+pub mod fo;
+pub mod ifp;
+pub mod to_datalog;
+pub mod transform;
+
+pub use eso::{Eso, SkolemNf};
+pub use fo::Fo;
+pub use ifp::IfpSystem;
+pub use to_datalog::{eso_to_datalog, DatalogReduction};

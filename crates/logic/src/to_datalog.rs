@@ -1,0 +1,324 @@
+//! The Theorem 1 compiler: ∃SO (Skolem normal form) → DATALOG¬, such that
+//! membership in the NP collection coincides with **fixpoint existence**.
+//!
+//! Given `∃S̄ ∀x̄ ∃ȳ (θ₁ ∨ ... ∨ θ_k)` over vocabulary σ, the paper's program
+//! π_C is:
+//!
+//! ```text
+//! Sj(x̄j) <- Sj(x̄j)          (1 ≤ j ≤ m, making the S̄ non-database relations)
+//! Q(x̄)   <- θᵢ(x̄, ȳ)        (1 ≤ i ≤ k)
+//! T(z)   <- !Q(ū), !T(w)     (the toggle)
+//! ```
+//!
+//! In any fixpoint the identity rules leave S̄ free (the "guess"); the Q
+//! rules force `Q = {x̄ : ∃ȳ ⋁θᵢ}`; and the toggle admits a fixpoint
+//! (`T = ∅`) exactly when `Q = A^{|x̄|}`, i.e. when `∀x̄∃ȳ ⋁θᵢ` holds. Hence
+//! `D ⊨ ∃S̄∀x̄∃ȳ⋁θᵢ  ⟺  (π_C, D)` has a fixpoint. (Universe assumed
+//! nonempty, as in the paper.)
+
+use crate::eso::SkolemNf;
+use crate::transform::NfLit;
+use inflog_syntax::{Atom, Literal, Program, Rule, Term};
+
+/// The compiled reduction: program plus the reserved predicate names.
+#[derive(Debug, Clone)]
+pub struct DatalogReduction {
+    /// The DATALOG¬ program π_C.
+    pub program: Program,
+    /// The "Q" predicate (arity = number of universal variables).
+    pub q_pred: String,
+    /// The "T" toggle predicate (arity 1).
+    pub t_pred: String,
+    /// The second-order guess predicates (identity rules).
+    pub so_preds: Vec<String>,
+}
+
+/// Compiles a Skolem-normal-form ∃SO sentence into the Theorem 1 program.
+///
+/// Fresh predicate names are prefixed `Q`/`T` and suffixed with digits when
+/// colliding with existing predicates.
+///
+/// # Panics
+/// Panics if a second-order variable name does not start with an uppercase
+/// letter (required to be a legal head predicate).
+pub fn eso_to_datalog(nf: &SkolemNf) -> DatalogReduction {
+    let mut used: std::collections::BTreeSet<String> = nf
+        .disjuncts
+        .iter()
+        .flatten()
+        .filter_map(|l| match l {
+            NfLit::Pos(p, _) | NfLit::Neg(p, _) => Some(p.clone()),
+            _ => None,
+        })
+        .collect();
+    for (name, _) in &nf.so_vars {
+        assert!(
+            name.chars().next().is_some_and(char::is_uppercase),
+            "second-order variable `{name}` must start uppercase"
+        );
+        used.insert(name.clone());
+    }
+    let fresh = |base: &str, used: &std::collections::BTreeSet<String>| -> String {
+        if !used.contains(base) {
+            return base.to_owned();
+        }
+        (0..)
+            .map(|i| format!("{base}{i}"))
+            .find(|n| !used.contains(n))
+            .expect("unbounded name space")
+    };
+    let q_pred = fresh("Q", &used);
+    used.insert(q_pred.clone());
+    let t_pred = fresh("T", &used);
+    used.insert(t_pred.clone());
+
+    let mut rules = Vec::new();
+
+    // Identity rules: make each S_j a non-database relation.
+    for (name, arity) in &nf.so_vars {
+        let terms: Vec<Term> = (0..*arity).map(|i| Term::Var(format!("x{i}"))).collect();
+        rules.push(Rule::new(
+            Atom::new(name.clone(), terms.clone()),
+            vec![Literal::Pos(Atom::new(name.clone(), terms))],
+        ));
+    }
+
+    // Q rules: one per disjunct. Variables keep their prenex names; the
+    // engine Domain-grounds whatever the body leaves unbound (that is the
+    // ∃ȳ and any x̄ not mentioned).
+    let head_terms: Vec<Term> = nf.foralls.iter().map(|v| Term::Var(v.clone())).collect();
+    for conj in &nf.disjuncts {
+        let body: Vec<Literal> = conj
+            .iter()
+            .map(|l| match l {
+                NfLit::Pos(p, ts) => Literal::Pos(Atom::new(p.clone(), ts.clone())),
+                NfLit::Neg(p, ts) => Literal::Neg(Atom::new(p.clone(), ts.clone())),
+                NfLit::Eq(a, b) => Literal::Eq(a.clone(), b.clone()),
+                NfLit::Neq(a, b) => Literal::Neq(a.clone(), b.clone()),
+            })
+            .collect();
+        rules.push(Rule::new(
+            Atom::new(q_pred.clone(), head_terms.clone()),
+            body,
+        ));
+    }
+
+    // The toggle: T(z) <- !Q(ū), !T(w).
+    let q_args: Vec<Term> = (0..nf.foralls.len())
+        .map(|i| Term::Var(format!("u{i}")))
+        .collect();
+    rules.push(Rule::new(
+        Atom::new(t_pred.clone(), vec![Term::Var("z".into())]),
+        vec![
+            Literal::Neg(Atom::new(q_pred.clone(), q_args)),
+            Literal::Neg(Atom::new(t_pred.clone(), vec![Term::Var("w".into())])),
+        ],
+    ));
+
+    DatalogReduction {
+        program: Program::new(rules),
+        q_pred,
+        t_pred,
+        so_preds: nf.so_vars.iter().map(|(n, _)| n.clone()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eso::Eso;
+    use crate::fo::Fo;
+    use inflog_core::graphs::DiGraph;
+    use inflog_core::Database;
+    use inflog_fixpoint::FixpointAnalyzer;
+    use inflog_syntax::var;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn e(x: &str, y: &str) -> Fo {
+        Fo::atom("E", vec![var(x), var(y)])
+    }
+
+    fn s1(x: &str) -> Fo {
+        Fo::atom("S", vec![var(x)])
+    }
+
+    fn compile(eso: &Eso) -> DatalogReduction {
+        eso_to_datalog(&crate::eso::SkolemNf::of(eso, 10_000))
+    }
+
+    fn fixpoint_exists(red: &DatalogReduction, db: &Database) -> bool {
+        FixpointAnalyzer::new(&red.program, db)
+            .unwrap()
+            .fixpoint_exists()
+    }
+
+    fn symmetric_cycle(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge_undirected(i as u32, ((i + 1) % n) as u32);
+        }
+        g
+    }
+
+    #[test]
+    fn two_colorability_reduction() {
+        // ∃S: every E-edge crosses the S-cut.
+        let matrix = Fo::Or(vec![
+            e("x", "y").negate(),
+            Fo::And(vec![s1("x"), s1("y").negate()]),
+            Fo::And(vec![s1("x").negate(), s1("y")]),
+        ])
+        .forall("y")
+        .forall("x");
+        let eso = Eso::new(vec![("S", 1)], matrix);
+        let red = compile(&eso);
+
+        // Structure: identity rule + 3 Q-rules + toggle.
+        assert_eq!(red.program.len(), 5);
+        assert!(red.program.idb_predicates().contains(&red.q_pred));
+
+        for (g, expect) in [
+            (symmetric_cycle(4), true),
+            (symmetric_cycle(5), false),
+            (symmetric_cycle(6), true),
+            (DiGraph::path(4), true), // directed path: 2-colorable
+        ] {
+            let db = g.to_database("E");
+            assert_eq!(eso.eval_brute(&db), expect, "brute on {g}");
+            assert_eq!(fixpoint_exists(&red, &db), expect, "fixpoint on {g}");
+        }
+    }
+
+    #[test]
+    fn alternation_reduction() {
+        // ∃S ∀x∃y (E(x,y) ∧ S(y)).
+        let matrix = Fo::And(vec![e("x", "y"), s1("y")])
+            .exists("y")
+            .forall("x");
+        let eso = Eso::new(vec![("S", 1)], matrix);
+        let red = compile(&eso);
+        for (g, expect) in [
+            (DiGraph::cycle(4), true),
+            (DiGraph::path(3), false), // sink vertex has no out-edge
+            (DiGraph::complete(3), true),
+        ] {
+            let db = g.to_database("E");
+            assert_eq!(eso.eval_brute(&db), expect, "brute on {g}");
+            assert_eq!(fixpoint_exists(&red, &db), expect, "fixpoint on {g}");
+        }
+    }
+
+    #[test]
+    fn genuine_witness_reduction() {
+        // ∃u∀x∃y (E(u,x) → E(x,y)): needs a witness relation (∃ before ∀).
+        let matrix = Fo::Implies(Box::new(e("u", "x")), Box::new(e("x", "y")))
+            .exists("y")
+            .forall("x")
+            .exists("u");
+        let eso = Eso::new(vec![], matrix);
+        let red = compile(&eso);
+        assert!(
+            red.so_preds.iter().any(|p| p.starts_with('W')),
+            "witness relations should appear as guess predicates"
+        );
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..6 {
+            let g = DiGraph::random_gnp(3, 0.4, &mut rng);
+            let db = g.to_database("E");
+            assert_eq!(
+                eso.eval_brute(&db),
+                fixpoint_exists(&red, &db),
+                "graph {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_formulas_reduction_agrees_with_brute_force() {
+        // The Theorem 1 statement, tested end to end on random sentences.
+        let mut rng = StdRng::seed_from_u64(61);
+        for trial in 0..10 {
+            let sentence = random_sentence(&mut rng);
+            let eso = Eso::new(vec![("S", 1)], sentence);
+            let red = compile(&eso);
+            for n in [2usize, 3] {
+                let g = DiGraph::random_gnp(n, 0.5, &mut rng);
+                let db = g.to_database("E");
+                let brute = eso.eval_brute(&db);
+                let fix = fixpoint_exists(&red, &db);
+                assert_eq!(
+                    brute, fix,
+                    "trial {trial}, formula {}, graph {g}",
+                    eso.matrix
+                );
+            }
+        }
+    }
+
+    fn random_sentence(rng: &mut StdRng) -> Fo {
+        let vars = ["v0", "v1", "v2"];
+        fn atom(rng: &mut StdRng, vars: &[&str]) -> Fo {
+            let x = vars[rng.gen_range(0..vars.len())];
+            let y = vars[rng.gen_range(0..vars.len())];
+            if rng.gen_bool(0.5) {
+                Fo::atom("E", vec![var(x), var(y)])
+            } else {
+                Fo::atom("S", vec![var(x)])
+            }
+        }
+        fn go(rng: &mut StdRng, depth: usize, vars: &[&str]) -> Fo {
+            if depth == 0 {
+                let a = atom(rng, vars);
+                return if rng.gen_bool(0.4) { a.negate() } else { a };
+            }
+            match rng.gen_range(0..5) {
+                0 => Fo::And(vec![go(rng, depth - 1, vars), go(rng, depth - 1, vars)]),
+                1 => Fo::Or(vec![go(rng, depth - 1, vars), go(rng, depth - 1, vars)]),
+                2 => go(rng, depth - 1, vars).negate(),
+                3 => go(rng, depth - 1, vars).forall(vars[rng.gen_range(0..vars.len())]),
+                _ => go(rng, depth - 1, vars).exists(vars[rng.gen_range(0..vars.len())]),
+            }
+        }
+        let mut f = go(rng, 2, &vars);
+        for v in vars {
+            f = if rng.gen_bool(0.5) {
+                f.forall(v)
+            } else {
+                f.exists(v)
+            };
+        }
+        f
+    }
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        // A formula already using predicates Q and T.
+        let matrix = Fo::Or(vec![
+            Fo::atom("Q", vec![var("x")]).negate(),
+            Fo::atom("T", vec![var("x")]),
+        ])
+        .forall("x");
+        let eso = Eso::new(vec![("Q", 1), ("T", 1)], matrix);
+        let red = compile(&eso);
+        assert_ne!(red.q_pred, "Q");
+        assert_ne!(red.t_pred, "T");
+        let report = inflog_syntax::validate(&red.program);
+        assert!(report.is_ok(), "errors: {:?}", report.errors);
+    }
+
+    #[test]
+    fn trivially_true_and_false_sentences() {
+        // ∀x (x = x) → compiled program always has a fixpoint.
+        let taut = Eso::new(vec![], Fo::Eq(var("x"), var("x")).forall("x"));
+        let red_t = compile(&taut);
+        // ∀x ¬(x = x) → never (on nonempty universes).
+        let contra = Eso::new(vec![], Fo::Eq(var("x"), var("x")).negate().forall("x"));
+        let red_f = compile(&contra);
+        for g in [DiGraph::path(2), DiGraph::cycle(3)] {
+            let db = g.to_database("E");
+            assert!(fixpoint_exists(&red_t, &db));
+            assert!(!fixpoint_exists(&red_f, &db));
+        }
+    }
+}

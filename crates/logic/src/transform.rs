@@ -1,0 +1,375 @@
+//! Normal-form transformations: NNF, prenex form, and DNF.
+//!
+//! These are the formula-massaging steps in the proof of Theorem 1: the
+//! first-order part of the ∃SO sentence is brought to prenex normal form,
+//! then (after Skolemization-by-relations, see [`eso`](crate::eso)) its
+//! matrix is put in disjunctive normal form so that each disjunct becomes a
+//! DATALOG¬ rule body.
+
+use crate::fo::Fo;
+use inflog_syntax::Term;
+
+/// A quantifier kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quant {
+    /// Universal.
+    Forall,
+    /// Existential.
+    Exists,
+}
+
+/// Rewrites to negation normal form: implications eliminated, negations
+/// pushed to atoms/equalities.
+pub fn nnf(f: &Fo) -> Fo {
+    fn pos(f: &Fo) -> Fo {
+        match f {
+            Fo::True | Fo::False | Fo::Atom { .. } | Fo::Eq(_, _) => f.clone(),
+            Fo::Not(g) => neg(g),
+            Fo::And(gs) => Fo::And(gs.iter().map(pos).collect()),
+            Fo::Or(gs) => Fo::Or(gs.iter().map(pos).collect()),
+            Fo::Implies(a, b) => Fo::Or(vec![neg(a), pos(b)]),
+            Fo::Forall(v, g) => Fo::Forall(v.clone(), Box::new(pos(g))),
+            Fo::Exists(v, g) => Fo::Exists(v.clone(), Box::new(pos(g))),
+        }
+    }
+    fn neg(f: &Fo) -> Fo {
+        match f {
+            Fo::True => Fo::False,
+            Fo::False => Fo::True,
+            Fo::Atom { .. } | Fo::Eq(_, _) => Fo::Not(Box::new(f.clone())),
+            Fo::Not(g) => pos(g),
+            Fo::And(gs) => Fo::Or(gs.iter().map(neg).collect()),
+            Fo::Or(gs) => Fo::And(gs.iter().map(neg).collect()),
+            Fo::Implies(a, b) => Fo::And(vec![pos(a), neg(b)]),
+            Fo::Forall(v, g) => Fo::Exists(v.clone(), Box::new(neg(g))),
+            Fo::Exists(v, g) => Fo::Forall(v.clone(), Box::new(neg(g))),
+        }
+    }
+    pos(f)
+}
+
+/// Whether a formula is in NNF (negations only on atoms, no implications).
+pub fn is_nnf(f: &Fo) -> bool {
+    match f {
+        Fo::True | Fo::False | Fo::Atom { .. } | Fo::Eq(_, _) => true,
+        Fo::Not(g) => matches!(**g, Fo::Atom { .. } | Fo::Eq(_, _)),
+        Fo::And(gs) | Fo::Or(gs) => gs.iter().all(is_nnf),
+        Fo::Implies(_, _) => false,
+        Fo::Forall(_, g) | Fo::Exists(_, g) => is_nnf(g),
+    }
+}
+
+/// Brings an NNF formula to prenex form with **globally fresh** variable
+/// names `q0, q1, ...` (capture-free by construction). Returns the prefix
+/// (outermost first) and the quantifier-free matrix.
+///
+/// Free variables are left untouched.
+///
+/// # Panics
+/// Panics if the input is not in NNF (callers apply [`nnf`] first).
+pub fn prenex(f: &Fo) -> (Vec<(Quant, String)>, Fo) {
+    assert!(is_nnf(f), "prenex requires NNF input");
+    let mut counter = 0usize;
+    let mut prefix = Vec::new();
+    let matrix = go(f, &mut Vec::new(), &mut prefix, &mut counter);
+    return (prefix, matrix);
+
+    /// `renames` maps original bound names to fresh names (a stack to
+    /// handle shadowing).
+    fn go(
+        f: &Fo,
+        renames: &mut Vec<(String, String)>,
+        prefix: &mut Vec<(Quant, String)>,
+        counter: &mut usize,
+    ) -> Fo {
+        match f {
+            Fo::True | Fo::False => f.clone(),
+            Fo::Atom { pred, terms } => Fo::Atom {
+                pred: pred.clone(),
+                terms: terms.iter().map(|t| rename_term(t, renames)).collect(),
+            },
+            Fo::Eq(a, b) => Fo::Eq(rename_term(a, renames), rename_term(b, renames)),
+            Fo::Not(g) => go(g, renames, prefix, counter).negate(),
+            Fo::And(gs) => Fo::And(
+                gs.iter()
+                    .map(|g| go(g, renames, prefix, counter))
+                    .collect(),
+            ),
+            Fo::Or(gs) => Fo::Or(
+                gs.iter()
+                    .map(|g| go(g, renames, prefix, counter))
+                    .collect(),
+            ),
+            Fo::Implies(_, _) => unreachable!("NNF has no implications"),
+            Fo::Forall(v, g) | Fo::Exists(v, g) => {
+                let q = if matches!(f, Fo::Forall(_, _)) {
+                    Quant::Forall
+                } else {
+                    Quant::Exists
+                };
+                let fresh = format!("q{counter}");
+                *counter += 1;
+                prefix.push((q, fresh.clone()));
+                renames.push((v.clone(), fresh));
+                let m = go(g, renames, prefix, counter);
+                renames.pop();
+                m
+            }
+        }
+    }
+
+    fn rename_term(t: &Term, renames: &[(String, String)]) -> Term {
+        match t {
+            Term::Var(v) => {
+                for (from, to) in renames.iter().rev() {
+                    if from == v {
+                        return Term::Var(to.clone());
+                    }
+                }
+                Term::Var(v.clone())
+            }
+            Term::Const(_) => t.clone(),
+        }
+    }
+}
+
+/// A literal of a quantifier-free matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfLit {
+    /// `pred(terms)`.
+    Pos(String, Vec<Term>),
+    /// `¬pred(terms)`.
+    Neg(String, Vec<Term>),
+    /// `a = b`.
+    Eq(Term, Term),
+    /// `a ≠ b`.
+    Neq(Term, Term),
+}
+
+/// Converts a quantifier-free NNF matrix to DNF: a disjunction of
+/// conjunctions of literals. `True` yields one empty conjunction; `False`
+/// yields zero disjuncts.
+///
+/// # Panics
+/// Panics on quantifiers or non-NNF input, or if the DNF exceeds
+/// `max_disjuncts` (callers control blowup).
+pub fn dnf(f: &Fo, max_disjuncts: usize) -> Vec<Vec<NfLit>> {
+    let out = go(f, max_disjuncts);
+    assert!(
+        out.len() <= max_disjuncts,
+        "DNF exceeded {max_disjuncts} disjuncts"
+    );
+    return out;
+
+    fn go(f: &Fo, cap: usize) -> Vec<Vec<NfLit>> {
+        match f {
+            Fo::True => vec![vec![]],
+            Fo::False => vec![],
+            Fo::Atom { pred, terms } => vec![vec![NfLit::Pos(pred.clone(), terms.clone())]],
+            Fo::Eq(a, b) => vec![vec![NfLit::Eq(a.clone(), b.clone())]],
+            Fo::Not(g) => match &**g {
+                Fo::Atom { pred, terms } => {
+                    vec![vec![NfLit::Neg(pred.clone(), terms.clone())]]
+                }
+                Fo::Eq(a, b) => vec![vec![NfLit::Neq(a.clone(), b.clone())]],
+                _ => panic!("dnf requires NNF input"),
+            },
+            Fo::Or(gs) => {
+                let mut out = Vec::new();
+                for g in gs {
+                    out.extend(go(g, cap));
+                    assert!(out.len() <= cap, "DNF exceeded {cap} disjuncts");
+                }
+                out
+            }
+            Fo::And(gs) => {
+                let mut out: Vec<Vec<NfLit>> = vec![vec![]];
+                for g in gs {
+                    let parts = go(g, cap);
+                    let mut next = Vec::with_capacity(out.len() * parts.len());
+                    for a in &out {
+                        for b in &parts {
+                            let mut c = a.clone();
+                            c.extend(b.iter().cloned());
+                            next.push(c);
+                        }
+                    }
+                    assert!(next.len() <= cap, "DNF exceeded {cap} disjuncts");
+                    out = next;
+                }
+                out
+            }
+            Fo::Implies(_, _) | Fo::Forall(_, _) | Fo::Exists(_, _) => {
+                panic!("dnf requires a quantifier-free NNF matrix")
+            }
+        }
+    }
+}
+
+/// Rebuilds a formula from a prefix and matrix (for evaluation round-trips).
+pub fn requantify(prefix: &[(Quant, String)], matrix: Fo) -> Fo {
+    let mut f = matrix;
+    for (q, v) in prefix.iter().rev() {
+        f = match q {
+            Quant::Forall => f.forall(v.clone()),
+            Quant::Exists => f.exists(v.clone()),
+        };
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fo::{eval_sentence, ExtraRelations};
+    use inflog_core::graphs::DiGraph;
+    use inflog_syntax::var;
+
+    fn e(x: &str, y: &str) -> Fo {
+        Fo::atom("E", vec![var(x), var(y)])
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let f = Fo::Not(Box::new(Fo::And(vec![e("x", "y"), e("y", "x").negate()])));
+        let g = nnf(&f);
+        assert!(is_nnf(&g));
+        assert_eq!(g, Fo::Or(vec![e("x", "y").negate(), e("y", "x")]));
+    }
+
+    #[test]
+    fn nnf_dualizes_quantifiers() {
+        let f = Fo::Not(Box::new(e("x", "y").exists("y").forall("x")));
+        let g = nnf(&f);
+        assert_eq!(g, e("x", "y").negate().forall("y").exists("x"));
+    }
+
+    #[test]
+    fn nnf_eliminates_implication() {
+        let f = Fo::Implies(Box::new(e("x", "y")), Box::new(e("y", "x")));
+        let g = nnf(&f);
+        assert!(is_nnf(&g));
+        assert_eq!(g, Fo::Or(vec![e("x", "y").negate(), e("y", "x")]));
+    }
+
+    #[test]
+    fn nnf_preserves_truth() {
+        let dbs = [
+            DiGraph::path(3).to_database("E"),
+            DiGraph::cycle(3).to_database("E"),
+            DiGraph::complete(3).to_database("E"),
+        ];
+        let formulas = [
+            Fo::Not(Box::new(e("x", "y").exists("y").forall("x"))),
+            Fo::Implies(Box::new(e("x", "y")), Box::new(e("y", "x")))
+                .forall("y")
+                .forall("x"),
+            Fo::Not(Box::new(Fo::And(vec![
+                e("x", "y").exists("y"),
+                e("y", "x").negate().forall("y"),
+            ])))
+            .forall("x"),
+        ];
+        for db in &dbs {
+            for f in &formulas {
+                assert_eq!(
+                    eval_sentence(f, db, &ExtraRelations::new()),
+                    eval_sentence(&nnf(f), db, &ExtraRelations::new()),
+                    "formula {f} on {db}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prenex_extracts_prefix_in_order() {
+        let f = nnf(&Fo::And(vec![
+            e("x", "y").exists("y").forall("x"),
+            e("u", "u").exists("u"),
+        ]));
+        let (prefix, matrix) = prenex(&f);
+        assert_eq!(prefix.len(), 3);
+        assert_eq!(prefix[0].0, Quant::Forall);
+        assert_eq!(prefix[1].0, Quant::Exists);
+        assert_eq!(prefix[2].0, Quant::Exists);
+        assert!(matches!(matrix, Fo::And(_)));
+    }
+
+    #[test]
+    fn prenex_preserves_truth() {
+        let dbs = [
+            DiGraph::path(4).to_database("E"),
+            DiGraph::cycle(5).to_database("E"),
+            DiGraph::star(4).to_database("E"),
+        ];
+        let formulas = [
+            Fo::And(vec![
+                e("x", "y").exists("y").forall("x"),
+                e("u", "v").negate().forall("v").exists("u"),
+            ]),
+            Fo::Or(vec![
+                e("x", "x").exists("x"),
+                e("a", "b").exists("b").forall("a"),
+            ]),
+            // Shadowing: same name bound twice.
+            Fo::And(vec![e("x", "y").exists("y"), e("x", "y").negate().exists("y")]).forall("x"),
+        ];
+        for db in &dbs {
+            for f in &formulas {
+                let n = nnf(f);
+                let (prefix, matrix) = prenex(&n);
+                let p = requantify(&prefix, matrix);
+                assert_eq!(
+                    eval_sentence(f, db, &ExtraRelations::new()),
+                    eval_sentence(&p, db, &ExtraRelations::new()),
+                    "formula {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dnf_simple_distribution() {
+        // (a ∨ b) ∧ c  →  (a∧c) ∨ (b∧c)
+        let f = Fo::And(vec![
+            Fo::Or(vec![e("a", "a"), e("b", "b")]),
+            e("c", "c"),
+        ]);
+        let d = dnf(&f, 100);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].len(), 2);
+    }
+
+    #[test]
+    fn dnf_constants() {
+        assert_eq!(dnf(&Fo::True, 10), vec![Vec::<NfLit>::new()]);
+        assert!(dnf(&Fo::False, 10).is_empty());
+    }
+
+    #[test]
+    fn dnf_negated_literals() {
+        let f = Fo::And(vec![
+            e("x", "y").negate(),
+            Fo::Eq(var("x"), var("y")).negate(),
+        ]);
+        let d = dnf(&f, 10);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(d[0][0], NfLit::Neg(_, _)));
+        assert!(matches!(d[0][1], NfLit::Neq(_, _)));
+    }
+
+    #[test]
+    #[should_panic(expected = "DNF exceeded")]
+    fn dnf_cap_enforced() {
+        // (a∨b) ∧ (c∨d) ∧ (e∨f) = 8 disjuncts > 4.
+        let pair = |x: &str| Fo::Or(vec![e(x, x), e(x, "z")]);
+        let f = Fo::And(vec![pair("a"), pair("b"), pair("c")]);
+        let _ = dnf(&f, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "NNF")]
+    fn dnf_rejects_quantifiers() {
+        let _ = dnf(&e("x", "y").exists("y"), 10);
+    }
+}

@@ -1,0 +1,196 @@
+//! 3-COLORING checkers: independent ground truths for Lemma 1 / Theorem 4.
+//!
+//! A digraph is treated as its underlying undirected graph; self-loops make
+//! it uncolorable. Two implementations with different trust bases: a
+//! brute-force enumerator for small graphs and a SAT encoding solved by the
+//! CDCL engine for larger ones.
+
+use inflog_core::graphs::DiGraph;
+use inflog_sat::{Cnf, SolveResult, Solver, Var};
+
+/// Brute-force 3-colorability (up to ~15 vertices: `3^n` assignments).
+///
+/// # Panics
+/// Panics above 16 vertices.
+pub fn is_3colorable_brute(g: &DiGraph) -> bool {
+    let n = g.num_vertices();
+    assert!(n <= 16, "brute-force coloring limited to 16 vertices");
+    if n == 0 {
+        return true;
+    }
+    let mut colors = vec![0u8; n];
+    loop {
+        if valid_coloring(g, &colors) {
+            return true;
+        }
+        let mut i = 0;
+        loop {
+            if i == n {
+                return false;
+            }
+            colors[i] += 1;
+            if colors[i] < 3 {
+                break;
+            }
+            colors[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Checks a specific coloring.
+pub fn valid_coloring(g: &DiGraph, colors: &[u8]) -> bool {
+    g.edges().all(|(u, v)| {
+        u != v && colors[u as usize] != colors[v as usize]
+    })
+}
+
+/// Encodes 3-colorability as CNF: variable `(v, c)` = "vertex v has color
+/// c"; at-least-one and at-most-one per vertex, conflict clauses per edge.
+pub fn three_coloring_cnf(g: &DiGraph) -> Cnf {
+    let n = g.num_vertices();
+    let mut cnf = Cnf::with_vars(3 * n);
+    let var = |v: usize, c: usize| Var((3 * v + c) as u32);
+    for v in 0..n {
+        cnf.add_clause(vec![var(v, 0).pos(), var(v, 1).pos(), var(v, 2).pos()]);
+        for c1 in 0..3 {
+            for c2 in (c1 + 1)..3 {
+                cnf.add_clause(vec![var(v, c1).neg(), var(v, c2).neg()]);
+            }
+        }
+    }
+    for (u, v) in g.edges() {
+        if u == v {
+            // Self-loop: unsatisfiable on purpose.
+            for c in 0..3 {
+                cnf.add_clause(vec![var(u as usize, c).neg()]);
+            }
+            continue;
+        }
+        for c in 0..3 {
+            cnf.add_clause(vec![var(u as usize, c).neg(), var(v as usize, c).neg()]);
+        }
+    }
+    cnf
+}
+
+/// SAT-based 3-coloring; returns a coloring if one exists.
+pub fn is_3colorable_sat(g: &DiGraph) -> Option<Vec<u8>> {
+    if g.num_vertices() == 0 {
+        return Some(Vec::new());
+    }
+    let cnf = three_coloring_cnf(g);
+    match Solver::from_cnf(&cnf).solve() {
+        SolveResult::Unsat => None,
+        SolveResult::Sat(model) => {
+            let colors: Vec<u8> = (0..g.num_vertices())
+                .map(|v| {
+                    (0..3)
+                        .find(|&c| model[3 * v + c])
+                        .expect("at-least-one clause") as u8
+                })
+                .collect();
+            Some(colors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::pi_col;
+    use inflog_fixpoint::FixpointAnalyzer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_graphs() {
+        assert!(is_3colorable_brute(&DiGraph::cycle(3)));
+        assert!(is_3colorable_brute(&DiGraph::cycle(5)));
+        assert!(is_3colorable_brute(&DiGraph::complete(3)));
+        assert!(!is_3colorable_brute(&DiGraph::complete(4)));
+        assert!(is_3colorable_brute(&DiGraph::petersen()));
+        assert!(is_3colorable_brute(&DiGraph::complete_bipartite(3, 3)));
+        let mut loopy = DiGraph::new(2);
+        loopy.add_edge(0, 1);
+        loopy.add_edge(1, 1);
+        assert!(!is_3colorable_brute(&loopy));
+        assert!(is_3colorable_brute(&DiGraph::new(0)));
+    }
+
+    #[test]
+    fn sat_checker_agrees_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for trial in 0..15 {
+            let g = DiGraph::random_undirected(8, 0.4, &mut rng);
+            let brute = is_3colorable_brute(&g);
+            let sat = is_3colorable_sat(&g);
+            assert_eq!(sat.is_some(), brute, "trial {trial}: {g}");
+            if let Some(colors) = sat {
+                assert!(valid_coloring(&g, &colors), "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn sat_checker_scales_past_brute_force() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = DiGraph::random_undirected(40, 0.08, &mut rng);
+        // Just exercise it; sparse graphs of this size are colorable w.h.p.
+        let r = is_3colorable_sat(&g);
+        if let Some(colors) = r {
+            assert!(valid_coloring(&g, &colors));
+        }
+    }
+
+    #[test]
+    fn lemma1_pi_col_fixpoint_iff_colorable() {
+        // The paper's exact π_COL against both checkers.
+        let cases = [
+            DiGraph::cycle(3),
+            DiGraph::cycle(4),
+            DiGraph::complete(4),
+            DiGraph::complete(3),
+            DiGraph::complete_bipartite(2, 2),
+            DiGraph::star(4),
+        ];
+        for g in cases {
+            let expect = is_3colorable_brute(&g);
+            let db = g.to_database("E");
+            let analyzer = FixpointAnalyzer::new(&pi_col(), &db).unwrap();
+            assert_eq!(analyzer.fixpoint_exists(), expect, "Lemma 1 on {g}");
+        }
+    }
+
+    #[test]
+    fn lemma1_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for trial in 0..6 {
+            let g = DiGraph::random_undirected(6, 0.5, &mut rng);
+            let expect = is_3colorable_brute(&g);
+            let db = g.to_database("E");
+            let analyzer = FixpointAnalyzer::new(&pi_col(), &db).unwrap();
+            assert_eq!(analyzer.fixpoint_exists(), expect, "trial {trial}: {g}");
+        }
+    }
+
+    #[test]
+    fn fixpoint_colors_are_valid_colorings() {
+        // From a π_COL fixpoint, R/B/G restricted to vertices form a
+        // proper coloring.
+        let g = DiGraph::cycle(5);
+        let db = g.to_database("E");
+        let analyzer = FixpointAnalyzer::new(&pi_col(), &db).unwrap();
+        let fix = analyzer.find_fixpoint().expect("C5 is 3-colorable");
+        let cp = analyzer.compiled();
+        let mut colors = vec![3u8; 5];
+        for (ci, pred) in ["R", "B", "G"].iter().enumerate() {
+            let rel = fix.get(cp.idb_id(pred).unwrap());
+            for t in rel.iter() {
+                colors[t[0].index()] = ci as u8;
+            }
+        }
+        assert!(colors.iter().all(|&c| c < 3), "all vertices colored");
+        assert!(valid_coloring(&g, &colors));
+    }
+}

@@ -1,0 +1,173 @@
+//! BFS baselines for the §4 distance query and its stratified counterpart.
+//!
+//! Proposition 2's query: `D(x, y, x*, y*)` — "is there a path from x to y
+//! shorter than or equal to any path from x* to y*?", with the convention
+//! that the answer is yes when x reaches y but x* does not reach y*.
+//! Equivalently: `dist(x,y) < ∞ ∧ dist(x,y) ≤ dist(x*,y*)`.
+//!
+//! The same six-rule program read under **stratified** semantics computes
+//! `TC(x,y) ∧ ¬TC(x*,y*)` instead (§4's closing remark); both baselines
+//! live here so experiment E8 can exhibit the divergence.
+
+use inflog_core::graphs::DiGraph;
+use std::collections::BTreeSet;
+
+/// All quadruples `(x, y, x*, y*)` satisfying the distance query.
+pub fn distance_query_baseline(g: &DiGraph) -> BTreeSet<(u32, u32, u32, u32)> {
+    let n = g.num_vertices() as u32;
+    let dist = nonempty_path_distances(g);
+    let mut out = BTreeSet::new();
+    for x in 0..n {
+        for y in 0..n {
+            let Some(d) = dist[x as usize][y as usize] else {
+                continue;
+            };
+            for xs in 0..n {
+                for ys in 0..n {
+                    let ok = match dist[xs as usize][ys as usize] {
+                        None => true,
+                        Some(ds) => d <= ds,
+                    };
+                    if ok {
+                        out.insert((x, y, xs, ys));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All quadruples `(x, y, x*, y*)` with `TC(x,y) ∧ ¬TC(x*,y*)` — what the
+/// stratified reading of the distance program computes.
+pub fn stratified_reading_baseline(g: &DiGraph) -> BTreeSet<(u32, u32, u32, u32)> {
+    let n = g.num_vertices() as u32;
+    let tc = g.transitive_closure();
+    let mut out = BTreeSet::new();
+    for x in 0..n {
+        for y in 0..n {
+            if !tc.contains(&(x, y)) {
+                continue;
+            }
+            for xs in 0..n {
+                for ys in 0..n {
+                    if !tc.contains(&(xs, ys)) {
+                        out.insert((x, y, xs, ys));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Shortest **nonempty** path lengths (`dist[u][v]`; `dist[u][u]` is the
+/// shortest cycle through `u`, not 0) — matching the TC program's
+/// "path of length ≥ 1" semantics.
+pub fn nonempty_path_distances(g: &DiGraph) -> Vec<Vec<Option<usize>>> {
+    let n = g.num_vertices();
+    (0..n as u32)
+        .map(|u| {
+            // BFS from the successors of u, then add one edge.
+            let mut dist = vec![None; n];
+            let mut queue = std::collections::VecDeque::new();
+            for v in g.successors(u) {
+                if dist[v as usize].is_none() {
+                    dist[v as usize] = Some(1usize);
+                    queue.push_back(v);
+                }
+            }
+            while let Some(v) = queue.pop_front() {
+                let dv = dist[v as usize].expect("queued");
+                for w in g.successors(v) {
+                    if dist[w as usize].is_none() {
+                        dist[w as usize] = Some(dv + 1);
+                        queue.push_back(w);
+                    }
+                }
+            }
+            dist
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonempty_distances_on_path() {
+        let g = DiGraph::path(3);
+        let d = nonempty_path_distances(&g);
+        assert_eq!(d[0][1], Some(1));
+        assert_eq!(d[0][2], Some(2));
+        assert_eq!(d[0][0], None, "no cycle through v0");
+        assert_eq!(d[2][0], None);
+    }
+
+    #[test]
+    fn nonempty_distances_on_cycle() {
+        let g = DiGraph::cycle(3);
+        let d = nonempty_path_distances(&g);
+        assert_eq!(d[0][0], Some(3), "shortest cycle has length n");
+        assert_eq!(d[0][1], Some(1));
+        assert_eq!(d[1][0], Some(2));
+    }
+
+    #[test]
+    fn distance_query_semantics_on_path() {
+        // L_3: dist(0,1)=1, dist(0,2)=2, dist(1,2)=1.
+        let g = DiGraph::path(3);
+        let d = distance_query_baseline(&g);
+        // Shorter-or-equal pair: yes.
+        assert!(d.contains(&(0, 1, 0, 2)));
+        // Longer: no.
+        assert!(!d.contains(&(0, 2, 0, 1)));
+        // Equal: yes.
+        assert!(d.contains(&(0, 1, 1, 2)));
+        // Unreachable target pair: yes whenever source pair connected.
+        assert!(d.contains(&(0, 2, 2, 0)));
+        // Source pair unreachable: never.
+        assert!(!d.contains(&(2, 0, 0, 1)));
+    }
+
+    #[test]
+    fn stratified_reading_is_tc_and_not_tc() {
+        let g = DiGraph::path(3);
+        let s = stratified_reading_baseline(&g);
+        assert!(s.contains(&(0, 2, 2, 0))); // TC(0,2) ∧ ¬TC(2,0)
+        assert!(!s.contains(&(0, 2, 0, 1))); // TC(0,1) holds
+        assert!(!s.contains(&(2, 0, 2, 0))); // ¬TC(2,0) as source
+    }
+
+    #[test]
+    fn queries_differ_in_general() {
+        // §4's point: the two semantics compute different relations.
+        let g = DiGraph::path(3);
+        assert_ne!(distance_query_baseline(&g), stratified_reading_baseline(&g));
+        // Distance query contains (0,1,0,2) (1 ≤ 2) but the stratified
+        // reading does not (TC(0,2) holds).
+        let d = distance_query_baseline(&g);
+        let s = stratified_reading_baseline(&g);
+        assert!(d.contains(&(0, 1, 0, 2)));
+        assert!(!s.contains(&(0, 1, 0, 2)));
+    }
+
+    #[test]
+    fn tc_is_reducible_to_distance() {
+        // Prop 2: TC(x,y) ⟺ D(x,y,x,y).
+        for g in [DiGraph::path(4), DiGraph::cycle(4), DiGraph::binary_tree(7)] {
+            let d = distance_query_baseline(&g);
+            let tc = g.transitive_closure();
+            for x in 0..g.num_vertices() as u32 {
+                for y in 0..g.num_vertices() as u32 {
+                    assert_eq!(
+                        d.contains(&(x, y, x, y)),
+                        tc.contains(&(x, y)),
+                        "({x},{y}) on {g}"
+                    );
+                }
+            }
+        }
+    }
+}

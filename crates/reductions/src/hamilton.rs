@@ -1,0 +1,103 @@
+//! Hamilton circuits: the paper's illustrating member of the class US
+//! ("the collection of graphs having a *unique* Hamilton circuit").
+
+use inflog_core::graphs::DiGraph;
+
+/// Counts directed Hamilton circuits by backtracking, up to `limit`.
+///
+/// Circuits are counted as cyclic sequences anchored at vertex 0 (so each
+/// circuit is counted once, not `n` times); a graph with fewer than 2
+/// vertices has none (a self-loop is not a circuit here).
+pub fn count_hamilton_circuits(g: &DiGraph, limit: usize) -> usize {
+    let n = g.num_vertices();
+    if n < 2 {
+        return 0;
+    }
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    let mut count = 0usize;
+    backtrack(g, 0, 1, &mut visited, &mut count, limit);
+    count
+}
+
+fn backtrack(
+    g: &DiGraph,
+    current: u32,
+    placed: usize,
+    visited: &mut Vec<bool>,
+    count: &mut usize,
+    limit: usize,
+) {
+    if *count >= limit {
+        return;
+    }
+    if placed == g.num_vertices() {
+        if g.has_edge(current, 0) {
+            *count += 1;
+        }
+        return;
+    }
+    let next: Vec<u32> = g.successors(current).collect();
+    for v in next {
+        if !visited[v as usize] {
+            visited[v as usize] = true;
+            backtrack(g, v, placed + 1, visited, count, limit);
+            visited[v as usize] = false;
+        }
+    }
+}
+
+/// The US predicate: does the graph have exactly one Hamilton circuit?
+pub fn has_unique_hamilton_circuit(g: &DiGraph) -> bool {
+    count_hamilton_circuits(g, 2) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_cycle_has_exactly_one() {
+        for n in 2..=6usize {
+            let g = DiGraph::cycle(n);
+            assert_eq!(count_hamilton_circuits(&g, 10), 1, "C_{n}");
+            assert!(has_unique_hamilton_circuit(&g));
+        }
+    }
+
+    #[test]
+    fn path_has_none() {
+        assert_eq!(count_hamilton_circuits(&DiGraph::path(4), 10), 0);
+        assert!(!has_unique_hamilton_circuit(&DiGraph::path(4)));
+    }
+
+    #[test]
+    fn complete_digraph_counts() {
+        // K_n (directed, both directions): (n-1)! Hamilton circuits.
+        assert_eq!(count_hamilton_circuits(&DiGraph::complete(3), 100), 2);
+        assert_eq!(count_hamilton_circuits(&DiGraph::complete(4), 100), 6);
+        assert!(!has_unique_hamilton_circuit(&DiGraph::complete(4)));
+    }
+
+    #[test]
+    fn limit_short_circuits() {
+        assert_eq!(count_hamilton_circuits(&DiGraph::complete(5), 3), 3);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(count_hamilton_circuits(&DiGraph::new(0), 10), 0);
+        assert_eq!(count_hamilton_circuits(&DiGraph::new(1), 10), 0);
+        let mut loopy = DiGraph::new(1);
+        loopy.add_edge(0, 0);
+        assert_eq!(count_hamilton_circuits(&loopy, 10), 0);
+        assert_eq!(count_hamilton_circuits(&DiGraph::cycle(2), 10), 1);
+    }
+
+    #[test]
+    fn two_cycles_sharing_no_vertex() {
+        // Disjoint union of two cycles: no Hamilton circuit.
+        let g = DiGraph::disjoint_cycles(2, 3);
+        assert_eq!(count_hamilton_circuits(&g, 10), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # inflog-reductions
+//!
+//! The worked examples and reductions of *"Why Not Negation by Fixpoint?"*,
+//! executable:
+//!
+//! * [`programs`] — the paper's programs verbatim: π₁, π₂, π₃, π_SAT
+//!   (Example 1), π_COL (Lemma 1), the toggle rule, the transitive-closure
+//!   program and the §4 distance-query program;
+//! * [`sat_db`] — Example 1's encoding of SATISFIABILITY instances as
+//!   databases `D(I)` over the vocabulary `(V/1, P/2, N/2)`, both
+//!   directions, plus the Theorem 2 bijection between satisfying
+//!   assignments of `I` and fixpoints of `(π_SAT, D(I))`;
+//! * [`coloring`] — 3-COLORING: brute-force and SAT-based checkers
+//!   (independent ground truths for Lemma 1 / Theorem 4) and workload
+//!   graphs;
+//! * [`hamilton`] — Hamilton-circuit counting (the paper's illustrating
+//!   member of US: "does a graph have a *unique* Hamilton circuit?");
+//! * [`distance`] — BFS-based baselines for the distance query
+//!   `D(x, y, x*, y*)` of Proposition 2 and for the `TC ∧ ¬TC` relation the
+//!   *stratified* reading of the same program computes (§4's divergence).
+
+pub mod coloring;
+pub mod distance;
+pub mod hamilton;
+pub mod programs;
+pub mod sat_db;
+
+pub use coloring::{is_3colorable_brute, is_3colorable_sat};
+pub use distance::{distance_query_baseline, stratified_reading_baseline};
+pub use hamilton::count_hamilton_circuits;
+pub use sat_db::{assignment_from_fixpoint, cnf_to_database, database_to_cnf};

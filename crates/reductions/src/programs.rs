@@ -1,0 +1,183 @@
+//! The paper's DATALOG¬ programs, verbatim.
+//!
+//! Each constructor returns the program exactly as printed in the paper
+//! (§2 for π₁–π₃, Example 1 for π_SAT, §3 for π_COL, §4 for the distance
+//! program), so experiments and tests can cite rule-for-rule.
+
+use inflog_syntax::{parse_program, Program};
+
+fn parse(src: &str) -> Program {
+    parse_program(src).expect("paper programs are well-formed")
+}
+
+/// π₁ (§2): `T(x) <- E(y,x), !T(y)`.
+///
+/// On the path `L_n` it has a unique fixpoint `{2, 4, ...}`; on odd cycles
+/// none; on even cycles exactly two incomparable ones; on `G_n` (disjoint
+/// even cycles) exponentially many.
+pub fn pi1() -> Program {
+    parse("T(x) :- E(y, x), !T(y).")
+}
+
+/// π₂ (§2): transitive closure `S1` plus the non-monotone product
+/// `S2(x,y,z,w) <- S1(x,y), !S1(z,w)`.
+pub fn pi2() -> Program {
+    parse(
+        "
+        S1(x, y) :- E(x, y).
+        S1(x, y) :- E(x, z), S1(z, y).
+        S2(x, y, z, w) :- S1(x, y), !S1(z, w).
+        ",
+    )
+}
+
+/// π₃ (§2): the DATALOG (negation-free) transitive-closure program.
+pub fn pi3_tc() -> Program {
+    parse(
+        "
+        S(x, y) :- E(x, y).
+        S(x, y) :- E(x, z), S(z, y).
+        ",
+    )
+}
+
+/// The bare toggle rule `T(z) <- !T(w)` (§3): no fixpoint on nonempty
+/// universes — the paper's gadget forcing `Q = A^n` in Theorem 1.
+pub fn toggle() -> Program {
+    parse("T(z) :- !T(w).")
+}
+
+/// π_SAT (Example 1): over the vocabulary `(V/1, P/2, N/2)`,
+///
+/// ```text
+/// S(x) <- S(x)
+/// Q(x) <- V(x)
+/// Q(x) <- !S(x), P(x, y), S(y)
+/// Q(x) <- !S(x), N(x, y), !S(y)
+/// T(z) <- !Q(u), !T(w)
+/// ```
+///
+/// has a fixpoint on `D(I)` iff the SAT instance `I` is satisfiable, with a
+/// bijection between fixpoints and satisfying assignments (Theorem 2).
+pub fn pi_sat() -> Program {
+    parse(
+        "
+        S(x) :- S(x).
+        Q(x) :- V(x).
+        Q(x) :- !S(x), P(x, y), S(y).
+        Q(x) :- !S(x), N(x, y), !S(y).
+        T(z) :- !Q(u), !T(w).
+        ",
+    )
+}
+
+/// π_COL (§3, before Lemma 1): has a fixpoint on `E` iff the graph is
+/// 3-colorable.
+pub fn pi_col() -> Program {
+    parse(
+        "
+        R(x) :- R(x).
+        B(x) :- B(x).
+        G(x) :- G(x).
+        P(x) :- E(x, y), R(x), R(y).
+        P(x) :- E(x, y), B(x), B(y).
+        P(x) :- E(x, y), G(x), G(y).
+        P(x) :- G(x), B(x).
+        P(x) :- B(x), R(x).
+        P(x) :- R(x), G(x).
+        P(x) :- !R(x), !B(x), !G(x).
+        T(z) :- P(x), !T(w).
+        ",
+    )
+}
+
+/// The §4 distance-query program (Proposition 2), carrier `S3`:
+///
+/// ```text
+/// S1(x, y) <- E(x, y)
+/// S1(x, y) <- E(x, z), S1(z, y)
+/// S2(x', y') <- E(x', y')
+/// S2(x', y') <- E(x', z'), S2(z', y')
+/// S3(x, y, x', y') <- E(x, y), !S2(x', y')
+/// S3(x, y, x', y') <- E(x, z), S1(z, y), !S2(x', y')
+/// ```
+///
+/// Under **inflationary** semantics `S3` computes the distance query
+/// `D(x, y, x*, y*)`; under **stratified** semantics the same program
+/// computes `TC(x, y) ∧ ¬TC(x*, y*)` — the paper's example separating the
+/// two semantics.
+pub fn distance_program() -> Program {
+    parse(
+        "
+        S1(x, y) :- E(x, y).
+        S1(x, y) :- E(x, z), S1(z, y).
+        S2(x', y') :- E(x', y').
+        S2(x', y') :- E(x', z'), S2(z', y').
+        S3(x, y, x', y') :- E(x, y), !S2(x', y').
+        S3(x, y, x', y') :- E(x, z), S1(z, y), !S2(x', y').
+        ",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_syntax::validate;
+
+    #[test]
+    fn all_programs_parse_and_validate() {
+        for (name, p) in [
+            ("pi1", pi1()),
+            ("pi2", pi2()),
+            ("pi3", pi3_tc()),
+            ("toggle", toggle()),
+            ("pi_sat", pi_sat()),
+            ("pi_col", pi_col()),
+            ("distance", distance_program()),
+        ] {
+            let r = validate(&p);
+            assert!(r.is_ok(), "{name}: {:?}", r.errors);
+            assert!(!p.is_empty(), "{name} parses to rules");
+        }
+    }
+
+    #[test]
+    fn classifications_match_paper() {
+        // §2: π₃ is DATALOG; π₁, π₂ are not.
+        assert!(pi3_tc().is_positive());
+        assert!(!pi1().is_positive());
+        assert!(!pi2().is_positive());
+        // EDB/IDB splits.
+        assert_eq!(
+            pi1().edb_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["E"]
+        );
+        assert_eq!(
+            pi_sat().edb_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["N", "P", "V"]
+        );
+        assert_eq!(pi_sat().idb_predicates().len(), 3); // S, Q, T
+        assert_eq!(pi_col().idb_predicates().len(), 5); // R, B, G, P, T
+    }
+
+    #[test]
+    fn toggle_and_pi_sat_are_unsafe_but_legal() {
+        // The paper's flagship rules are classically unsafe; our validator
+        // must accept them with warnings only.
+        for p in [toggle(), pi_sat()] {
+            let r = validate(&p);
+            assert!(r.is_ok());
+            assert!(!r.is_safe(), "toggle rules warn about domain grounding");
+        }
+    }
+
+    #[test]
+    fn distance_program_arities() {
+        let p = distance_program();
+        let a = p.predicate_arities();
+        assert_eq!(a["S1"], 2);
+        assert_eq!(a["S2"], 2);
+        assert_eq!(a["S3"], 4);
+        assert_eq!(a["E"], 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! Example 1: SATISFIABILITY instances as databases `D(I)`.
+//!
+//! The universe of `D(I)` is `variables ∪ clauses`; `V` holds the
+//! variables; `P(c, v)` / `N(c, v)` record positive / negative occurrences.
+//! The correspondence is one-to-one both ways, and — the content of
+//! Theorem 2 — satisfying assignments of `I` correspond bijectively to
+//! fixpoints of `(π_SAT, D(I))`: a fixpoint's `S` relation *is* the set of
+//! true variables.
+
+use inflog_core::{Database, Relation, Tuple};
+use inflog_eval::{CompiledProgram, Interp};
+use inflog_sat::{Cnf, Lit, Var};
+
+/// Name of the universe element for variable `i`.
+pub fn var_name(i: usize) -> String {
+    format!("x{i}")
+}
+
+/// Name of the universe element for clause `j`.
+pub fn clause_name(j: usize) -> String {
+    format!("c{j}")
+}
+
+/// Builds the database `D(I)` of Example 1 from a CNF instance.
+///
+/// # Panics
+/// Panics on an instance with neither variables nor clauses (the paper's
+/// framework assumes a nonempty universe).
+pub fn cnf_to_database(cnf: &Cnf) -> Database {
+    assert!(
+        cnf.num_vars() > 0 || cnf.num_clauses() > 0,
+        "empty instance has an empty universe"
+    );
+    let mut db = Database::new();
+    for i in 0..cnf.num_vars() {
+        let name = var_name(i);
+        db.universe_mut().intern(&name);
+        db.insert_named_fact("V", &[&name]).expect("fresh fact");
+    }
+    // Declare P and N up front so even occurrence-free instances have them.
+    db.declare_relation("P", 2).expect("fresh");
+    db.declare_relation("N", 2).expect("fresh");
+    for (j, clause) in cnf.clauses().iter().enumerate() {
+        let cname = clause_name(j);
+        db.universe_mut().intern(&cname);
+        for lit in clause {
+            let vname = var_name(lit.var().index());
+            let rel = if lit.is_positive() { "P" } else { "N" };
+            db.insert_named_fact(rel, &[&cname, &vname])
+                .expect("interned");
+        }
+    }
+    db
+}
+
+/// Reads a database over `(V, P, N)` back into a CNF instance (the inverse
+/// direction of Example 1's correspondence).
+///
+/// Universe elements in `V` become variables (in universe order); the
+/// remaining elements become clauses.
+pub fn database_to_cnf(db: &Database) -> Cnf {
+    let empty = Relation::new(1);
+    let v_rel = db.relation("V").unwrap_or(&empty);
+    let mut var_of = std::collections::HashMap::new();
+    let mut clauses_elems = Vec::new();
+    for c in db.universe().iter() {
+        if v_rel.contains(&Tuple::from([c])) {
+            let idx = var_of.len();
+            var_of.insert(c, idx);
+        } else {
+            clauses_elems.push(c);
+        }
+    }
+    let mut cnf = Cnf::with_vars(var_of.len());
+    for ce in clauses_elems {
+        let mut clause: Vec<Lit> = Vec::new();
+        for (rel, positive) in [("P", true), ("N", false)] {
+            if let Some(r) = db.relation(rel) {
+                for t in r.iter() {
+                    if t[0] == ce {
+                        let v = var_of[&t[1]];
+                        clause.push(Lit::new(Var(v as u32), positive));
+                    }
+                }
+            }
+        }
+        clause.sort();
+        cnf.add_clause(clause);
+    }
+    cnf
+}
+
+/// Extracts the satisfying assignment encoded by a fixpoint of
+/// `(π_SAT, D(I))`: variable `i` is true iff `S` contains `x_i`.
+///
+/// Returns `None` if the interpretation has no `S` relation.
+pub fn assignment_from_fixpoint(
+    cp: &CompiledProgram,
+    db: &Database,
+    fixpoint: &Interp,
+    num_vars: usize,
+) -> Option<Vec<bool>> {
+    let sid = cp.idb_id("S")?;
+    let s = fixpoint.get(sid);
+    let mut out = Vec::with_capacity(num_vars);
+    for i in 0..num_vars {
+        let c = db.universe().lookup(&var_name(i))?;
+        out.push(s.contains(&Tuple::from([c])));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::pi_sat;
+    use inflog_fixpoint::FixpointAnalyzer;
+    use inflog_sat::gen::random_ksat;
+    use inflog_sat::{brute_force_count, Solver};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_cnf(clauses: &[&[i32]], num_vars: usize) -> Cnf {
+        let mut cnf = Cnf::with_vars(num_vars);
+        for c in clauses {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&l| Lit::new(Var(l.unsigned_abs() - 1), l > 0))
+                .collect();
+            cnf.add_clause(lits);
+        }
+        cnf
+    }
+
+    #[test]
+    fn database_shape() {
+        // (x1 ∨ ¬x2) ∧ (x2): 2 vars + 2 clauses.
+        let cnf = tiny_cnf(&[&[1, -2], &[2]], 2);
+        let db = cnf_to_database(&cnf);
+        assert_eq!(db.universe_size(), 4);
+        assert_eq!(db.relation("V").unwrap().len(), 2);
+        assert_eq!(db.relation("P").unwrap().len(), 2); // x1 in c0, x2 in c1
+        assert_eq!(db.relation("N").unwrap().len(), 1); // x2 in c0
+    }
+
+    #[test]
+    fn roundtrip_database_to_cnf() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..10 {
+            let cnf = random_ksat(6, 10, 3, &mut rng);
+            let db = cnf_to_database(&cnf);
+            let back = database_to_cnf(&db);
+            assert_eq!(back.num_vars(), cnf.num_vars());
+            assert_eq!(back.num_clauses(), cnf.num_clauses());
+            // Clause sets must be equal as sets of literal sets.
+            let norm = |c: &Cnf| {
+                let mut v: Vec<Vec<Lit>> = c
+                    .clauses()
+                    .iter()
+                    .map(|cl| {
+                        let mut s = cl.clone();
+                        s.sort();
+                        s
+                    })
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(norm(&back), norm(&cnf));
+        }
+    }
+
+    #[test]
+    fn theorem1_fixpoint_iff_satisfiable() {
+        // Crafted SAT and UNSAT instances.
+        let sat_inst = tiny_cnf(&[&[1, 2], &[-1, 2], &[1, -2]], 2);
+        let unsat_inst = tiny_cnf(&[&[1], &[-1]], 1);
+        for (cnf, expect) in [(sat_inst, true), (unsat_inst, false)] {
+            assert_eq!(Solver::from_cnf(&cnf).solve().is_sat(), expect);
+            let db = cnf_to_database(&cnf);
+            let analyzer = FixpointAnalyzer::new(&pi_sat(), &db).unwrap();
+            assert_eq!(analyzer.fixpoint_exists(), expect);
+        }
+    }
+
+    #[test]
+    fn theorem1_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..10 {
+            let cnf = random_ksat(4, 10, 3, &mut rng);
+            let expect = Solver::from_cnf(&cnf).solve().is_sat();
+            let db = cnf_to_database(&cnf);
+            let analyzer = FixpointAnalyzer::new(&pi_sat(), &db).unwrap();
+            assert_eq!(analyzer.fixpoint_exists(), expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn theorem2_bijection_counts() {
+        // #fixpoints of (π_SAT, D(I)) == #satisfying assignments of I.
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..8 {
+            let cnf = random_ksat(4, 6, 2, &mut rng);
+            let models = brute_force_count(&cnf);
+            let db = cnf_to_database(&cnf);
+            let analyzer = FixpointAnalyzer::new(&pi_sat(), &db).unwrap();
+            let (fps, complete) = analyzer.count_fixpoints(1 << 12);
+            assert!(complete);
+            assert_eq!(fps, models, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn theorem2_unique_sat_iff_unique_fixpoint() {
+        // x1 ∧ (x1 ∨ x2) ∧ ¬x2 has exactly one model.
+        let unique = tiny_cnf(&[&[1], &[1, 2], &[-2]], 2);
+        assert_eq!(brute_force_count(&unique), 1);
+        let db = cnf_to_database(&unique);
+        assert!(FixpointAnalyzer::new(&pi_sat(), &db)
+            .unwrap()
+            .has_unique_fixpoint());
+
+        // x1 ∨ x2 has three.
+        let multi = tiny_cnf(&[&[1, 2]], 2);
+        let db = cnf_to_database(&multi);
+        assert!(!FixpointAnalyzer::new(&pi_sat(), &db)
+            .unwrap()
+            .has_unique_fixpoint());
+    }
+
+    #[test]
+    fn fixpoints_decode_to_satisfying_assignments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cnf = random_ksat(4, 8, 3, &mut rng);
+        let db = cnf_to_database(&cnf);
+        let analyzer = FixpointAnalyzer::new(&pi_sat(), &db).unwrap();
+        let fps = analyzer.enumerate_fixpoints(1 << 10);
+        for f in &fps {
+            let asg = assignment_from_fixpoint(analyzer.compiled(), &db, f, cnf.num_vars())
+                .expect("S relation present");
+            assert!(cnf.eval(&asg), "decoded assignment must satisfy");
+        }
+        // Distinct fixpoints decode to distinct assignments (bijection).
+        let mut assignments: Vec<Vec<bool>> = fps
+            .iter()
+            .map(|f| {
+                assignment_from_fixpoint(analyzer.compiled(), &db, f, cnf.num_vars()).unwrap()
+            })
+            .collect();
+        assignments.sort();
+        let before = assignments.len();
+        assignments.dedup();
+        assert_eq!(assignments.len(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty instance")]
+    fn empty_instance_panics() {
+        let _ = cnf_to_database(&Cnf::new());
+    }
+}

@@ -1,0 +1,167 @@
+//! DIMACS CNF I/O.
+//!
+//! Standard interchange format so instances can be moved in and out of the
+//! reproduction (e.g. to cross-check against an external solver).
+
+use crate::cnf::{Cnf, Lit, Var};
+use std::fmt;
+
+/// DIMACS parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// Message.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// Accepts `c` comment lines, one `p cnf <vars> <clauses>` header, and
+/// 0-terminated clause lines (clauses may span lines).
+///
+/// # Errors
+/// Malformed headers, literals out of range, or trailing unterminated
+/// clauses.
+pub fn parse_dimacs(src: &str) -> Result<Cnf, DimacsError> {
+    let mut cnf: Option<Cnf> = None;
+    let mut declared_vars = 0i64;
+    let mut current: Vec<Lit> = Vec::new();
+
+    for (lineno, line) in src.lines().enumerate() {
+        let line = line.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if cnf.is_some() {
+                return Err(DimacsError {
+                    message: "duplicate problem line".into(),
+                    line: lineno,
+                });
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(DimacsError {
+                    message: format!("malformed problem line `{line}`"),
+                    line: lineno,
+                });
+            }
+            declared_vars = parts[1].parse().map_err(|_| DimacsError {
+                message: "bad variable count".into(),
+                line: lineno,
+            })?;
+            let _declared_clauses: i64 = parts[2].parse().map_err(|_| DimacsError {
+                message: "bad clause count".into(),
+                line: lineno,
+            })?;
+            cnf = Some(Cnf::with_vars(declared_vars as usize));
+            continue;
+        }
+        let Some(ref mut f) = cnf else {
+            return Err(DimacsError {
+                message: "clause before problem line".into(),
+                line: lineno,
+            });
+        };
+        for tok in line.split_whitespace() {
+            let n: i64 = tok.parse().map_err(|_| DimacsError {
+                message: format!("bad literal `{tok}`"),
+                line: lineno,
+            })?;
+            if n == 0 {
+                f.add_clause(std::mem::take(&mut current));
+            } else {
+                let var = n.unsigned_abs() - 1;
+                if var as i64 >= declared_vars {
+                    return Err(DimacsError {
+                        message: format!("literal {n} out of declared range"),
+                        line: lineno,
+                    });
+                }
+                current.push(Lit::new(Var(var as u32), n > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError {
+            message: "unterminated final clause (missing 0)".into(),
+            line: src.lines().count(),
+        });
+    }
+    cnf.ok_or(DimacsError {
+        message: "missing problem line".into(),
+        line: 0,
+    })
+}
+
+/// Serializes a formula to DIMACS CNF text.
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p cnf {} {}\n", cnf.num_vars(), cnf.num_clauses()));
+    for c in cnf.clauses() {
+        for l in c {
+            let n = i64::from(l.var().0) + 1;
+            let signed = if l.is_positive() { n } else { -n };
+            out.push_str(&format!("{signed} "));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[0], vec![Var(0).pos(), Var(1).neg()]);
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let cnf = parse_dimacs("p cnf 2 1\n1\n-2\n0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "p cnf 4 3\n1 -2 0\n3 4 0\n-1 -3 -4 0\n";
+        let cnf = parse_dimacs(src).unwrap();
+        let printed = to_dimacs(&cnf);
+        let reparsed = parse_dimacs(&printed).unwrap();
+        assert_eq!(cnf, reparsed);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_dimacs("1 2 0\n").is_err()); // clause before header
+        assert!(parse_dimacs("p cnf 2 1\n5 0\n").is_err()); // out of range
+        assert!(parse_dimacs("p cnf 2 1\n1 2\n").is_err()); // unterminated
+        assert!(parse_dimacs("p wrong 2 1\n").is_err()); // bad header
+        assert!(parse_dimacs("").is_err()); // no header
+        assert!(parse_dimacs("p cnf 1 1\np cnf 1 1\n").is_err()); // dup header
+        assert!(parse_dimacs("p cnf 1 1\nxyz 0\n").is_err()); // bad literal
+    }
+
+    #[test]
+    fn empty_clause_parses() {
+        let cnf = parse_dimacs("p cnf 1 1\n0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert!(cnf.clauses()[0].is_empty());
+    }
+}

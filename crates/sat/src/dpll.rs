@@ -1,0 +1,197 @@
+//! Baselines: plain DPLL and exhaustive enumeration.
+//!
+//! These exist as *independent ground truths* for the CDCL solver (property
+//! tests compare verdicts) and as the "naive" arm of the SAT ablation bench.
+
+use crate::cnf::{Cnf, Lit};
+
+/// Decides satisfiability by DPLL: unit propagation + first-unassigned
+/// branching, no learning. Returns a model if SAT.
+pub fn dpll_sat(cnf: &Cnf) -> Option<Vec<bool>> {
+    let clauses: Vec<Vec<Lit>> = cnf.clauses().to_vec();
+    let mut assign: Vec<Option<bool>> = vec![None; cnf.num_vars()];
+    if dpll(&clauses, &mut assign) {
+        Some(assign.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+fn lit_value(l: Lit, assign: &[Option<bool>]) -> Option<bool> {
+    assign[l.var().index()].map(|v| v == l.is_positive())
+}
+
+fn dpll(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut unit: Option<Lit> = None;
+        for c in clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0;
+            let mut satisfied = false;
+            for &l in c {
+                match lit_value(l, assign) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => {
+                    // Conflict: undo propagation.
+                    for &v in &trail {
+                        assign[v] = None;
+                    }
+                    return false;
+                }
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match unit {
+            Some(l) => {
+                assign[l.var().index()] = Some(l.is_positive());
+                trail.push(l.var().index());
+            }
+            None => break,
+        }
+    }
+
+    // Branch.
+    match assign.iter().position(Option::is_none) {
+        None => true, // every clause checked satisfied or has no unassigned left
+        Some(v) => {
+            for val in [true, false] {
+                assign[v] = Some(val);
+                if dpll(clauses, assign) {
+                    return true;
+                }
+            }
+            assign[v] = None;
+            for &w in &trail {
+                assign[w] = None;
+            }
+            false
+        }
+    }
+}
+
+/// Exhaustively searches all `2^n` assignments; returns the first model.
+///
+/// Ground truth for tests; only usable for small `n`.
+///
+/// # Panics
+/// Panics if the formula has more than 24 variables.
+pub fn brute_force_sat(cnf: &Cnf) -> Option<Vec<bool>> {
+    let n = cnf.num_vars();
+    assert!(n <= 24, "brute force limited to 24 variables");
+    for bits in 0u64..(1u64 << n) {
+        let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        if cnf.eval(&assignment) {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+/// Exhaustively counts models.
+///
+/// # Panics
+/// Panics if the formula has more than 24 variables.
+pub fn brute_force_count(cnf: &Cnf) -> u64 {
+    let n = cnf.num_vars();
+    assert!(n <= 24, "brute force limited to 24 variables");
+    (0u64..(1u64 << n))
+        .filter(|bits| {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            cnf.eval(&assignment)
+        })
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_ksat;
+    use crate::solver::Solver;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dpll_simple() {
+        let mut f = Cnf::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        f.add_clause(vec![a.pos(), b.pos()]);
+        f.add_clause(vec![a.neg()]);
+        let m = dpll_sat(&f).expect("SAT");
+        assert!(!m[0] && m[1]);
+    }
+
+    #[test]
+    fn dpll_unsat() {
+        let mut f = Cnf::new();
+        let a = f.new_var();
+        f.add_clause(vec![a.pos()]);
+        f.add_clause(vec![a.neg()]);
+        assert!(dpll_sat(&f).is_none());
+    }
+
+    #[test]
+    fn dpll_empty_formula() {
+        let mut f = Cnf::new();
+        f.new_var();
+        assert!(dpll_sat(&f).is_some());
+    }
+
+    #[test]
+    fn dpll_model_is_valid() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let cnf = random_ksat(9, 35, 3, &mut rng);
+            if let Some(m) = dpll_sat(&cnf) {
+                assert!(cnf.eval(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn three_solvers_agree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..40 {
+            let cnf = random_ksat(7, 30, 3, &mut rng);
+            let brute = brute_force_sat(&cnf).is_some();
+            let dpll = dpll_sat(&cnf).is_some();
+            let cdcl = Solver::from_cnf(&cnf).solve().is_sat();
+            assert_eq!(brute, dpll, "trial {trial}: dpll");
+            assert_eq!(brute, cdcl, "trial {trial}: cdcl");
+        }
+    }
+
+    #[test]
+    fn brute_force_count_known() {
+        // (a ∨ b) has 3 models over 2 variables.
+        let mut f = Cnf::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        f.add_clause(vec![a.pos(), b.pos()]);
+        assert_eq!(brute_force_count(&f), 3);
+        // Empty formula over n vars: 2^n models.
+        let mut g = Cnf::new();
+        g.new_vars(4);
+        assert_eq!(brute_force_count(&g), 16);
+    }
+}

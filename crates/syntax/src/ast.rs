@@ -1,0 +1,477 @@
+//! Abstract syntax for DATALOG¬ programs.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A term in an atom: a variable or a (named) constant.
+///
+/// Constants are symbolic at the syntax level; evaluation resolves them
+/// against the database universe.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable (lowercase identifier in concrete syntax).
+    Var(String),
+    /// A constant (number or quoted identifier in concrete syntax).
+    Const(String),
+}
+
+impl Term {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Whether this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => {
+                // Numbers print bare; other constants quoted (re-parseable).
+                if c.chars().all(|ch| ch.is_ascii_digit()) && !c.is_empty() {
+                    write!(f, "{c}")
+                } else {
+                    write!(f, "'{c}'")
+                }
+            }
+        }
+    }
+}
+
+/// An atomic formula `Q(t1, ..., tn)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation symbol.
+    pub predicate: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(predicate: impl Into<String>, terms: impl Into<Vec<Term>>) -> Self {
+        Atom {
+            predicate: predicate.into(),
+            terms: terms.into(),
+        }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over the variables occurring in the atom (with repeats).
+    pub fn variables(&self) -> impl Iterator<Item = &str> + '_ {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal: positive / negated atom, equality, or inequality —
+/// exactly the four literal kinds the paper allows in rule bodies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// `Q(t̄)`
+    Pos(Atom),
+    /// `¬Q(t̄)`
+    Neg(Atom),
+    /// `t1 = t2`
+    Eq(Term, Term),
+    /// `t1 ≠ t2`
+    Neq(Term, Term),
+}
+
+impl Literal {
+    /// The atom underneath, if this is a (possibly negated) atom literal.
+    pub fn atom(&self) -> Option<&Atom> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether this literal mentions a relation negatively.
+    pub fn is_negative_atom(&self) -> bool {
+        matches!(self, Literal::Neg(_))
+    }
+
+    /// Iterates over the variables occurring in the literal.
+    pub fn variables(&self) -> Vec<&str> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a.variables().collect(),
+            Literal::Eq(s, t) | Literal::Neq(s, t) => {
+                s.as_var().into_iter().chain(t.as_var()).collect()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Pos(a) => write!(f, "{a}"),
+            Literal::Neg(a) => write!(f, "!{a}"),
+            Literal::Eq(s, t) => write!(f, "{s} = {t}"),
+            Literal::Neq(s, t) => write!(f, "{s} != {t}"),
+        }
+    }
+}
+
+/// A rule `head <- body` (empty body = fact-style rule).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// Head atom (may contain constants).
+    pub head: Atom,
+    /// Body literals (conjunction; empty means the head holds for every
+    /// instantiation of its variables over the universe).
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Rule { head, body }
+    }
+
+    /// All variables of the rule (head and body), in first-occurrence order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        let mut push = |v: &str| {
+            if seen.insert(v.to_owned()) {
+                out.push(v.to_owned());
+            }
+        };
+        for v in self.head.variables() {
+            push(v);
+        }
+        for lit in &self.body {
+            for v in lit.variables() {
+                push(v);
+            }
+        }
+        out
+    }
+
+    /// Variables occurring in some *positive* body atom (the "bound"
+    /// variables of classical safety).
+    pub fn positively_bound_variables(&self) -> BTreeSet<String> {
+        self.body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) => Some(a),
+                _ => None,
+            })
+            .flat_map(|a| a.variables().map(str::to_owned))
+            .collect()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, lit) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{lit}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A DATALOG¬ program: a finite set (here: ordered list) of rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Creates a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// Parses a program from text (convenience for
+    /// [`parse_program`](crate::parse_program)).
+    ///
+    /// # Errors
+    /// Returns the underlying parse error.
+    pub fn parse(src: &str) -> Result<Self, crate::parser::ParseError> {
+        crate::parser::parse_program(src)
+    }
+
+    /// Predicate arities, first occurrence wins; inconsistencies are caught
+    /// by [`validate`](crate::validate()).
+    pub fn predicate_arities(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        let mut visit = |a: &Atom| {
+            m.entry(a.predicate.clone()).or_insert(a.arity());
+        };
+        for r in &self.rules {
+            visit(&r.head);
+            for l in &r.body {
+                if let Some(a) = l.atom() {
+                    visit(a);
+                }
+            }
+        }
+        m
+    }
+
+    /// The **non-database** (IDB, intensional) relations: those that appear
+    /// at the head of some rule.
+    pub fn idb_predicates(&self) -> BTreeSet<String> {
+        self.rules
+            .iter()
+            .map(|r| r.head.predicate.clone())
+            .collect()
+    }
+
+    /// The **database** (EDB, extensional) relations: those that appear only
+    /// in rule bodies.
+    pub fn edb_predicates(&self) -> BTreeSet<String> {
+        let idb = self.idb_predicates();
+        let mut out = BTreeSet::new();
+        for r in &self.rules {
+            for l in &r.body {
+                if let Some(a) = l.atom() {
+                    if !idb.contains(&a.predicate) {
+                        out.insert(a.predicate.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether this is a **DATALOG** program in the paper's sense: no body
+    /// literal is an inequality or a negated atom. (Equalities are harmless
+    /// and permitted.)
+    pub fn is_positive(&self) -> bool {
+        self.rules.iter().all(|r| {
+            r.body
+                .iter()
+                .all(|l| matches!(l, Literal::Pos(_) | Literal::Eq(_, _)))
+        })
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The maximum number of variables in any single rule (drives the
+    /// grounding cost `|A|^vars`).
+    pub fn max_rule_variables(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| r.variables().len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All constants mentioned anywhere in the program.
+    pub fn constants(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let mut visit_term = |t: &Term| {
+            if let Term::Const(c) = t {
+                out.insert(c.clone());
+            }
+        };
+        for r in &self.rules {
+            for t in &r.head.terms {
+                visit_term(t);
+            }
+            for l in &r.body {
+                match l {
+                    Literal::Pos(a) | Literal::Neg(a) => a.terms.iter().for_each(&mut visit_term),
+                    Literal::Eq(s, t) | Literal::Neq(s, t) => {
+                        visit_term(s);
+                        visit_term(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Rule> for Program {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        Program::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Term {
+        Term::Var(s.into())
+    }
+
+    fn c(s: &str) -> Term {
+        Term::Const(s.into())
+    }
+
+    /// The paper's π₁: `T(x) <- E(y,x), !T(y)`.
+    fn pi1() -> Program {
+        Program::new(vec![Rule::new(
+            Atom::new("T", vec![v("x")]),
+            vec![
+                Literal::Pos(Atom::new("E", vec![v("y"), v("x")])),
+                Literal::Neg(Atom::new("T", vec![v("y")])),
+            ],
+        )])
+    }
+
+    #[test]
+    fn idb_edb_classification() {
+        let p = pi1();
+        assert_eq!(
+            p.idb_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["T"]
+        );
+        assert_eq!(
+            p.edb_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["E"]
+        );
+    }
+
+    #[test]
+    fn positivity() {
+        assert!(!pi1().is_positive());
+        let tc = Program::new(vec![
+            Rule::new(
+                Atom::new("S", vec![v("x"), v("y")]),
+                vec![Literal::Pos(Atom::new("E", vec![v("x"), v("y")]))],
+            ),
+            Rule::new(
+                Atom::new("S", vec![v("x"), v("y")]),
+                vec![
+                    Literal::Pos(Atom::new("E", vec![v("x"), v("z")])),
+                    Literal::Pos(Atom::new("S", vec![v("z"), v("y")])),
+                ],
+            ),
+        ]);
+        assert!(tc.is_positive());
+        // Inequality disqualifies a program from being DATALOG.
+        let with_neq = Program::new(vec![Rule::new(
+            Atom::new("P", vec![v("x")]),
+            vec![
+                Literal::Pos(Atom::new("V", vec![v("x")])),
+                Literal::Neq(v("x"), c("0")),
+            ],
+        )]);
+        assert!(!with_neq.is_positive());
+    }
+
+    #[test]
+    fn rule_variables_in_order() {
+        let r = &pi1().rules[0];
+        assert_eq!(r.variables(), vec!["x", "y"]);
+        assert_eq!(
+            r.positively_bound_variables().into_iter().collect::<Vec<_>>(),
+            vec!["x", "y"]
+        );
+    }
+
+    #[test]
+    fn unsafe_rule_unbound_vars() {
+        // T(z) <- !Q(u), !T(w): nothing positively bound.
+        let r = Rule::new(
+            Atom::new("T", vec![v("z")]),
+            vec![
+                Literal::Neg(Atom::new("Q", vec![v("u")])),
+                Literal::Neg(Atom::new("T", vec![v("w")])),
+            ],
+        );
+        assert!(r.positively_bound_variables().is_empty());
+        assert_eq!(r.variables(), vec!["z", "u", "w"]);
+    }
+
+    #[test]
+    fn display_round_shapes() {
+        let p = pi1();
+        assert_eq!(p.to_string(), "T(x) :- E(y, x), !T(y).\n");
+        let fact = Rule::new(Atom::new("G", vec![v("z"), c("1")]), vec![]);
+        assert_eq!(fact.to_string(), "G(z, 1).");
+        let quoted = Rule::new(Atom::new("P", vec![c("abc")]), vec![]);
+        assert_eq!(quoted.to_string(), "P('abc').");
+    }
+
+    #[test]
+    fn predicate_arities() {
+        let p = pi1();
+        let m = p.predicate_arities();
+        assert_eq!(m.get("T"), Some(&1));
+        assert_eq!(m.get("E"), Some(&2));
+    }
+
+    #[test]
+    fn constants_collected() {
+        let r = Rule::new(
+            Atom::new("G", vec![v("z"), c("1")]),
+            vec![Literal::Neq(v("z"), c("0"))],
+        );
+        let p = Program::new(vec![r]);
+        let cs: Vec<String> = p.constants().into_iter().collect();
+        assert_eq!(cs, vec!["0", "1"]);
+    }
+
+    #[test]
+    fn max_rule_variables() {
+        assert_eq!(pi1().max_rule_variables(), 2);
+        assert_eq!(Program::default().max_rule_variables(), 0);
+    }
+
+    #[test]
+    fn literal_helpers() {
+        let l = Literal::Neg(Atom::new("T", vec![v("y")]));
+        assert!(l.is_negative_atom());
+        assert_eq!(l.atom().unwrap().predicate, "T");
+        let e = Literal::Eq(v("x"), c("1"));
+        assert!(e.atom().is_none());
+        assert_eq!(e.variables(), vec!["x"]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Programmatic construction of programs (no string parsing required).
+//!
+//! The Theorem 1 / Theorem 4 compilers build programs with generated
+//! predicate names and long argument lists; doing that through concrete
+//! syntax would be wasteful and error-prone. These helpers keep call sites
+//! terse:
+//!
+//! ```
+//! use inflog_syntax::{var, pos, neg, rule, ProgramBuilder};
+//!
+//! // pi_1:  T(x) <- E(y,x), !T(y)
+//! let p = ProgramBuilder::new()
+//!     .push(rule(
+//!         ("T", vec![var("x")]),
+//!         vec![pos("E", vec![var("y"), var("x")]), neg("T", vec![var("x")])],
+//!     ))
+//!     .build();
+//! assert_eq!(p.len(), 1);
+//! ```
+
+use crate::ast::{Atom, Literal, Program, Rule, Term};
+
+/// A variable term.
+pub fn var(name: impl Into<String>) -> Term {
+    Term::Var(name.into())
+}
+
+/// A constant term.
+pub fn cst(name: impl Into<String>) -> Term {
+    Term::Const(name.into())
+}
+
+/// An atom `pred(terms...)`.
+pub fn atom(pred: impl Into<String>, terms: Vec<Term>) -> Atom {
+    Atom::new(pred, terms)
+}
+
+/// A positive body literal.
+pub fn pos(pred: impl Into<String>, terms: Vec<Term>) -> Literal {
+    Literal::Pos(atom(pred, terms))
+}
+
+/// A negated body literal.
+pub fn neg(pred: impl Into<String>, terms: Vec<Term>) -> Literal {
+    Literal::Neg(atom(pred, terms))
+}
+
+/// A rule from a `(pred, terms)` head and a body.
+pub fn rule(head: (impl Into<String>, Vec<Term>), body: Vec<Literal>) -> Rule {
+    Rule::new(atom(head.0, head.1), body)
+}
+
+/// A fact-style rule (empty body).
+pub fn fact(pred: impl Into<String>, terms: Vec<Term>) -> Rule {
+    Rule::new(atom(pred, terms), Vec::new())
+}
+
+/// Incremental program builder.
+#[derive(Debug, Default, Clone)]
+pub struct ProgramBuilder {
+    rules: Vec<Rule>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a rule.
+    #[must_use]
+    pub fn push(mut self, r: Rule) -> Self {
+        self.rules.push(r);
+        self
+    }
+
+    /// Appends a rule by parts.
+    #[must_use]
+    pub fn rule(self, head: (impl Into<String>, Vec<Term>), body: Vec<Literal>) -> Self {
+        self.push(rule(head, body))
+    }
+
+    /// Appends all rules of another program.
+    #[must_use]
+    pub fn extend(mut self, p: &Program) -> Self {
+        self.rules.extend(p.rules.iter().cloned());
+        self
+    }
+
+    /// Appends rules parsed from text.
+    ///
+    /// # Panics
+    /// Panics on parse errors — builder text is developer-authored.
+    #[must_use]
+    pub fn parse(mut self, src: &str) -> Self {
+        let p = crate::parser::parse_program(src)
+            .unwrap_or_else(|e| panic!("builder parse error: {e}"));
+        self.rules.extend(p.rules);
+        self
+    }
+
+    /// Finalizes the program.
+    pub fn build(self) -> Program {
+        Program::new(self.rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = ProgramBuilder::new()
+            .rule(
+                ("T", vec![var("x")]),
+                vec![pos("E", vec![var("y"), var("x")]), neg("T", vec![var("y")])],
+            )
+            .build();
+        let parsed = crate::parse_program("T(x) :- E(y, x), !T(y).").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn fact_builder() {
+        let built = ProgramBuilder::new()
+            .push(fact("G", vec![var("z"), cst("1")]))
+            .build();
+        let parsed = crate::parse_program("G(z, 1).").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn extend_and_parse_mix() {
+        let tc = crate::parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).").unwrap();
+        let p = ProgramBuilder::new()
+            .extend(&tc)
+            .parse("T(x) :- S(x, x).")
+            .build();
+        assert_eq!(p.len(), 3);
+        assert!(p.idb_predicates().contains("T"));
+    }
+
+    #[test]
+    #[should_panic(expected = "builder parse error")]
+    fn parse_panics_on_bad_text() {
+        let _ = ProgramBuilder::new().parse("oops(");
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let p = ProgramBuilder::new()
+            .push(fact("P", vec![cst("a b")]))
+            .build();
+        let printed = p.to_string();
+        assert_eq!(printed.trim(), "P('a b').");
+        assert_eq!(crate::parse_program(&printed).unwrap(), p);
+    }
+}

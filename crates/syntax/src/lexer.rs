@@ -1,0 +1,370 @@
+//! Tokenizer for the concrete DATALOG¬ syntax.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (predicate or variable name, classified by the parser).
+    Ident(String),
+    /// Numeric constant literal.
+    Number(String),
+    /// `'quoted'` constant literal (contents, unquoted).
+    Quoted(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Period,
+    /// `:-` or `<-`
+    Arrow,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Number(s) => write!(f, "number `{s}`"),
+            Tok::Quoted(s) => write!(f, "constant `'{s}'`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Period => write!(f, "`.`"),
+            Tok::Arrow => write!(f, "`:-`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Neq => write!(f, "`!=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Lexer errors (unexpected characters, unterminated quotes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`, appending a final [`Tok::Eof`].
+///
+/// Comments run from `%` or `//` to end of line. Identifiers match
+/// `[A-Za-z_][A-Za-z0-9_']*`.
+///
+/// # Errors
+/// Fails on characters outside the grammar or unterminated quoted constants.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Token {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let ch = chars[i];
+        let (l0, c0) = (line, col);
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize| {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+        match ch {
+            ' ' | '\t' | '\r' | '\n' => advance(&mut i, &mut line, &mut col),
+            '%' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '(' => {
+                push!(Tok::LParen, l0, c0);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ')' => {
+                push!(Tok::RParen, l0, c0);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ',' => {
+                push!(Tok::Comma, l0, c0);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '.' => {
+                push!(Tok::Period, l0, c0);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '=' => {
+                push!(Tok::Eq, l0, c0);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '!' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '=' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(Tok::Neq, l0, c0);
+                } else {
+                    push!(Tok::Bang, l0, c0);
+                }
+            }
+            ':' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '-' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(Tok::Arrow, l0, c0);
+                } else {
+                    return Err(LexError {
+                        message: "expected `:-`".into(),
+                        line: l0,
+                        col: c0,
+                    });
+                }
+            }
+            '<' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '-' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(Tok::Arrow, l0, c0);
+                } else {
+                    return Err(LexError {
+                        message: "expected `<-`".into(),
+                        line: l0,
+                        col: c0,
+                    });
+                }
+            }
+            '\'' => {
+                advance(&mut i, &mut line, &mut col);
+                let start = i;
+                while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                if i >= chars.len() || chars[i] != '\'' {
+                    return Err(LexError {
+                        message: "unterminated quoted constant".into(),
+                        line: l0,
+                        col: c0,
+                    });
+                }
+                let text: String = chars[start..i].iter().collect();
+                advance(&mut i, &mut line, &mut col);
+                push!(Tok::Quoted(text), l0, c0);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let text: String = chars[start..i].iter().collect();
+                push!(Tok::Number(text), l0, c0);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '\'')
+                {
+                    // A quote directly after an identifier char is a prime
+                    // (x', y''), common in the paper's variable names.
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let text: String = chars[start..i].iter().collect();
+                push!(Tok::Ident(text), l0, c0);
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line: l0,
+                    col: c0,
+                });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lex_simple_rule() {
+        let toks = kinds("T(x) :- E(y, x), !T(y).");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("T".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::Ident("E".into()),
+                Tok::LParen,
+                Tok::Ident("y".into()),
+                Tok::Comma,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Bang,
+                Tok::Ident("T".into()),
+                Tok::LParen,
+                Tok::Ident("y".into()),
+                Tok::RParen,
+                Tok::Period,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_alternate_arrow_and_neq() {
+        assert_eq!(
+            kinds("P(x) <- x != y."),
+            vec![
+                Tok::Ident("P".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Arrow,
+                Tok::Ident("x".into()),
+                Tok::Neq,
+                Tok::Ident("y".into()),
+                Tok::Period,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers_and_quoted() {
+        assert_eq!(
+            kinds("G(1, 'ab c')."),
+            vec![
+                Tok::Ident("G".into()),
+                Tok::LParen,
+                Tok::Number("1".into()),
+                Tok::Comma,
+                Tok::Quoted("ab c".into()),
+                Tok::RParen,
+                Tok::Period,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments() {
+        let toks = kinds("% whole line\nT(x). // trailing\nS(y).");
+        let idents: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| matches!(t, Tok::Ident(_)))
+            .collect();
+        assert_eq!(idents.len(), 4); // T, x, S, y
+    }
+
+    #[test]
+    fn lex_primed_variables() {
+        let toks = kinds("D(x, y, x', y').");
+        let names: Vec<String> = toks
+            .into_iter()
+            .filter_map(|t| match t {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["D", "x", "y", "x'", "y'"]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("T(x).\nS(y).").unwrap();
+        let s = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("S".into()))
+            .unwrap();
+        assert_eq!((s.line, s.col), (2, 1));
+    }
+
+    #[test]
+    fn error_unexpected_char() {
+        let err = lex("T(x) :- #").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn error_unterminated_quote() {
+        let err = lex("P('abc").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn error_lone_colon() {
+        assert!(lex("T(x) : E(x).").is_err());
+        assert!(lex("T(x) < E(x).").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![Tok::Eof]);
+        assert_eq!(kinds("  % only a comment"), vec![Tok::Eof]);
+    }
+}

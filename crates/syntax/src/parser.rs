@@ -1,0 +1,317 @@
+//! Recursive-descent parser for DATALOG¬ programs.
+
+use crate::ast::{Atom, Literal, Program, Rule, Term};
+use crate::lexer::{lex, LexError, Tok, Token};
+use std::fmt;
+
+/// Parse errors with source positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parses a whole program.
+///
+/// Grammar:
+/// ```text
+/// program  := rule*
+/// rule     := atom ( (":-" | "<-") literals )? "."
+/// literals := literal ("," literal)*
+/// literal  := "!" atom | atom | term ("=" | "!=") term
+/// atom     := PRED "(" (term ("," term)*)? ")" | PRED
+/// term     := VAR | NUMBER | "'" text "'"
+/// ```
+/// `PRED` starts with an uppercase letter, `VAR` with lowercase or `_`.
+/// A bare `PRED` (no parentheses) is a 0-ary (propositional) atom.
+///
+/// # Errors
+/// Returns a [`ParseError`] with the position of the first offending token.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut rules = Vec::new();
+    while p.peek() != &Tok::Eof {
+        rules.push(p.rule()?);
+    }
+    Ok(Program::new(rules))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let t = &self.tokens[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self.here();
+        Err(ParseError {
+            message: message.into(),
+            line,
+            col,
+        })
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek()))
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.head_atom()?;
+        let body = if self.peek() == &Tok::Arrow {
+            self.bump();
+            // Allow an empty body after the arrow: `G(z, 1) :- .`
+            if self.peek() == &Tok::Period {
+                Vec::new()
+            } else {
+                self.literals()?
+            }
+        } else {
+            Vec::new()
+        };
+        self.expect(Tok::Period)?;
+        Ok(Rule::new(head, body))
+    }
+
+    fn literals(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut out = vec![self.literal()?];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            out.push(self.literal()?);
+        }
+        Ok(out)
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.peek().clone() {
+            Tok::Bang => {
+                self.bump();
+                let a = self.pred_atom()?;
+                Ok(Literal::Neg(a))
+            }
+            Tok::Ident(name) if starts_upper(&name) => {
+                let a = self.pred_atom()?;
+                Ok(Literal::Pos(a))
+            }
+            Tok::Ident(_) | Tok::Number(_) | Tok::Quoted(_) => {
+                let lhs = self.term()?;
+                match self.bump() {
+                    Tok::Eq => Ok(Literal::Eq(lhs, self.term()?)),
+                    Tok::Neq => Ok(Literal::Neq(lhs, self.term()?)),
+                    other => self.err(format!(
+                        "expected `=` or `!=` after term, found {other}"
+                    )),
+                }
+            }
+            other => self.err(format!("expected a body literal, found {other}")),
+        }
+    }
+
+    fn head_atom(&mut self) -> Result<Atom, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) if starts_upper(&name) => self.pred_atom(),
+            other => self.err(format!(
+                "expected a rule head (predicate starting uppercase), found {other}"
+            )),
+        }
+    }
+
+    fn pred_atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.bump() {
+            Tok::Ident(name) if starts_upper(&name) => name,
+            other => {
+                return self.err(format!(
+                    "expected a predicate (uppercase identifier), found {other}"
+                ))
+            }
+        };
+        let mut terms = Vec::new();
+        if self.peek() == &Tok::LParen {
+            self.bump();
+            if self.peek() != &Tok::RParen {
+                terms.push(self.term()?);
+                while self.peek() == &Tok::Comma {
+                    self.bump();
+                    terms.push(self.term()?);
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        Ok(Atom::new(name, terms))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Tok::Ident(name) if starts_upper(&name) => self.err(format!(
+                "`{name}` starts uppercase: predicates cannot appear as terms"
+            )),
+            Tok::Ident(name) => Ok(Term::Var(name)),
+            Tok::Number(n) => Ok(Term::Const(n)),
+            Tok::Quoted(s) => Ok(Term::Const(s)),
+            other => self.err(format!("expected a term, found {other}")),
+        }
+    }
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(char::is_uppercase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_pi1() {
+        let p = parse_program("T(x) :- E(y, x), !T(y).").unwrap();
+        assert_eq!(p.len(), 1);
+        let r = &p.rules[0];
+        assert_eq!(r.head, Atom::new("T", vec![Term::Var("x".into())]));
+        assert_eq!(r.body.len(), 2);
+        assert!(matches!(r.body[1], Literal::Neg(_)));
+    }
+
+    #[test]
+    fn parse_pi2_multiline() {
+        let src = "
+            S1(x, y) :- E(x, y).
+            S1(x, y) :- E(x, z), S1(z, y).
+            S2(x, y, z, w) :- S1(x, y), !S1(z, w).
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.idb_predicates().len(), 2);
+        assert_eq!(p.edb_predicates().len(), 1);
+    }
+
+    #[test]
+    fn parse_facts_and_empty_bodies() {
+        let p = parse_program("G(z, 1). H(x) :- .").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.rules[0].body.is_empty());
+        assert!(p.rules[1].body.is_empty());
+        assert_eq!(p.rules[0].head.terms[1], Term::Const("1".into()));
+    }
+
+    #[test]
+    fn parse_equality_literals() {
+        let p = parse_program("P(x) :- V(x), x != y, y = 'a'.").unwrap();
+        let body = &p.rules[0].body;
+        assert!(matches!(body[1], Literal::Neq(_, _)));
+        assert!(
+            matches!(&body[2], Literal::Eq(Term::Var(v), Term::Const(c)) if v == "y" && c == "a")
+        );
+    }
+
+    #[test]
+    fn parse_propositional_atoms() {
+        let p = parse_program("Win :- !Lose.").unwrap();
+        assert_eq!(p.rules[0].head.arity(), 0);
+        assert_eq!(p.rules[0].body[0].atom().unwrap().arity(), 0);
+    }
+
+    #[test]
+    fn parse_alternate_arrow() {
+        let a = parse_program("T(x) <- E(x, y).").unwrap();
+        let b = parse_program("T(x) :- E(x, y).").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_lowercase_head() {
+        let e = parse_program("t(x) :- E(x, y).").unwrap_err();
+        assert!(e.message.contains("rule head"), "{e}");
+    }
+
+    #[test]
+    fn error_predicate_as_term() {
+        let e = parse_program("T(X) :- E(x, y).").unwrap_err();
+        assert!(e.message.contains("predicates cannot appear as terms"), "{e}");
+    }
+
+    #[test]
+    fn error_missing_period() {
+        let e = parse_program("T(x) :- E(x, y)").unwrap_err();
+        assert!(e.message.contains("`.`"), "{e}");
+    }
+
+    #[test]
+    fn error_dangling_comma() {
+        assert!(parse_program("T(x) :- E(x, y), .").is_err());
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_program("T(x) :- E(x, y).\nbad(x).").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 1);
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let srcs = [
+            "T(x) :- E(y, x), !T(y).",
+            "S2(x, y, z, w) :- S1(x, y), !S1(z, w).",
+            "G(z, 1).",
+            "P(x) :- V(x), x != y, y = 'a'.",
+            "Win :- !Lose.",
+            "D(x, y, x', y') :- E(x, z), S1(z, y), !S2(x', y').",
+        ];
+        for src in srcs {
+            let p1 = parse_program(src).unwrap();
+            let printed = p1.to_string();
+            let p2 = parse_program(&printed).unwrap();
+            assert_eq!(p1, p2, "round-trip failed for `{src}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = parse_program("  % nothing here\n").unwrap();
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Program validation: hard errors (arity conflicts, EDB heads against a
+//! declared schema) and advisory safety warnings.
+//!
+//! The paper's semantics is domain-grounded, so classically "unsafe" rules
+//! are *legal*; we still surface them as warnings because they are the
+//! precise spots where a program's meaning depends on the whole universe
+//! rather than the stored facts.
+
+use crate::ast::{Literal, Program, Rule, Term};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Hard validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A predicate is used with two different arities.
+    ArityConflict {
+        /// Predicate name.
+        predicate: String,
+        /// First-seen arity.
+        first: usize,
+        /// Conflicting arity.
+        second: usize,
+        /// Index of the rule where the conflict was detected.
+        rule_index: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::ArityConflict {
+                predicate,
+                first,
+                second,
+                rule_index,
+            } => write!(
+                f,
+                "rule {rule_index}: predicate `{predicate}` used with arity {second} \
+                 but previously with arity {first}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Advisory warnings about classically unsafe constructs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyWarning {
+    /// A head variable is not bound by any positive body atom; it ranges
+    /// over the whole universe.
+    UnboundHeadVariable {
+        /// Index of the rule.
+        rule_index: usize,
+        /// The variable.
+        variable: String,
+    },
+    /// A variable occurring only in negated atoms / (in)equalities; it
+    /// ranges over the whole universe.
+    UnboundBodyVariable {
+        /// Index of the rule.
+        rule_index: usize,
+        /// The variable.
+        variable: String,
+    },
+}
+
+impl fmt::Display for SafetyWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyWarning::UnboundHeadVariable {
+                rule_index,
+                variable,
+            } => write!(
+                f,
+                "rule {rule_index}: head variable `{variable}` is not bound by a positive \
+                 body atom (it ranges over the whole universe)"
+            ),
+            SafetyWarning::UnboundBodyVariable {
+                rule_index,
+                variable,
+            } => write!(
+                f,
+                "rule {rule_index}: variable `{variable}` occurs only under negation or in \
+                 (in)equalities (it ranges over the whole universe)"
+            ),
+        }
+    }
+}
+
+/// Validation report: the program is usable iff `errors` is empty.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Hard errors.
+    pub errors: Vec<ValidationError>,
+    /// Advisory warnings.
+    pub warnings: Vec<SafetyWarning>,
+}
+
+impl Report {
+    /// Whether the program passed (warnings allowed).
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Whether the program is classically safe (no warnings either).
+    pub fn is_safe(&self) -> bool {
+        self.is_ok() && self.warnings.is_empty()
+    }
+}
+
+/// Validates a program; see [`Report`].
+pub fn validate(program: &Program) -> Report {
+    let mut report = Report::default();
+    let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+
+    let mut check_arity =
+        |pred: &str, arity: usize, rule_index: usize, report: &mut Report| match arities
+            .get(pred)
+        {
+            Some(&a) if a != arity => report.errors.push(ValidationError::ArityConflict {
+                predicate: pred.to_owned(),
+                first: a,
+                second: arity,
+                rule_index,
+            }),
+            Some(_) => {}
+            None => {
+                arities.insert(pred.to_owned(), arity);
+            }
+        };
+
+    for (i, rule) in program.rules.iter().enumerate() {
+        check_arity(&rule.head.predicate, rule.head.arity(), i, &mut report);
+        for lit in &rule.body {
+            if let Some(a) = lit.atom() {
+                check_arity(&a.predicate, a.arity(), i, &mut report);
+            }
+        }
+        safety_warnings(rule, i, &mut report);
+    }
+    report
+}
+
+/// Computes binding-aware safety warnings for one rule.
+///
+/// Binding propagates through equalities: `x = 'a'` binds `x`; `x = y` binds
+/// either side once the other is bound (iterated to fixpoint).
+fn safety_warnings(rule: &Rule, rule_index: usize, report: &mut Report) {
+    let mut bound = rule.positively_bound_variables();
+    // Propagate bindings through equality literals.
+    loop {
+        let mut changed = false;
+        for lit in &rule.body {
+            if let Literal::Eq(s, t) = lit {
+                match (s, t) {
+                    (Term::Var(a), Term::Const(_)) => changed |= bound.insert(a.clone()),
+                    (Term::Const(_), Term::Var(b)) => changed |= bound.insert(b.clone()),
+                    (Term::Var(a), Term::Var(b)) => {
+                        if bound.contains(a) && !bound.contains(b) {
+                            bound.insert(b.clone());
+                            changed = true;
+                        } else if bound.contains(b) && !bound.contains(a) {
+                            bound.insert(a.clone());
+                            changed = true;
+                        }
+                    }
+                    (Term::Const(_), Term::Const(_)) => {}
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for v in rule.head.variables() {
+        if !bound.contains(v) {
+            report.warnings.push(SafetyWarning::UnboundHeadVariable {
+                rule_index,
+                variable: v.to_owned(),
+            });
+        }
+    }
+    let mut seen_warned: Vec<String> = rule
+        .head
+        .variables()
+        .filter(|v| !bound.contains(*v))
+        .map(str::to_owned)
+        .collect();
+    for lit in &rule.body {
+        for v in lit.variables() {
+            if !bound.contains(v) && !seen_warned.iter().any(|w| w == v) {
+                seen_warned.push(v.to_owned());
+                report.warnings.push(SafetyWarning::UnboundBodyVariable {
+                    rule_index,
+                    variable: v.to_owned(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn safe_program_is_clean() {
+        let p = parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).").unwrap();
+        let r = validate(&p);
+        assert!(r.is_ok());
+        assert!(r.is_safe());
+    }
+
+    #[test]
+    fn pi1_is_safe() {
+        let p = parse_program("T(x) :- E(y, x), !T(y).").unwrap();
+        assert!(validate(&p).is_safe());
+    }
+
+    #[test]
+    fn toggle_rule_warns_but_passes() {
+        // T(z) <- !Q(u), !T(w): legal per the paper, unsafe classically.
+        let p = parse_program("T(z) :- !Q(u), !T(w).").unwrap();
+        let r = validate(&p);
+        assert!(r.is_ok());
+        assert!(!r.is_safe());
+        // z unbound in head; u, w unbound in body.
+        assert_eq!(r.warnings.len(), 3);
+        assert!(matches!(
+            r.warnings[0],
+            SafetyWarning::UnboundHeadVariable { ref variable, .. } if variable == "z"
+        ));
+    }
+
+    #[test]
+    fn arity_conflict_is_error() {
+        let p = parse_program("T(x) :- E(x, y). T(x, y) :- E(x, y).").unwrap();
+        let r = validate(&p);
+        assert!(!r.is_ok());
+        assert!(matches!(
+            r.errors[0],
+            ValidationError::ArityConflict { ref predicate, first: 1, second: 2, rule_index: 1 }
+                if predicate == "T"
+        ));
+    }
+
+    #[test]
+    fn equality_binds_variables() {
+        // y is bound through x = y with x positively bound; z via constant.
+        let p = parse_program("P(y, z) :- V(x), x = y, z = 'a'.").unwrap();
+        let r = validate(&p);
+        assert!(r.is_safe(), "warnings: {:?}", r.warnings);
+    }
+
+    #[test]
+    fn equality_chain_binds() {
+        let p = parse_program("P(w) :- V(x), x = y, y = w.").unwrap();
+        assert!(validate(&p).is_safe());
+    }
+
+    #[test]
+    fn inequality_does_not_bind() {
+        let p = parse_program("P(y) :- V(x), x != y.").unwrap();
+        let r = validate(&p);
+        assert!(r.is_ok());
+        assert_eq!(r.warnings.len(), 1);
+    }
+
+    #[test]
+    fn fact_with_variable_head_warns() {
+        // Theorem 4 input-gate rules: head variables range over the universe.
+        let p = parse_program("G(z, 1).").unwrap();
+        let r = validate(&p);
+        assert!(r.is_ok());
+        assert_eq!(r.warnings.len(), 1);
+    }
+
+    #[test]
+    fn constant_only_fact_is_safe() {
+        let p = parse_program("E(0, 1).").unwrap();
+        assert!(validate(&p).is_safe());
+    }
+
+    #[test]
+    fn warning_display() {
+        let p = parse_program("T(z) :- !T(z).").unwrap();
+        let r = validate(&p);
+        let msg = r.warnings[0].to_string();
+        assert!(msg.contains("head variable `z`"), "{msg}");
+    }
+}

@@ -1,0 +1,63 @@
+//! The §2 fixpoint-structure tour: one program, three behaviours.
+//!
+//! `pi_1 = T(x) <- E(y,x), !T(y)` has a unique fixpoint on paths, none on
+//! odd cycles, two on even cycles, and exponentially many (with no least
+//! one) on disjoint unions of even cycles — the paper's G_n family.
+//!
+//! Run with: `cargo run --example cycles_and_fixpoints`
+
+use inflog::core::graphs::DiGraph;
+use inflog::fixpoint::{FixpointAnalyzer, LeastFixpointResult};
+use inflog::reductions::programs::pi1;
+
+fn describe(name: &str, g: &DiGraph) {
+    let db = g.to_database("E");
+    let analyzer = FixpointAnalyzer::new(&pi1(), &db).expect("compiles");
+    let fps = analyzer.enumerate_fixpoints(1 << 12);
+    let least = match analyzer.least_fixpoint_fonp().0 {
+        LeastFixpointResult::Least(_) => "yes",
+        LeastFixpointResult::NoLeast => "no",
+        LeastFixpointResult::NoFixpoint => "-",
+    };
+    let incomparable = fps.len() >= 2
+        && fps
+            .iter()
+            .enumerate()
+            .all(|(i, a)| fps[i + 1..].iter().all(|b| a.incomparable(b)));
+    println!(
+        "{name:<28} fixpoints = {:<5} least = {:<4} pairwise incomparable = {}",
+        fps.len(),
+        least,
+        if fps.len() >= 2 { incomparable.to_string() } else { "-".into() },
+    );
+}
+
+fn main() {
+    println!("pi_1:\n{}", pi1());
+
+    println!("paths L_n (unique fixpoint {{2, 4, ...}}):");
+    for n in 2..=8 {
+        describe(&format!("  L_{n}"), &DiGraph::path(n));
+    }
+
+    println!("\ncycles C_n (none when odd, two when even):");
+    for n in 3..=8 {
+        describe(&format!("  C_{n}"), &DiGraph::cycle(n));
+    }
+
+    println!("\nG_n = n disjoint copies of C_2 (2^n fixpoints, no least):");
+    for n in 1..=6 {
+        describe(
+            &format!("  G_{n}"),
+            &DiGraph::disjoint_cycles(n, 2),
+        );
+    }
+
+    // Show the two C_4 fixpoints explicitly.
+    let db = DiGraph::cycle(4).to_database("E");
+    let analyzer = FixpointAnalyzer::new(&pi1(), &db).expect("compiles");
+    println!("\nthe two incomparable fixpoints on C_4:");
+    for f in analyzer.enumerate_fixpoints(4) {
+        print!("{}", analyzer.compiled().display_interp(&f, &db));
+    }
+}

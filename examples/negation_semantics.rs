@@ -1,0 +1,81 @@
+//! The negation-semantics landscape on one program: the win-move game
+//! `Win(x) <- Move(x,y), !Win(y)` (structurally the paper's pi_1).
+//!
+//! Compares, per database: supported models (= fixpoints of Θ, the paper's
+//! §2 object), the stratified semantics (rejects the program), the
+//! well-founded model (3-valued), and Inflationary DATALOG (§4).
+//!
+//! Run with: `cargo run --example negation_semantics`
+
+use inflog::core::graphs::DiGraph;
+use inflog::eval::{inflationary, stratify, well_founded};
+use inflog::fixpoint::{FixpointAnalyzer, LeastFixpointResult};
+use inflog::syntax::parse_program;
+
+fn main() {
+    let program = parse_program("Win(x) :- Move(x, y), !Win(y).").expect("parses");
+    println!("program (the win-move game):\n{program}");
+
+    // Stratified semantics: not applicable (recursion through negation).
+    match stratify(&program) {
+        Err(e) => println!("stratified semantics: REJECTED — {e}"),
+        Ok(_) => unreachable!("Win uses itself negatively"),
+    }
+
+    let boards: Vec<(&str, DiGraph)> = vec![
+        ("path L_4 (forced game)", DiGraph::path(4)),
+        ("odd cycle C_3 (drawn game)", DiGraph::cycle(3)),
+        ("even cycle C_4 (two stable conventions)", DiGraph::cycle(4)),
+        ("star (center wins)", DiGraph::star(4)),
+    ];
+
+    for (name, g) in boards {
+        let db = g.to_database("Move");
+        println!("\n=== {name} ===");
+
+        // Fixpoints of Θ = supported models.
+        let analyzer = FixpointAnalyzer::new(&program, &db).expect("compiles");
+        let fps = analyzer.enumerate_fixpoints(16);
+        println!("  fixpoints (supported models): {}", fps.len());
+        for f in &fps {
+            print!(
+                "{}",
+                indent(&analyzer.compiled().display_interp(f, &db), 4)
+            );
+        }
+        match analyzer.least_fixpoint_fonp().0 {
+            LeastFixpointResult::Least(_) => println!("    least fixpoint: yes"),
+            LeastFixpointResult::NoLeast => println!("    least fixpoint: no"),
+            LeastFixpointResult::NoFixpoint => {}
+        }
+
+        // Well-founded: the skeptical 3-valued view.
+        let wf = well_founded(&program, &db).expect("total on programs");
+        println!(
+            "  well-founded: {} true, {} undefined{}",
+            wf.true_facts.total_tuples(),
+            wf.undefined.total_tuples(),
+            if wf.is_total() { " (total)" } else { "" }
+        );
+
+        // Inflationary: the paper's proposal — always defined, one answer.
+        let (inf, trace) = inflationary(&program, &db).expect("total");
+        println!(
+            "  inflationary: {} tuples in {} round(s): Win = every position with a move",
+            inf.total_tuples(),
+            trace.rounds
+        );
+    }
+
+    println!(
+        "\nreading: fixpoint semantics can give 0, 1 or many answers (the paper's\n\
+         complexity obstruction); well-founded stays 3-valued; Inflationary\n\
+         DATALOG always returns one PTIME-computable relation."
+    );
+}
+
+fn indent(s: &str, n: usize) -> String {
+    s.lines()
+        .map(|l| format!("{}{l}\n", " ".repeat(n)))
+        .collect()
+}

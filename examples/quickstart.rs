@@ -1,0 +1,60 @@
+//! Quickstart: parse a DATALOG¬ program, load a database, evaluate it under
+//! the paper's semantics, and ask the fixpoint questions of §§2–3.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use inflog::core::graphs::DiGraph;
+use inflog::eval::{inflationary, CompiledProgram};
+use inflog::fixpoint::{FixpointAnalyzer, LeastFixpointResult};
+use inflog::syntax::parse_program;
+
+fn main() {
+    // The paper's pi_1: T(x) <- E(y,x), !T(y).
+    let program = parse_program("T(x) :- E(y, x), !T(y).").expect("parses");
+    println!("program:\n{program}");
+
+    // A database: the directed path L_5 (v0 -> v1 -> ... -> v4).
+    let graph = DiGraph::path(5);
+    let db = graph.to_database("E");
+    println!("database:\n{db}");
+
+    // Inflationary DATALOG (§4): defined for every program, polynomial time.
+    let (inf, trace) = inflationary(&program, &db).expect("compiles");
+    let cp = CompiledProgram::compile(&program, &db).expect("compiles");
+    println!("inflationary semantics ({trace}):");
+    print!("{}", cp.display_interp(&inf, &db));
+
+    // Fixpoint analysis (§§2-3): existence, counting, uniqueness, least.
+    let analyzer = FixpointAnalyzer::new(&program, &db).expect("compiles");
+    let fps = analyzer.enumerate_fixpoints(16);
+    println!("\nfixpoints of (pi_1, L_5): {}", fps.len());
+    for (i, f) in fps.iter().enumerate() {
+        println!("  fixpoint {i}:");
+        print!("{}", indent(&cp.display_interp(f, &db)));
+    }
+    println!("unique fixpoint? {}", analyzer.has_unique_fixpoint());
+    match analyzer.least_fixpoint_fonp().0 {
+        LeastFixpointResult::Least(s) => {
+            println!("least fixpoint exists ({} tuples)", s.total_tuples());
+        }
+        LeastFixpointResult::NoLeast => println!("fixpoints exist but none is least"),
+        LeastFixpointResult::NoFixpoint => println!("no fixpoint at all"),
+    }
+
+    // The same program on an odd cycle has NO fixpoint (the paper's C_n
+    // example) - yet inflationary semantics still assigns it a meaning.
+    let odd = DiGraph::cycle(5).to_database("E");
+    let analyzer = FixpointAnalyzer::new(&program, &odd).expect("compiles");
+    println!("\non the odd cycle C_5:");
+    println!("  fixpoint exists? {}", analyzer.fixpoint_exists());
+    let (inf, trace) = inflationary(&program, &odd).expect("compiles");
+    println!(
+        "  inflationary semantics: {} tuples in {} round(s)",
+        inf.total_tuples(),
+        trace.rounds
+    );
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}

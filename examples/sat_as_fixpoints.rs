@@ -1,0 +1,76 @@
+//! SAT as fixpoints (Theorem 1 + Example 1 + Theorem 2): encode a CNF
+//! instance as a database, run the paper's pi_SAT, and watch satisfying
+//! assignments appear as fixpoints — in bijection.
+//!
+//! Run with: `cargo run --example sat_as_fixpoints`
+
+use inflog::fixpoint::FixpointAnalyzer;
+use inflog::reductions::programs::pi_sat;
+use inflog::reductions::sat_db::{assignment_from_fixpoint, cnf_to_database};
+use inflog::sat::{brute_force_count, Cnf, Solver, Var};
+
+fn main() {
+    // I = (x0 | x1) & (!x0 | x1) & (x0 | !x1): two satisfying assignments
+    // (x0 x1 = TT and FT... let's see what the machinery says).
+    let mut cnf = Cnf::with_vars(2);
+    let (x0, x1) = (Var(0), Var(1));
+    cnf.add_clause(vec![x0.pos(), x1.pos()]);
+    cnf.add_clause(vec![x0.neg(), x1.pos()]);
+    cnf.add_clause(vec![x0.pos(), x1.neg()]);
+
+    println!("instance I:\n{cnf}");
+    println!("CDCL verdict: {}", verdict(&cnf));
+    println!("exact model count: {}", brute_force_count(&cnf));
+
+    // Example 1: the database D(I) over vocabulary (V/1, P/2, N/2).
+    let db = cnf_to_database(&cnf);
+    println!("\nD(I):\n{db}");
+
+    // pi_SAT has a fixpoint on D(I) iff I is satisfiable (Theorem 1),
+    // and fixpoints correspond 1-1 to satisfying assignments (Theorem 2).
+    let program = pi_sat();
+    println!("pi_SAT:\n{program}");
+    let analyzer = FixpointAnalyzer::new(&program, &db).expect("compiles");
+    println!("fixpoint exists? {}", analyzer.fixpoint_exists());
+
+    let fixpoints = analyzer.enumerate_fixpoints(64);
+    println!("number of fixpoints: {}", fixpoints.len());
+    for (i, f) in fixpoints.iter().enumerate() {
+        let asg = assignment_from_fixpoint(analyzer.compiled(), &db, f, cnf.num_vars())
+            .expect("S relation");
+        let rendered: Vec<String> = asg
+            .iter()
+            .enumerate()
+            .map(|(v, &b)| format!("x{v}={}", u8::from(b)))
+            .collect();
+        println!(
+            "  fixpoint {i} decodes to assignment {{{}}} (satisfies I: {})",
+            rendered.join(", "),
+            cnf.eval(&asg)
+        );
+    }
+
+    println!(
+        "unique fixpoint (the US question of Theorem 2)? {}",
+        analyzer.has_unique_fixpoint()
+    );
+
+    // An unsatisfiable instance: no fixpoints at all.
+    let mut unsat = Cnf::with_vars(1);
+    unsat.add_clause(vec![Var(0).pos()]);
+    unsat.add_clause(vec![Var(0).neg()]);
+    let db = cnf_to_database(&unsat);
+    let analyzer = FixpointAnalyzer::new(&program, &db).expect("compiles");
+    println!(
+        "\nunsatisfiable instance (x0) & (!x0): fixpoint exists? {}",
+        analyzer.fixpoint_exists()
+    );
+}
+
+fn verdict(cnf: &Cnf) -> &'static str {
+    if Solver::from_cnf(cnf).solve().is_sat() {
+        "SAT"
+    } else {
+        "UNSAT"
+    }
+}

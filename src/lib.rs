@@ -1,0 +1,17 @@
+//! # inflog — facade crate
+//!
+//! Re-exports the whole workspace under one roof. See the README for a tour.
+//!
+//! This workspace reproduces Kolaitis & Papadimitriou, *"Why Not Negation by
+//! Fixpoint?"* (PODS 1988 / JCSS 1991): a DATALOG¬ engine with fixpoint
+//! analysis (existence / uniqueness / least — Sections 2–3) and Inflationary
+//! DATALOG (Section 4), plus every substrate the paper's constructions need.
+
+pub use inflog_circuit as circuit;
+pub use inflog_core as core;
+pub use inflog_eval as eval;
+pub use inflog_fixpoint as fixpoint;
+pub use inflog_logic as logic;
+pub use inflog_reductions as reductions;
+pub use inflog_sat as sat;
+pub use inflog_syntax as syntax;

@@ -1,0 +1,144 @@
+//! Cross-semantics integration tests: the relationships between fixpoints
+//! (supported models), the well-founded model, stratified models and
+//! inflationary semantics that the paper's discussion (§1, §4, §5) implies.
+
+use inflog::core::graphs::DiGraph;
+use inflog::core::Database;
+use inflog::eval::{stratified_eval, well_founded};
+use inflog::fixpoint::{is_fixpoint, FixpointAnalyzer};
+use inflog::logic::eso::{Eso, SkolemNf};
+use inflog::logic::eso_to_datalog;
+use inflog::logic::fo::Fo;
+use inflog::reductions::programs::pi1;
+use inflog::syntax::{parse_program, var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A total well-founded model is a stable model, and every stable model is
+/// supported — i.e. a fixpoint of Θ. Check that implication empirically.
+#[test]
+fn total_well_founded_model_is_a_fixpoint() {
+    let programs = [
+        pi1(),
+        parse_program("Win(x) :- Move(x, y), !Win(y).").unwrap(),
+        parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).")
+            .unwrap(),
+    ];
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut total_seen = 0;
+    for program in &programs {
+        for _ in 0..6 {
+            let g = DiGraph::random_gnp(5, 0.3, &mut rng);
+            // Use the same EDB name the program expects.
+            let edb = program.edb_predicates();
+            let name = edb.iter().next().map(String::as_str).unwrap_or("E");
+            let db = g.to_database(name);
+            let wf = well_founded(program, &db).unwrap();
+            if wf.is_total() {
+                total_seen += 1;
+                assert!(
+                    is_fixpoint(program, &db, &wf.true_facts).unwrap(),
+                    "total WFS model must be a supported model (fixpoint): {program}"
+                );
+            }
+        }
+    }
+    assert!(total_seen > 3, "the workload should produce total models");
+}
+
+/// On stratified programs the well-founded model is total and the perfect
+/// model is also a fixpoint of Θ; on π₁ over odd cycles nothing is total
+/// and there is no fixpoint — both extremes in one test.
+#[test]
+fn stratified_perfect_model_vs_wfs_vs_fixpoints() {
+    let program = parse_program(
+        "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).",
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        let g = DiGraph::random_gnp(4, 0.4, &mut rng);
+        let db = g.to_database("E");
+        let (perfect, _) = stratified_eval(&program, &db).unwrap();
+        let wf = well_founded(&program, &db).unwrap();
+        assert!(wf.is_total());
+        assert_eq!(wf.true_facts, perfect);
+        assert!(is_fixpoint(&program, &db, &perfect).unwrap());
+    }
+
+    // π₁ on C_5: no fixpoint, and the WFS leaves everything undefined.
+    let db = DiGraph::cycle(5).to_database("E");
+    let analyzer = FixpointAnalyzer::new(&pi1(), &db).unwrap();
+    assert!(!analyzer.fixpoint_exists());
+    let wf = well_founded(&pi1(), &db).unwrap();
+    assert!(!wf.is_total());
+    assert_eq!(wf.undefined.total_tuples(), 5);
+}
+
+/// Theorem 2, normal-form direction: the Theorem 1 compiler produces a
+/// program whose fixpoints are in bijection with the ∃SO witnesses — so
+/// counting fixpoints counts witnesses, and "unique witness" becomes
+/// "unique fixpoint".
+#[test]
+fn generic_compiler_fixpoints_count_witnesses() {
+    let e = |x: &str, y: &str| Fo::atom("E", vec![var(x), var(y)]);
+    let s1 = |x: &str| Fo::atom("S", vec![var(x)]);
+
+    // "S is a 2-coloring": #witnesses = #proper 2-colorings.
+    let two_col = Eso::new(
+        vec![("S", 1)],
+        Fo::Or(vec![
+            e("x", "y").negate(),
+            Fo::And(vec![s1("x"), s1("y").negate()]),
+            Fo::And(vec![s1("x").negate(), s1("y")]),
+        ])
+        .forall("y")
+        .forall("x"),
+    );
+    let red = eso_to_datalog(&SkolemNf::of(&two_col, 1000));
+
+    let cases: Vec<(DiGraph, &str)> = vec![
+        (symmetric_cycle(4), "C4 sym"),
+        (symmetric_cycle(6), "C6 sym"),
+        (DiGraph::path(3), "L3"),
+        (DiGraph::new(2), "2 isolated"),
+        (symmetric_cycle(5), "C5 sym (no witness)"),
+    ];
+    for (g, name) in cases {
+        let db = g.to_database("E");
+        let witnesses = two_col.count_witnesses_brute(&db);
+        let analyzer = FixpointAnalyzer::new(&red.program, &db).unwrap();
+        let (fps, complete) = analyzer.count_fixpoints(1 << 12);
+        assert!(complete, "{name}");
+        assert_eq!(fps, witnesses, "bijection on {name}");
+        assert_eq!(
+            analyzer.has_unique_fixpoint(),
+            witnesses == 1,
+            "unique-witness ⟺ unique-fixpoint on {name}"
+        );
+    }
+}
+
+/// A database with an empty universe: the paper's framework assumes
+/// nonempty, and the engines must at least not misbehave (no panics; Θ is
+/// constantly empty; the toggle has the empty fixpoint).
+#[test]
+fn empty_universe_degenerate_behaviour() {
+    let db = Database::new();
+    let analyzer = FixpointAnalyzer::new(&pi1(), &db).unwrap();
+    assert!(analyzer.fixpoint_exists(), "the empty interpretation");
+    let (count, complete) = analyzer.count_fixpoints(4);
+    assert!(complete);
+    assert_eq!(count, 1);
+    let toggle = parse_program("T(z) :- !T(w).").unwrap();
+    let analyzer = FixpointAnalyzer::new(&toggle, &db).unwrap();
+    assert!(analyzer.fixpoint_exists(), "toggle is vacuous on A = ∅");
+}
+
+fn symmetric_cycle(n: usize) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        g.add_edge_undirected(i as u32, ((i + 1) % n) as u32);
+    }
+    g
+}
