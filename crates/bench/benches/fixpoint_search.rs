@@ -22,27 +22,19 @@ fn bench_fixpoint_search(c: &mut Criterion) {
     for n in [14usize, 30, 60] {
         let db = DiGraph::cycle(n).to_database("E");
         group.bench_with_input(BenchmarkId::new("sat_exists", n), &db, |b, db| {
-            b.iter(|| {
-                FixpointAnalyzer::new(&pi1(), db)
-                    .unwrap()
-                    .fixpoint_exists()
-            });
+            b.iter(|| FixpointAnalyzer::new(&pi1(), db).unwrap().fixpoint_exists());
         });
     }
     // Counting the exponentially many G_n fixpoints via blocking clauses.
     for copies in [2usize, 4, 6] {
         let db = DiGraph::disjoint_cycles(copies, 2).to_database("E");
-        group.bench_with_input(
-            BenchmarkId::new("sat_count_gn", copies),
-            &db,
-            |b, db| {
-                b.iter(|| {
-                    FixpointAnalyzer::new(&pi1(), db)
-                        .unwrap()
-                        .count_fixpoints(1 << 10)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sat_count_gn", copies), &db, |b, db| {
+            b.iter(|| {
+                FixpointAnalyzer::new(&pi1(), db)
+                    .unwrap()
+                    .count_fixpoints(1 << 10)
+            });
+        });
     }
     group.finish();
 }

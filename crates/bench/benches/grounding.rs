@@ -21,13 +21,9 @@ fn bench_grounding(c: &mut Criterion) {
             b.iter(|| GroundProgram::build(&pi_sat(), db).unwrap());
         });
         let ground = GroundProgram::build(&pi_sat(), &db).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("encode_completion", n),
-            &ground,
-            |b, g| {
-                b.iter(|| CompletionEncoding::build(g));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("encode_completion", n), &ground, |b, g| {
+            b.iter(|| CompletionEncoding::build(g));
+        });
     }
     group.finish();
 }

@@ -22,13 +22,9 @@ fn bench_least_fixpoint(c: &mut Criterion) {
     for copies in [3usize, 5, 7] {
         let db = DiGraph::disjoint_cycles(copies, 2).to_database("E");
         let analyzer = FixpointAnalyzer::new(&pi1(), &db).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("fonp_on_gn", copies),
-            &analyzer,
-            |b, a| {
-                b.iter(|| a.least_fixpoint_fonp());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fonp_on_gn", copies), &analyzer, |b, a| {
+            b.iter(|| a.least_fixpoint_fonp());
+        });
         group.bench_with_input(
             BenchmarkId::new("enumeration_on_gn", copies),
             &analyzer,

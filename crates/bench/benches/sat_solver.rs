@@ -27,9 +27,13 @@ fn bench_sat(c: &mut Criterion) {
     }
     for holes in [4usize, 5, 6] {
         let cnf = pigeonhole(holes);
-        group.bench_with_input(BenchmarkId::new("cdcl_pigeonhole", holes), &cnf, |b, cnf| {
-            b.iter(|| Solver::from_cnf(cnf).solve());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cdcl_pigeonhole", holes),
+            &cnf,
+            |b, cnf| {
+                b.iter(|| Solver::from_cnf(cnf).solve());
+            },
+        );
     }
     group.finish();
 }

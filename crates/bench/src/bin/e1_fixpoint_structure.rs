@@ -58,7 +58,11 @@ fn main() {
             &count,
             &1,
             &least,
-            &(if count >= 2 { inc.to_string() } else { "-".into() }),
+            &(if count >= 2 {
+                inc.to_string()
+            } else {
+                "-".into()
+            }),
         ]);
     }
     for n in 2..=max_n {
@@ -72,12 +76,15 @@ fn main() {
             &count,
             &expected,
             &least,
-            &(if count >= 2 { inc.to_string() } else { "-".into() }),
+            &(if count >= 2 {
+                inc.to_string()
+            } else {
+                "-".into()
+            }),
         ]);
     }
     for copies in 1..=max_copies {
-        let (count, complete, least, inc) =
-            analyze(&DiGraph::disjoint_cycles(copies, 2), 1 << 16);
+        let (count, complete, least, inc) = analyze(&DiGraph::disjoint_cycles(copies, 2), 1 << 16);
         assert!(complete);
         t.row(&[
             &"G_n (n x C_2)",
@@ -86,7 +93,11 @@ fn main() {
             &count,
             &(1u64 << copies),
             &least,
-            &(if count >= 2 { inc.to_string() } else { "-".into() }),
+            &(if count >= 2 {
+                inc.to_string()
+            } else {
+                "-".into()
+            }),
         ]);
     }
     t.print();

@@ -74,14 +74,7 @@ fn main() {
         let unique = analyzer.has_unique_fixpoint();
         assert_eq!(unique, models == 1);
         unique_cases += u32::from(unique);
-        t.row(&[
-            &name,
-            &models,
-            &fps,
-            &"1:1",
-            &(models == 1),
-            &unique,
-        ]);
+        t.row(&[&name, &models, &fps, &"1:1", &(models == 1), &unique]);
     }
     t.print();
     println!("unique-fixpoint cases observed: {unique_cases}");

@@ -75,14 +75,19 @@ fn main() {
     for bits in 2..=max_bits.min(3) {
         cases.push((format!("hypercube Q_{bits}"), hypercube(bits)));
     }
-    cases.push(("K4 explicit".into(), from_explicit_graph(&DiGraph::complete(4), 2)));
-    cases.push(("C5 explicit".into(), from_explicit_graph(&DiGraph::cycle(5), 3)));
+    cases.push((
+        "K4 explicit".into(),
+        from_explicit_graph(&DiGraph::complete(4), 2),
+    ));
+    cases.push((
+        "C5 explicit".into(),
+        from_explicit_graph(&DiGraph::cycle(5), 3),
+    ));
 
     for (name, sg) in cases {
         let truth = is_3colorable_sat(&sg.expand()).is_some();
         let red = succinct_coloring_reduction(&sg);
-        let analyzer =
-            FixpointAnalyzer::new(&red.program, &red.database).expect("compiles");
+        let analyzer = FixpointAnalyzer::new(&red.program, &red.database).expect("compiles");
         let fix = analyzer.fixpoint_exists();
         assert_eq!(truth, fix, "Theorem 4 on {name}");
         t.row(&[

@@ -47,7 +47,10 @@ fn main() {
     }
     for (pname, program) in &programs {
         let system = IfpSystem::from_datalog(program);
-        assert!(system.is_existential(), "{pname}: rule bodies are existential");
+        assert!(
+            system.is_existential(),
+            "{pname}: rule bodies are existential"
+        );
         for (dbname, g) in &dbs {
             let db = g.to_database("E");
             let (ifp, rounds) = system.eval(&db);
@@ -56,13 +59,7 @@ fn main() {
             for (i, name) in cp.idb_names.iter().enumerate() {
                 assert_eq!(&ifp[name], inf.get(i), "{pname}/{name} on {dbname}");
             }
-            t.row(&[
-                pname,
-                dbname,
-                &cp.idb_names.len(),
-                &true,
-                &rounds,
-            ]);
+            t.row(&[pname, dbname, &cp.idb_names.len(), &true, &rounds]);
         }
     }
     t.print();
@@ -103,13 +100,7 @@ fn main() {
             for def in &system.defs {
                 let idx = cp.idb_id(&def.name).expect("idb");
                 assert_eq!(&ifp[&def.name], inf.get(idx), "{sname} on {dbname}");
-                t.row(&[
-                    &sname,
-                    dbname,
-                    &def.name,
-                    &ifp[&def.name].len(),
-                    &true,
-                ]);
+                t.row(&[&sname, dbname, &def.name, &ifp[&def.name].len(), &true]);
             }
         }
     }

@@ -41,7 +41,10 @@ fn main() {
     ];
     let extra = if full { 6 } else { 3 };
     for i in 0..extra {
-        dbs.push((format!("rand(6,.3)#{i}"), DiGraph::random_gnp(6, 0.3, &mut rng)));
+        dbs.push((
+            format!("rand(6,.3)#{i}"),
+            DiGraph::random_gnp(6, 0.3, &mut rng),
+        ));
     }
     if full {
         dbs.push(("L_10".into(), DiGraph::path(10)));

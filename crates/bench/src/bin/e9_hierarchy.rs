@@ -49,10 +49,9 @@ fn main() {
 
     // 2. TC-complement: stratified but NOT DATALOG (non-monotone witness).
     println!("\n(2) TC-complement: stratified, not DATALOG (monotonicity violation)");
-    let comp = parse_program(
-        "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).",
-    )
-    .unwrap();
+    let comp =
+        parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).")
+            .unwrap();
     assert_eq!(stratify(&comp).unwrap().num_strata, 2);
     let small = DiGraph::path(3);
     let mut larger = DiGraph::path(3);

@@ -24,7 +24,8 @@ impl Table {
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Convenience for all-string rows.

@@ -87,13 +87,13 @@ pub fn succinct_cycle(bits: usize) -> SuccinctGraph {
         let u = b.input(pos);
         let v = b.input(bits + pos);
         let expected = match carry {
-            None => b.not(u),            // u XOR 1
-            Some(c) => b.xor(u, c),      // u XOR carry
+            None => b.not(u),       // u XOR 1
+            Some(c) => b.xor(u, c), // u XOR carry
         };
         let ok = b.iff(v, expected);
         checks.push(ok);
         carry = Some(match carry {
-            None => u,                   // u AND 1
+            None => u, // u AND 1
             Some(c) => b.and(u, c),
         });
     }

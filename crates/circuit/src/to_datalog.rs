@@ -233,14 +233,9 @@ mod tests {
                     .map(|b| mask >> (2 * sg.bits() - 1 - b) & 1 == 1)
                     .collect();
                 let vals = sg.circuit().eval_all(&bits);
-                let tuple = Tuple::from_ids(
-                    &bits.iter().map(|&x| u32::from(x)).collect::<Vec<_>>(),
-                );
-                assert_eq!(
-                    rel.contains(&tuple),
-                    vals[i],
-                    "gate {i} on input {bits:?}"
-                );
+                let tuple =
+                    Tuple::from_ids(&bits.iter().map(|&x| u32::from(x)).collect::<Vec<_>>());
+                assert_eq!(rel.contains(&tuple), vals[i], "gate {i} on input {bits:?}");
             }
         }
     }

@@ -89,9 +89,7 @@ impl DiGraph {
 
     /// Out-neighbours of `u`, in increasing order.
     pub fn successors(&self, u: u32) -> impl Iterator<Item = u32> + '_ {
-        self.edges
-            .range((u, 0)..=(u, u32::MAX))
-            .map(|&(_, v)| v)
+        self.edges.range((u, 0)..=(u, u32::MAX)).map(|&(_, v)| v)
     }
 
     /// In-neighbours of `v` (linear scan; fine for the workload sizes here).
@@ -336,8 +334,11 @@ impl DiGraph {
         db.declare_relation(edge_relation, 2)
             .expect("fresh database");
         for (u, v) in self.edges() {
-            db.insert_named_fact(edge_relation, &[&Self::vertex_name(u), &Self::vertex_name(v)])
-                .expect("interned vertices");
+            db.insert_named_fact(
+                edge_relation,
+                &[&Self::vertex_name(u), &Self::vertex_name(v)],
+            )
+            .expect("interned vertices");
         }
         db
     }
@@ -415,7 +416,7 @@ mod tests {
         let d = g.distances_from(0);
         assert_eq!(d[0], Some(0));
         assert_eq!(d[11], Some(5)); // bottom-right: 2 down + 3 right
-        // No edges back to the origin.
+                                    // No edges back to the origin.
         assert_eq!(g.distances_from(11)[0], None);
     }
 

@@ -191,7 +191,9 @@ impl Relation {
     /// The set of constants appearing anywhere in the relation (its active
     /// domain contribution).
     pub fn active_domain(&self) -> BTreeSet<Const> {
-        self.iter().flat_map(|t| t.items().iter().copied()).collect()
+        self.iter()
+            .flat_map(|t| t.items().iter().copied())
+            .collect()
     }
 }
 

@@ -227,10 +227,7 @@ mod tests {
     #[test]
     fn all_tuples_lexicographic_order() {
         let v: Vec<Tuple> = all_tuples(2, 2).collect();
-        assert_eq!(
-            v,
-            vec![t(&[0, 0]), t(&[0, 1]), t(&[1, 0]), t(&[1, 1])],
-        );
+        assert_eq!(v, vec![t(&[0, 0]), t(&[0, 1]), t(&[1, 0]), t(&[1, 1])],);
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub use error::EvalError;
 pub use inflationary::{inflationary, inflationary_naive};
 pub use interp::Interp;
 pub use naive::least_fixpoint_naive;
-pub use operator::{apply, apply_delta, apply_subset, apply_with_neg, enumerate_bindings, EvalContext};
+pub use operator::{
+    apply, apply_delta, apply_subset, apply_with_neg, enumerate_bindings, EvalContext,
+};
 pub use resolve::{ensure_program_constants, CompiledProgram};
 pub use seminaive::least_fixpoint_seminaive;
 pub use stratified::{stratified_eval, stratify, Stratification};

@@ -47,7 +47,10 @@ pub fn least_fixpoint_naive(program: &Program, db: &Database) -> Result<(Interp,
 ///
 /// Θ must be monotone (callers ensure positivity); iteration therefore
 /// terminates within `Σ |A|^{k_i}` rounds.
-pub fn least_fixpoint_naive_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> (Interp, EvalTrace) {
+pub fn least_fixpoint_naive_compiled(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+) -> (Interp, EvalTrace) {
     let mut trace = EvalTrace::default();
     let mut s = cp.empty_interp();
     loop {

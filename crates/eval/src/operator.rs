@@ -72,7 +72,12 @@ pub fn apply(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp) -> Interp {
 }
 
 /// `Θ(S)` restricted to the rules with the given source indices.
-pub fn apply_subset(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, rules: &[usize]) -> Interp {
+pub fn apply_subset(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    s: &Interp,
+    rules: &[usize],
+) -> Interp {
     run(
         cp,
         ctx,
@@ -137,9 +142,16 @@ pub fn enumerate_bindings(plan: &Plan, ctx: &EvalContext) -> Vec<Tuple> {
     debug_assert!(
         plan.steps.iter().all(|s| !matches!(
             s,
-            Step::Scan { pred: PredRef::Idb(_), .. }
-                | Step::FilterPos { pred: PredRef::Idb(_), .. }
-                | Step::FilterNeg { pred: PredRef::Idb(_), .. }
+            Step::Scan {
+                pred: PredRef::Idb(_),
+                ..
+            } | Step::FilterPos {
+                pred: PredRef::Idb(_),
+                ..
+            } | Step::FilterNeg {
+                pred: PredRef::Idb(_),
+                ..
+            }
         )),
         "grounding plans must not reference IDB relations"
     );

@@ -243,17 +243,13 @@ pub fn plan_rule(
                     RLit::Neq(a, b) if term_bound(a, &bound) && term_bound(b, &bound) => {
                         Some(Step::FilterNeq { a: *a, b: *b })
                     }
-                    RLit::Neg { pred, terms }
-                        if terms.iter().all(|t| term_bound(t, &bound)) =>
-                    {
+                    RLit::Neg { pred, terms } if terms.iter().all(|t| term_bound(t, &bound)) => {
                         Some(Step::FilterNeg {
                             pred: *pred,
                             terms: terms.clone(),
                         })
                     }
-                    RLit::Pos { pred, terms }
-                        if terms.iter().all(|t| term_bound(t, &bound)) =>
-                    {
+                    RLit::Pos { pred, terms } if terms.iter().all(|t| term_bound(t, &bound)) => {
                         Some(Step::FilterPos {
                             pred: *pred,
                             terms: terms.clone(),
@@ -373,7 +369,13 @@ mod tests {
         ];
         let p = plan_rule(vec![v(0)], &body, 2, None);
         assert_eq!(p.steps.len(), 2);
-        assert!(matches!(p.steps[0], Step::Scan { pred: PredRef::Edb(0), .. }));
+        assert!(matches!(
+            p.steps[0],
+            Step::Scan {
+                pred: PredRef::Edb(0),
+                ..
+            }
+        ));
         assert!(matches!(p.steps[1], Step::FilterNeg { .. }));
     }
 
@@ -419,7 +421,10 @@ mod tests {
             RLit::Eq(v(0), v(1)),
         ];
         let p = plan_rule(vec![v(1)], &body, 2, None);
-        assert!(p.steps.iter().any(|s| matches!(s, Step::BindEq { var: 1, .. })));
+        assert!(p
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::BindEq { var: 1, .. })));
         assert!(!p.steps.iter().any(|s| matches!(s, Step::Domain { .. })));
     }
 
@@ -475,7 +480,12 @@ mod tests {
     #[test]
     fn fact_head_variables_get_domains() {
         // G(z, c) <- .  : z ranges over the universe.
-        let p = plan_rule(vec![v(0), CTerm::Const(inflog_core::Const(1))], &[], 1, None);
+        let p = plan_rule(
+            vec![v(0), CTerm::Const(inflog_core::Const(1))],
+            &[],
+            1,
+            None,
+        );
         assert_eq!(p.steps.len(), 1);
         assert!(matches!(p.steps[0], Step::Domain { var: 0 }));
     }

@@ -148,7 +148,15 @@ impl CompiledProgram {
             let pos_idb_lits: Vec<usize> = body
                 .iter()
                 .enumerate()
-                .filter(|(_, l)| matches!(l, RLit::Pos { pred: PredRef::Idb(_), .. }))
+                .filter(|(_, l)| {
+                    matches!(
+                        l,
+                        RLit::Pos {
+                            pred: PredRef::Idb(_),
+                            ..
+                        }
+                    )
+                })
                 .map(|(i, _)| i)
                 .collect();
             let delta_plans: Vec<Plan> = pos_idb_lits
@@ -310,10 +318,7 @@ mod tests {
     #[test]
     fn idb_ids_sorted_by_name() {
         let db = DiGraph::path(2).to_database("E");
-        let cp = compile(
-            "Z(x) :- E(x, y). A(x) :- E(x, y). M(x) :- A(x), Z(x).",
-            &db,
-        );
+        let cp = compile("Z(x) :- E(x, y). A(x) :- E(x, y). M(x) :- A(x), Z(x).", &db);
         assert_eq!(cp.idb_names, vec!["A", "M", "Z"]);
         assert_eq!(cp.idb_id("M"), Some(1));
         assert_eq!(cp.idb_id("E"), None);

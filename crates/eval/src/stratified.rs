@@ -172,10 +172,9 @@ mod tests {
 
     #[test]
     fn negation_on_lower_stratum_ok() {
-        let p = parse_program(
-            "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).",
-        )
-        .unwrap();
+        let p =
+            parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).")
+                .unwrap();
         let s = stratify(&p).unwrap();
         assert_eq!(s.num_strata, 2);
         assert_eq!(s.stratum("S"), 0);
@@ -186,10 +185,7 @@ mod tests {
     fn pi1_is_not_stratified() {
         // T uses itself negatively: recursion through negation.
         let p = parse_program("T(x) :- E(y, x), !T(y).").unwrap();
-        assert!(matches!(
-            stratify(&p),
-            Err(EvalError::NotStratified { .. })
-        ));
+        assert!(matches!(stratify(&p), Err(EvalError::NotStratified { .. })));
     }
 
     #[test]

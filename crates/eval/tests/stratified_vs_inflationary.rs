@@ -1,0 +1,122 @@
+//! Unit tests at the engine layer for the paper's §4 motivating point:
+//! stratified semantics is a *partial* function of programs (undefined as
+//! soon as recursion passes through negation), while the inflationary
+//! fixpoint Θ̃ is defined for **every** DATALOG¬ program — and where both
+//! are defined they need not agree.
+
+use inflog_core::graphs::DiGraph;
+use inflog_eval::{
+    apply, inflationary, inflationary_naive, stratified_eval, stratify, CompiledProgram,
+    EvalContext, EvalError,
+};
+use inflog_syntax::parse_program;
+
+/// Programs with recursion through negation, from the paper (§2 π₁) and
+/// the classic win-move game the §4 discussion generalises.
+fn non_stratifiable_cases() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("pi1", "T(x) :- E(y, x), !T(y).", "E"),
+        ("win-move", "Win(x) :- E(x, y), !Win(y).", "E"),
+        (
+            "mutual",
+            "A(x) :- E(x, y), !B(x). B(x) :- E(x, y), !A(x).",
+            "E",
+        ),
+    ]
+}
+
+#[test]
+fn stratification_rejects_recursion_through_negation() {
+    for (name, src, _) in non_stratifiable_cases() {
+        let program = parse_program(src).unwrap();
+        assert!(
+            matches!(stratify(&program), Err(EvalError::NotStratified { .. })),
+            "{name}: stratify must report NotStratified"
+        );
+    }
+}
+
+#[test]
+fn stratified_eval_is_undefined_but_inflationary_is_total() {
+    for (name, src, edb) in non_stratifiable_cases() {
+        let program = parse_program(src).unwrap();
+        for g in [DiGraph::path(4), DiGraph::cycle(3), DiGraph::cycle(4)] {
+            let db = g.to_database(edb);
+            assert!(
+                matches!(
+                    stratified_eval(&program, &db),
+                    Err(EvalError::NotStratified { .. })
+                ),
+                "{name}: stratified_eval must refuse the program"
+            );
+            // The inflationary fixpoint always exists (§4): both iteration
+            // styles terminate, agree, and land on an inflationary fixpoint,
+            // i.e. one more application of Θ adds nothing new.
+            let (inf, trace) = inflationary(&program, &db).unwrap();
+            let (inf2, trace2) = inflationary_naive(&program, &db).unwrap();
+            assert_eq!(inf, inf2, "{name}: semi-naive vs naive inflationary");
+            assert_eq!(trace.rounds, trace2.rounds, "{name}: round counts");
+            let cp = CompiledProgram::compile(&program, &db).unwrap();
+            let ctx = EvalContext::new(&cp, &db).unwrap();
+            assert!(
+                apply(&cp, &ctx, &inf).is_subset(&inf),
+                "{name}: Θ(S) ⊆ S at the inflationary fixpoint"
+            );
+        }
+    }
+}
+
+#[test]
+fn inflationary_is_defined_even_where_no_classical_fixpoint_exists() {
+    // π₁ on an odd cycle has *no* fixpoint of Θ at all (§2), yet the
+    // inflationary fixpoint exists: every vertex has a predecessor, so
+    // T̃ = A after one round, and Θ(A) = ∅ ⊆ A.
+    let program = parse_program("T(x) :- E(y, x), !T(y).").unwrap();
+    let g = DiGraph::cycle(5);
+    let db = g.to_database("E");
+    let (inf, trace) = inflationary(&program, &db).unwrap();
+    assert_eq!(
+        trace.added_per_round,
+        vec![5],
+        "round 1 saturates T̃ in one step"
+    );
+    let cp = CompiledProgram::compile(&program, &db).unwrap();
+    let t = cp.idb_id("T").unwrap();
+    assert_eq!(inf.get(t).len(), 5, "T̃ = all vertices of C_5");
+}
+
+#[test]
+fn divergence_on_a_program_where_both_are_defined() {
+    // The §4 distance program is stratifiable; on a cycle the stratified
+    // reading of S3 (TC ∧ ¬TC) is empty while the inflationary reading
+    // (the distance query) is not. Divergence without undefinedness.
+    let program = parse_program(
+        "
+        S1(x, y) :- E(x, y).
+        S1(x, y) :- E(x, z), S1(z, y).
+        S2(u, v) :- E(u, v).
+        S2(u, v) :- E(u, w), S2(w, v).
+        S3(x, y, u, v) :- E(x, y), !S2(u, v).
+        S3(x, y, u, v) :- E(x, z), S1(z, y), !S2(u, v).
+        ",
+    )
+    .unwrap();
+    assert!(
+        stratify(&program).is_ok(),
+        "the distance program is stratifiable"
+    );
+    let db = DiGraph::cycle(4).to_database("E");
+    let (strat, _) = stratified_eval(&program, &db).unwrap();
+    let (inf, _) = inflationary(&program, &db).unwrap();
+    let cp = CompiledProgram::compile(&program, &db).unwrap();
+    let s3 = cp.idb_id("S3").unwrap();
+    assert!(
+        strat.get(s3).is_empty(),
+        "stratified: TC ∧ ¬TC on C_4 is empty"
+    );
+    assert!(
+        !inf.get(s3).is_empty(),
+        "inflationary: distance query is non-empty"
+    );
+    assert_ne!(strat, inf, "the two semantics diverge on C_4");
+}

@@ -120,13 +120,7 @@ impl FixpointAnalyzer {
                         .encoding
                         .tuple_vars
                         .iter()
-                        .map(|&v| {
-                            if model[v.index()] {
-                                v.neg()
-                            } else {
-                                v.pos()
-                            }
-                        })
+                        .map(|&v| if model[v.index()] { v.neg() } else { v.pos() })
                         .collect();
                     debug_assert!(self.is_fixpoint(&s));
                     out.push(s);
@@ -250,7 +244,10 @@ mod tests {
                 "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).",
                 DiGraph::path(3),
             ),
-            ("A(x) :- E(x, y), !B(y). B(x) :- E(y, x), !A(x).", DiGraph::cycle(3)),
+            (
+                "A(x) :- E(x, y), !B(y). B(x) :- E(y, x), !A(x).",
+                DiGraph::cycle(3),
+            ),
         ];
         for (src, g) in cases {
             let db = g.to_database("E");

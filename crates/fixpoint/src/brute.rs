@@ -105,7 +105,10 @@ mod tests {
         let p = parse_program(PI1).unwrap();
         assert!(matches!(
             enumerate_fixpoints_brute(&p, &db, 20),
-            Err(FixpointError::SearchSpaceTooLarge { tuples: 25, cap: 20 })
+            Err(FixpointError::SearchSpaceTooLarge {
+                tuples: 25,
+                cap: 20
+            })
         ));
     }
 

@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = FixpointError::SearchSpaceTooLarge { tuples: 40, cap: 24 };
+        let e = FixpointError::SearchSpaceTooLarge {
+            tuples: 40,
+            cap: 24,
+        };
         assert!(e.to_string().contains("2^40"));
         let wrapped: FixpointError = EvalError::IterationLimit { limit: 3 }.into();
         assert!(wrapped.to_string().contains("3"));

@@ -99,8 +99,14 @@ impl GroundProgram {
                 .body
                 .iter()
                 .filter_map(|l| match l {
-                    RLit::Pos { pred: PredRef::Idb(_), .. } => Some((l, true)),
-                    RLit::Neg { pred: PredRef::Idb(_), .. } => Some((l, false)),
+                    RLit::Pos {
+                        pred: PredRef::Idb(_),
+                        ..
+                    } => Some((l, true)),
+                    RLit::Neg {
+                        pred: PredRef::Idb(_),
+                        ..
+                    } => Some((l, false)),
                     _ => None,
                 })
                 .collect();
@@ -216,9 +222,9 @@ impl GroundProgram {
     /// as a bit vector. Used to cross-check the grounding against the
     /// relational operator.
     pub fn derivable(&self, id: usize, bits: &[bool]) -> bool {
-        self.bodies[id].iter().any(|b| {
-            b.pos.iter().all(|&p| bits[p]) && b.neg.iter().all(|&q| !bits[q])
-        })
+        self.bodies[id]
+            .iter()
+            .any(|b| b.pos.iter().all(|&p| bits[p]) && b.neg.iter().all(|&q| !bits[q]))
     }
 
     /// Total number of ground bodies (a size measure for E10's tables).
@@ -265,8 +271,20 @@ mod tests {
         let (g, _, _) = build(PI1, &db);
         assert_eq!(g.total_tuples, 3);
         assert!(g.bodies[0].is_empty());
-        assert_eq!(g.bodies[1], vec![GroundBody { pos: vec![], neg: vec![0] }]);
-        assert_eq!(g.bodies[2], vec![GroundBody { pos: vec![], neg: vec![1] }]);
+        assert_eq!(
+            g.bodies[1],
+            vec![GroundBody {
+                pos: vec![],
+                neg: vec![0]
+            }]
+        );
+        assert_eq!(
+            g.bodies[2],
+            vec![GroundBody {
+                pos: vec![],
+                neg: vec![1]
+            }]
+        );
     }
 
     #[test]
@@ -345,7 +363,13 @@ mod tests {
             ]
         );
         // And their bodies are the always-true empty body.
-        assert_eq!(g.bodies[derivable[0]], vec![GroundBody { pos: vec![], neg: vec![] }]);
+        assert_eq!(
+            g.bodies[derivable[0]],
+            vec![GroundBody {
+                pos: vec![],
+                neg: vec![]
+            }]
+        );
     }
 
     #[test]

@@ -70,8 +70,7 @@ impl StableAnalyzer {
                     continue;
                 }
                 let derivable = g.bodies[id].iter().any(|b| {
-                    b.neg.iter().all(|&q| !candidate[q])
-                        && b.pos.iter().all(|&p| model[p])
+                    b.neg.iter().all(|&q| !candidate[q]) && b.pos.iter().all(|&p| model[p])
                 });
                 if derivable {
                     model[id] = true;
@@ -152,7 +151,10 @@ mod tests {
             (PI1, DiGraph::path(4)),
             (PI1, DiGraph::cycle(4)),
             (PI1, DiGraph::cycle(3)),
-            ("A(x) :- E(x, y), !B(y). B(x) :- E(y, x), !A(x).", DiGraph::cycle(3)),
+            (
+                "A(x) :- E(x, y), !B(y). B(x) :- E(y, x), !A(x).",
+                DiGraph::cycle(3),
+            ),
         ];
         for (src, g) in cases {
             let db = g.to_database("E");

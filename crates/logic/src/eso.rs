@@ -270,13 +270,8 @@ fn to_forall_exists(
 
     // Conjunct 1: ∀ū∀v̄ [rest](¬X(ū,v̄) ∨ matrix), recursively normalized.
     let not_x = Fo::atom(x_name.clone(), uv_terms).negate();
-    let (so1, f1, e1, m1) = to_forall_exists(
-        rest,
-        Fo::Or(vec![not_x, matrix]),
-        wit,
-        varc,
-        fresh_witness,
-    );
+    let (so1, f1, e1, m1) =
+        to_forall_exists(rest, Fo::Or(vec![not_x, matrix]), wit, varc, fresh_witness);
 
     // Conjunct 2: ∀ū₂ ∃v̄₂ X(ū₂, v̄₂) with fresh first-order names (the two
     // conjuncts' prefixes must not share variables when merged).
@@ -334,9 +329,7 @@ mod tests {
     /// ∃S ∀x ∃y (E(x,y) ∧ S(y)): every vertex has an out-neighbour (S can
     /// be everything) — has a genuine ∀∃ alternation for Skolemization.
     fn out_neighbour_in_s() -> Eso {
-        let matrix = Fo::And(vec![e("x", "y"), s1("y")])
-            .exists("y")
-            .forall("x");
+        let matrix = Fo::And(vec![e("x", "y"), s1("y")]).exists("y").forall("x");
         Eso::new(vec![("S", 1)], matrix)
     }
 
@@ -453,11 +446,7 @@ mod tests {
             let eso = Eso::new(vec![("S", 1)], f);
             let nf = SkolemNf::of(&eso, 10_000).to_eso();
             let n = 2usize;
-            let budget: usize = nf
-                .so_vars
-                .iter()
-                .map(|(_, k)| n.pow(*k as u32))
-                .sum();
+            let budget: usize = nf.so_vars.iter().map(|(_, k)| n.pow(*k as u32)).sum();
             if budget > 14 {
                 continue;
             }

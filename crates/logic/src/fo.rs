@@ -298,9 +298,7 @@ mod tests {
     fn atoms_and_quantifiers_on_graph() {
         // ∀x ∃y E(x, y): every vertex has an out-edge. True on a cycle,
         // false on a path.
-        let f = Fo::atom("E", vec![v("x"), v("y")])
-            .exists("y")
-            .forall("x");
+        let f = Fo::atom("E", vec![v("x"), v("y")]).exists("y").forall("x");
         let cycle = DiGraph::cycle(4).to_database("E");
         let path = DiGraph::path(4).to_database("E");
         assert!(eval_sentence(&f, &cycle, &ExtraRelations::new()));

@@ -105,7 +105,9 @@ impl IfpSystem {
     /// Whether every defining formula is in the existential fragment
     /// (after NNF: no universal quantifiers, negation on atoms only).
     pub fn is_existential(&self) -> bool {
-        self.defs.iter().all(|d| is_existential_fo(&nnf(&d.formula)))
+        self.defs
+            .iter()
+            .all(|d| is_existential_fo(&nnf(&d.formula)))
     }
 
     /// Proposition 1, ⇒ direction: compiles an existential system to a
@@ -130,8 +132,7 @@ impl IfpSystem {
             if matrix_too_big(&matrix, max_disjuncts) {
                 return Err(format!("DNF of {} exceeds {max_disjuncts}", def.name));
             }
-            let head_terms: Vec<Term> =
-                def.params.iter().map(|p| Term::Var(p.clone())).collect();
+            let head_terms: Vec<Term> = def.params.iter().map(|p| Term::Var(p.clone())).collect();
             for conj in dnf(&matrix, max_disjuncts) {
                 let body: Vec<Literal> = conj
                     .into_iter()
@@ -167,8 +168,7 @@ impl IfpSystem {
             let mut disjuncts = Vec::new();
             for (ri, rule) in by_head.get(&name).into_iter().flatten().enumerate() {
                 // Rename all rule variables to be disjoint from params.
-                let rename =
-                    |v: &str| -> String { format!("r{ri}_{v}") };
+                let rename = |v: &str| -> String { format!("r{ri}_{v}") };
                 let rterm = |t: &Term| -> Term {
                     match t {
                         Term::Var(v) => Term::Var(rename(v)),

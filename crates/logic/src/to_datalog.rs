@@ -193,9 +193,7 @@ mod tests {
     #[test]
     fn alternation_reduction() {
         // ∃S ∀x∃y (E(x,y) ∧ S(y)).
-        let matrix = Fo::And(vec![e("x", "y"), s1("y")])
-            .exists("y")
-            .forall("x");
+        let matrix = Fo::And(vec![e("x", "y"), s1("y")]).exists("y").forall("x");
         let eso = Eso::new(vec![("S", 1)], matrix);
         let red = compile(&eso);
         for (g, expect) in [
@@ -226,11 +224,7 @@ mod tests {
         for _ in 0..6 {
             let g = DiGraph::random_gnp(3, 0.4, &mut rng);
             let db = g.to_database("E");
-            assert_eq!(
-                eso.eval_brute(&db),
-                fixpoint_exists(&red, &db),
-                "graph {g}"
-            );
+            assert_eq!(eso.eval_brute(&db), fixpoint_exists(&red, &db), "graph {g}");
         }
     }
 

@@ -90,16 +90,8 @@ pub fn prenex(f: &Fo) -> (Vec<(Quant, String)>, Fo) {
             },
             Fo::Eq(a, b) => Fo::Eq(rename_term(a, renames), rename_term(b, renames)),
             Fo::Not(g) => go(g, renames, prefix, counter).negate(),
-            Fo::And(gs) => Fo::And(
-                gs.iter()
-                    .map(|g| go(g, renames, prefix, counter))
-                    .collect(),
-            ),
-            Fo::Or(gs) => Fo::Or(
-                gs.iter()
-                    .map(|g| go(g, renames, prefix, counter))
-                    .collect(),
-            ),
+            Fo::And(gs) => Fo::And(gs.iter().map(|g| go(g, renames, prefix, counter)).collect()),
+            Fo::Or(gs) => Fo::Or(gs.iter().map(|g| go(g, renames, prefix, counter)).collect()),
             Fo::Implies(_, _) => unreachable!("NNF has no implications"),
             Fo::Forall(v, g) | Fo::Exists(v, g) => {
                 let q = if matches!(f, Fo::Forall(_, _)) {
@@ -312,7 +304,11 @@ mod tests {
                 e("a", "b").exists("b").forall("a"),
             ]),
             // Shadowing: same name bound twice.
-            Fo::And(vec![e("x", "y").exists("y"), e("x", "y").negate().exists("y")]).forall("x"),
+            Fo::And(vec![
+                e("x", "y").exists("y"),
+                e("x", "y").negate().exists("y"),
+            ])
+            .forall("x"),
         ];
         for db in &dbs {
             for f in &formulas {
@@ -331,10 +327,7 @@ mod tests {
     #[test]
     fn dnf_simple_distribution() {
         // (a ∨ b) ∧ c  →  (a∧c) ∨ (b∧c)
-        let f = Fo::And(vec![
-            Fo::Or(vec![e("a", "a"), e("b", "b")]),
-            e("c", "c"),
-        ]);
+        let f = Fo::And(vec![Fo::Or(vec![e("a", "a"), e("b", "b")]), e("c", "c")]);
         let d = dnf(&f, 100);
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].len(), 2);

@@ -40,9 +40,8 @@ pub fn is_3colorable_brute(g: &DiGraph) -> bool {
 
 /// Checks a specific coloring.
 pub fn valid_coloring(g: &DiGraph, colors: &[u8]) -> bool {
-    g.edges().all(|(u, v)| {
-        u != v && colors[u as usize] != colors[v as usize]
-    })
+    g.edges()
+        .all(|(u, v)| u != v && colors[u as usize] != colors[v as usize])
 }
 
 /// Encodes 3-colorability as CNF: variable `(v, c)` = "vertex v has color

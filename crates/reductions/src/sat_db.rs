@@ -243,9 +243,7 @@ mod tests {
         // Distinct fixpoints decode to distinct assignments (bijection).
         let mut assignments: Vec<Vec<bool>> = fps
             .iter()
-            .map(|f| {
-                assignment_from_fixpoint(analyzer.compiled(), &db, f, cnf.num_vars()).unwrap()
-            })
+            .map(|f| assignment_from_fixpoint(analyzer.compiled(), &db, f, cnf.num_vars()).unwrap())
             .collect();
         assignments.sort();
         let before = assignments.len();

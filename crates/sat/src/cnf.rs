@@ -216,7 +216,12 @@ impl Cnf {
 
 impl fmt::Display for Cnf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "cnf({} vars, {} clauses)", self.num_vars, self.clauses.len())?;
+        writeln!(
+            f,
+            "cnf({} vars, {} clauses)",
+            self.num_vars,
+            self.clauses.len()
+        )?;
         for c in &self.clauses {
             let parts: Vec<String> = c.iter().map(Lit::to_string).collect();
             writeln!(f, "  {}", parts.join(" | "))?;

@@ -31,8 +31,7 @@ pub fn enumerate_models(cnf: &Cnf, projection: &[Var], limit: u64) -> Vec<Vec<bo
         match solver.solve() {
             SolveResult::Unsat => break,
             SolveResult::Sat(model) => {
-                let projected: Vec<bool> =
-                    projection.iter().map(|v| model[v.index()]).collect();
+                let projected: Vec<bool> = projection.iter().map(|v| model[v.index()]).collect();
                 // Block this projection.
                 let blocking: Vec<Lit> = projection
                     .iter()
@@ -74,13 +73,7 @@ pub fn count_models(cnf: &Cnf, projection: &[Var], limit: u64) -> CountResult {
                 count += 1;
                 let blocking: Vec<Lit> = projection
                     .iter()
-                    .map(|&v| {
-                        if model[v.index()] {
-                            v.neg()
-                        } else {
-                            v.pos()
-                        }
-                    })
+                    .map(|&v| if model[v.index()] { v.neg() } else { v.pos() })
                     .collect();
                 if blocking.is_empty() || !solver.add_clause(&blocking) {
                     return CountResult {

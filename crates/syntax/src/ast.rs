@@ -411,7 +411,9 @@ mod tests {
         let r = &pi1().rules[0];
         assert_eq!(r.variables(), vec!["x", "y"]);
         assert_eq!(
-            r.positively_bound_variables().into_iter().collect::<Vec<_>>(),
+            r.positively_bound_variables()
+                .into_iter()
+                .collect::<Vec<_>>(),
             vec!["x", "y"]
         );
     }

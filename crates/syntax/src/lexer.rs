@@ -313,10 +313,7 @@ mod tests {
     #[test]
     fn lex_comments() {
         let toks = kinds("% whole line\nT(x). // trailing\nS(y).");
-        let idents: Vec<&Tok> = toks
-            .iter()
-            .filter(|t| matches!(t, Tok::Ident(_)))
-            .collect();
+        let idents: Vec<&Tok> = toks.iter().filter(|t| matches!(t, Tok::Ident(_))).collect();
         assert_eq!(idents.len(), 4); // T, x, S, y
     }
 

@@ -17,7 +17,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -142,9 +146,7 @@ impl Parser {
                 match self.bump() {
                     Tok::Eq => Ok(Literal::Eq(lhs, self.term()?)),
                     Tok::Neq => Ok(Literal::Neq(lhs, self.term()?)),
-                    other => self.err(format!(
-                        "expected `=` or `!=` after term, found {other}"
-                    )),
+                    other => self.err(format!("expected `=` or `!=` after term, found {other}")),
                 }
             }
             other => self.err(format!("expected a body literal, found {other}")),
@@ -270,7 +272,10 @@ mod tests {
     #[test]
     fn error_predicate_as_term() {
         let e = parse_program("T(X) :- E(x, y).").unwrap_err();
-        assert!(e.message.contains("predicates cannot appear as terms"), "{e}");
+        assert!(
+            e.message.contains("predicates cannot appear as terms"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -115,10 +115,8 @@ pub fn validate(program: &Program) -> Report {
     let mut report = Report::default();
     let mut arities: BTreeMap<String, usize> = BTreeMap::new();
 
-    let mut check_arity =
-        |pred: &str, arity: usize, rule_index: usize, report: &mut Report| match arities
-            .get(pred)
-        {
+    let mut check_arity = |pred: &str, arity: usize, rule_index: usize, report: &mut Report| {
+        match arities.get(pred) {
             Some(&a) if a != arity => report.errors.push(ValidationError::ArityConflict {
                 predicate: pred.to_owned(),
                 first: a,
@@ -129,7 +127,8 @@ pub fn validate(program: &Program) -> Report {
             None => {
                 arities.insert(pred.to_owned(), arity);
             }
-        };
+        }
+    };
 
     for (i, rule) in program.rules.iter().enumerate() {
         check_arity(&rule.head.predicate, rule.head.arity(), i, &mut report);

@@ -28,7 +28,11 @@ fn describe(name: &str, g: &DiGraph) {
         "{name:<28} fixpoints = {:<5} least = {:<4} pairwise incomparable = {}",
         fps.len(),
         least,
-        if fps.len() >= 2 { incomparable.to_string() } else { "-".into() },
+        if fps.len() >= 2 {
+            incomparable.to_string()
+        } else {
+            "-".into()
+        },
     );
 }
 
@@ -47,10 +51,7 @@ fn main() {
 
     println!("\nG_n = n disjoint copies of C_2 (2^n fixpoints, no least):");
     for n in 1..=6 {
-        describe(
-            &format!("  G_{n}"),
-            &DiGraph::disjoint_cycles(n, 2),
-        );
+        describe(&format!("  G_{n}"), &DiGraph::disjoint_cycles(n, 2));
     }
 
     // Show the two C_4 fixpoints explicitly.

@@ -34,16 +34,20 @@ fn main() {
     // Spot-check against the independent BFS baselines.
     let dist_baseline = distance_query_baseline(&g);
     let strat_baseline = stratified_reading_baseline(&g);
-    println!("BFS distance-query baseline: {} tuples", dist_baseline.len());
-    println!("TC∧¬TC baseline:             {} tuples", strat_baseline.len());
+    println!(
+        "BFS distance-query baseline: {} tuples",
+        dist_baseline.len()
+    );
+    println!(
+        "TC∧¬TC baseline:             {} tuples",
+        strat_baseline.len()
+    );
     assert_eq!(inf.get(s3).len(), dist_baseline.len());
     assert_eq!(st.get(s3).len(), strat_baseline.len());
 
     // A concrete divergence witness.
     let witness = (0u32, 1u32, 0u32, 3u32); // dist(v0,v1)=1 <= dist(v0,v3)=3
-    println!(
-        "\nwitness quadruple D(v0,v1,v0,v3) — \"is v0->v1 at most as far as v0->v3?\":"
-    );
+    println!("\nwitness quadruple D(v0,v1,v0,v3) — \"is v0->v1 at most as far as v0->v3?\":");
     println!(
         "  inflationary (distance query): {}",
         dist_baseline.contains(&witness)

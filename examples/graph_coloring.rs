@@ -17,7 +17,10 @@ fn main() {
         ("odd cycle C5 (3-chromatic)", DiGraph::cycle(5)),
         ("K4 (4-chromatic)", DiGraph::complete(4)),
         ("Petersen graph (3-chromatic)", DiGraph::petersen()),
-        ("K33 bipartite (2-chromatic)", DiGraph::complete_bipartite(3, 3)),
+        (
+            "K33 bipartite (2-chromatic)",
+            DiGraph::complete_bipartite(3, 3),
+        ),
     ];
 
     for (name, g) in cases {
@@ -48,7 +51,10 @@ fn main() {
                 .map(|(v, &c)| format!("v{v}:{}", names[c as usize]))
                 .collect();
             println!("  coloring from the fixpoint: {}", rendered.join(" "));
-            assert!(valid_coloring(&g, &colors), "fixpoint encodes a proper coloring");
+            assert!(
+                valid_coloring(&g, &colors),
+                "fixpoint encodes a proper coloring"
+            );
         }
     }
 }

@@ -38,10 +38,7 @@ fn main() {
         let fps = analyzer.enumerate_fixpoints(16);
         println!("  fixpoints (supported models): {}", fps.len());
         for f in &fps {
-            print!(
-                "{}",
-                indent(&analyzer.compiled().display_interp(f, &db), 4)
-            );
+            print!("{}", indent(&analyzer.compiled().display_interp(f, &db), 4));
         }
         match analyzer.least_fixpoint_fonp().0 {
             LeastFixpointResult::Least(_) => println!("    least fixpoint: yes"),

@@ -37,8 +37,14 @@ fn main() {
     let cases: Vec<(&str, inflog::circuit::SuccinctGraph)> = vec![
         ("cycle of length 4 (even, 2-colorable)", succinct_cycle(2)),
         ("hypercube Q_3 (bipartite)", hypercube(3)),
-        ("K4 (not 3-colorable)", from_explicit_graph(&DiGraph::complete(4), 2)),
-        ("C5 (3-chromatic)", from_explicit_graph(&DiGraph::cycle(5), 3)),
+        (
+            "K4 (not 3-colorable)",
+            from_explicit_graph(&DiGraph::complete(4), 2),
+        ),
+        (
+            "C5 (3-chromatic)",
+            from_explicit_graph(&DiGraph::cycle(5), 3),
+        ),
     ];
     for (name, sg) in cases {
         let explicit = sg.expand();
@@ -46,9 +52,7 @@ fn main() {
         let red = succinct_coloring_reduction(&sg);
         let analyzer = FixpointAnalyzer::new(&red.program, &red.database).expect("compiles");
         let by_fixpoint = analyzer.fixpoint_exists();
-        println!(
-            "  {name:<40} truth = {truth:<5} via pi_SC fixpoint = {by_fixpoint}"
-        );
+        println!("  {name:<40} truth = {truth:<5} via pi_SC fixpoint = {by_fixpoint}");
         assert_eq!(truth, by_fixpoint, "Theorem 4 must hold");
     }
 

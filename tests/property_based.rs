@@ -7,7 +7,9 @@ use inflog::eval::{
     inflationary, inflationary_naive, least_fixpoint_naive, least_fixpoint_seminaive,
 };
 use inflog::fixpoint::{enumerate_fixpoints_brute, FixpointAnalyzer, LeastFixpointResult};
-use inflog::sat::{brute_force_count, brute_force_sat, count_models, dpll_sat, Cnf, Lit, Solver, Var};
+use inflog::sat::{
+    brute_force_count, brute_force_sat, count_models, dpll_sat, Cnf, Lit, Solver, Var,
+};
 use inflog::syntax::{parse_program, Atom, Literal, Program, Rule, Term};
 use proptest::prelude::*;
 
@@ -51,13 +53,15 @@ fn arb_literal(allow_negation: bool) -> impl Strategy<Value = Literal> {
 
 fn arb_head() -> impl Strategy<Value = Atom> {
     prop_oneof![Just("A"), Just("B")].prop_flat_map(|name| {
-        proptest::collection::vec(arb_term(), 1)
-            .prop_map(move |terms| Atom::new(name, terms))
+        proptest::collection::vec(arb_term(), 1).prop_map(move |terms| Atom::new(name, terms))
     })
 }
 
 fn arb_rule(allow_negation: bool) -> impl Strategy<Value = Rule> {
-    (arb_head(), proptest::collection::vec(arb_literal(allow_negation), 0..3))
+    (
+        arb_head(),
+        proptest::collection::vec(arb_literal(allow_negation), 0..3),
+    )
         .prop_map(|(head, body)| Rule::new(head, body))
 }
 
@@ -89,7 +93,10 @@ fn arb_cnf() -> impl Strategy<Value = Cnf> {
     .prop_map(|clauses| {
         let mut cnf = Cnf::with_vars(6);
         for c in clauses {
-            let lits: Vec<Lit> = c.into_iter().map(|(v, pos)| Lit::new(Var(v), pos)).collect();
+            let lits: Vec<Lit> = c
+                .into_iter()
+                .map(|(v, pos)| Lit::new(Var(v), pos))
+                .collect();
             cnf.add_clause(lits);
         }
         cnf

@@ -51,10 +51,9 @@ fn total_well_founded_model_is_a_fixpoint() {
 /// and there is no fixpoint — both extremes in one test.
 #[test]
 fn stratified_perfect_model_vs_wfs_vs_fixpoints() {
-    let program = parse_program(
-        "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).",
-    )
-    .unwrap();
+    let program =
+        parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).")
+            .unwrap();
     let mut rng = StdRng::seed_from_u64(5);
     for _ in 0..5 {
         let g = DiGraph::random_gnp(4, 0.4, &mut rng);

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the subset of the proptest API the workspace's property tests
+//! use: the `Strategy` trait with `prop_map` / `prop_flat_map`, `Just`,
+//! integer-range and tuple strategies, `proptest::collection::vec`,
+//! `proptest::bool::ANY`, the `prop_oneof!`, `proptest!`, `prop_assert!`
+//! and `prop_assert_eq!` macros, and `ProptestConfig::with_cases`.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//! - **No shrinking.** A failing case reports the case number and panics;
+//!   inputs are printed by the assertion itself.
+//! - **Deterministic.** Every test function derives its RNG seed from its
+//!   own name, so `cargo test` is reproducible run to run (a satellite
+//!   requirement of this repo's CI).
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+use rand::prelude::*;
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic seed derivation: FNV-1a over the test path so each test
+/// gets a distinct but stable input stream.
+pub fn rng_for_test(test_path: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Strategies over `bool` (`proptest::bool::ANY`).
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::prelude::*;
+
+    /// Uniform over `{true, false}`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Strategies over collections (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::prelude::*;
+    use std::ops::Range;
+
+    /// Accepted size specifications for [`vec`]: an exact length or a
+    /// half-open range of lengths.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive, as in `0..24`.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                min: range.start,
+                max: range.end,
+            }
+        }
+    }
+
+    /// Vector of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 == self.size.max {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `proptest! { #![proptest_config(expr)] #[test] fn name(x in strat, ..) { body } .. }`
+///
+/// Each function expands to a plain `#[test]` that samples its strategies
+/// `config.cases` times from a name-seeded deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let run = || {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                };
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest: {} failed at case {case}/{}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Weighted or unweighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( ($weight as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(usize),
+        Pair(usize, bool),
+    }
+
+    fn arb_shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            1 => Just(Shape::Dot),
+            3 => (0..10usize).prop_map(Shape::Line),
+            2 => ((0..4usize), crate::bool::ANY).prop_map(|(n, b)| Shape::Pair(n, b)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 2..9usize, v in crate::collection::vec(0u32..5, 1..4)) {
+            prop_assert!((2..9).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_and_flat_map_compose(shape in arb_shape(), len in 0..3usize) {
+            // prop_flat_map: generate a vec whose length came from another draw.
+            let nested = (0..5usize)
+                .prop_flat_map(|k| crate::collection::vec(Just(k), k + 1))
+                .sample(&mut crate::rng_for_test("nested"));
+            prop_assert_eq!(nested.iter().filter(|&&x| x == nested[0]).count(), nested.len());
+            prop_assert!(len < 3);
+            match shape {
+                Shape::Line(n) => prop_assert!(n < 10),
+                Shape::Pair(n, _) => prop_assert!(n < 4),
+                Shape::Dot => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_arms_never_fire() {
+        let strat = prop_oneof![
+            0 => Just(true),
+            1 => Just(false),
+        ];
+        let mut rng = crate::rng_for_test("zero_weight");
+        for _ in 0..100 {
+            assert!(!strat.sample(&mut rng));
+        }
+    }
+
+    #[test]
+    fn same_test_name_means_same_stream() {
+        let mut a = crate::rng_for_test("x::y::z");
+        let mut b = crate::rng_for_test("x::y::z");
+        let s = crate::collection::vec(0u32..1000, 10);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}
