@@ -1,0 +1,208 @@
+//! `bench_report` — a machine-checkable performance snapshot.
+//!
+//! Runs fixed-seed benchmark suites over the evaluation hot paths (naive and
+//! semi-naive fixpoints, inflationary iteration, stratified and well-founded
+//! evaluation, program grounding) and writes `BENCH_eval.json` at the repo
+//! root so the performance trajectory can be tracked PR over PR.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p inflog-bench --bin bench_report            # standard grid
+//! cargo run --release -p inflog-bench --bin bench_report -- --quick # CI-sized grid
+//! cargo run --release -p inflog-bench --bin bench_report -- --out path.json
+//! ```
+//!
+//! Every suite derives its inputs from fixed seeds, so two runs on the same
+//! machine measure the same workload. Timings are wall-clock (`Instant`),
+//! with one untimed warm-up iteration per suite.
+
+use inflog::core::graphs::DiGraph;
+use inflog::eval::{
+    inflationary, least_fixpoint_naive, least_fixpoint_seminaive, stratified_eval, well_founded,
+};
+use inflog::fixpoint::GroundProgram;
+use inflog::reductions::programs::{distance_program, pi3_tc};
+use inflog::syntax::parse_program;
+use inflog_bench::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One suite's measurement: derived tuple throughput over `iters` runs.
+struct BenchResult {
+    name: &'static str,
+    params: String,
+    iters: u32,
+    wall_ns: u128,
+    tuples: usize,
+}
+
+impl BenchResult {
+    fn tuples_per_sec(&self) -> f64 {
+        let total = self.tuples as f64 * f64::from(self.iters);
+        total / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Times `iters` runs of `f` (after one warm-up); `f` returns the number of
+/// tuples its engine derived, the throughput numerator.
+fn bench(
+    name: &'static str,
+    params: String,
+    iters: u32,
+    mut f: impl FnMut() -> usize,
+) -> BenchResult {
+    let tuples = f(); // warm-up, untimed
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let wall_ns = start.elapsed().as_nanos();
+    BenchResult {
+        name,
+        params,
+        iters,
+        wall_ns,
+        tuples,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json").into());
+
+    let (tc_n, tc_gnp_n, naive_n, dist_n, ground_n, wf_n, strat_n, iters) = if quick {
+        (200, 80, 80, 9, 6, 96, 64, 3)
+    } else {
+        (400, 120, 120, 11, 7, 160, 96, 5)
+    };
+
+    let tc = pi3_tc();
+    let dist = distance_program();
+    let win = parse_program("Win(x) :- Move(x, y), !Win(y).").expect("valid program");
+    let tc_comp =
+        parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).")
+            .expect("valid program");
+
+    let path_db = DiGraph::path(tc_n).to_database("E");
+    let mut rng = StdRng::seed_from_u64(7);
+    let gnp_db = DiGraph::random_gnp(tc_gnp_n, 0.08, &mut rng).to_database("E");
+    let naive_db = DiGraph::path(naive_n).to_database("E");
+    let dist_db = DiGraph::path(dist_n).to_database("E");
+    let ground_db = DiGraph::path(ground_n).to_database("E");
+    let wf_db = {
+        // A long path plus a tail cycle: total and undefined regions.
+        let mut g = DiGraph::path(wf_n);
+        g.add_edge(0, (wf_n - 1) as u32);
+        g.to_database("Move")
+    };
+    let strat_db = DiGraph::path(strat_n).to_database("E");
+
+    let results = vec![
+        bench("seminaive_tc_path", format!("n={tc_n}"), iters, || {
+            least_fixpoint_seminaive(&tc, &path_db)
+                .expect("positive")
+                .1
+                .final_tuples
+        }),
+        bench(
+            "seminaive_tc_gnp",
+            format!("n={tc_gnp_n},p=0.08,seed=7"),
+            iters,
+            || {
+                least_fixpoint_seminaive(&tc, &gnp_db)
+                    .expect("positive")
+                    .1
+                    .final_tuples
+            },
+        ),
+        bench("naive_tc_path", format!("n={naive_n}"), iters, || {
+            least_fixpoint_naive(&tc, &naive_db)
+                .expect("positive")
+                .1
+                .final_tuples
+        }),
+        bench(
+            "inflationary_distance",
+            format!("n={dist_n}"),
+            iters,
+            || inflationary(&dist, &dist_db).expect("total").1.final_tuples,
+        ),
+        bench("grounding_distance", format!("n={ground_n}"), iters, || {
+            GroundProgram::build(&dist, &ground_db)
+                .expect("compiles")
+                .num_bodies()
+        }),
+        bench("wellfounded_win_move", format!("n={wf_n}"), iters, || {
+            let m = well_founded(&win, &wf_db).expect("total semantics");
+            m.true_facts.total_tuples() + m.undefined.total_tuples()
+        }),
+        bench(
+            "stratified_tc_complement",
+            format!("n={strat_n}"),
+            iters,
+            || {
+                stratified_eval(&tc_comp, &strat_db)
+                    .expect("stratified")
+                    .1
+                    .final_tuples
+            },
+        ),
+    ];
+
+    let mut table = Table::new(&[
+        "bench",
+        "params",
+        "iters",
+        "wall_ms",
+        "tuples",
+        "tuples/sec",
+    ]);
+    for r in &results {
+        table.row_strings(vec![
+            r.name.to_owned(),
+            r.params.clone(),
+            r.iters.to_string(),
+            format!("{:.2}", r.wall_ns as f64 / 1e6),
+            r.tuples.to_string(),
+            format!("{:.0}", r.tuples_per_sec()),
+        ]);
+    }
+    table.print();
+
+    let json = render_json(&results, quick);
+    std::fs::write(&out_path, json).expect("write BENCH_eval.json");
+    println!("\nwrote {out_path}");
+}
+
+/// Renders the report as JSON by hand (the workspace is dependency-free).
+fn render_json(results: &[BenchResult], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "standard" }
+    ));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"params\": \"{}\", \"ops\": {}, \"wall_ns\": {}, \"tuples\": {}, \"tuples_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.params,
+            r.iters,
+            r.wall_ns,
+            r.tuples,
+            r.tuples_per_sec(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

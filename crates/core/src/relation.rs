@@ -1,8 +1,33 @@
 //! Finite `k`-ary relations on the universe, with set algebra and indexing.
 
 use crate::tuple::{Const, Tuple};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Slot marker: never occupied.
+const EMPTY: u32 = u32::MAX;
+/// Slot marker: previously occupied, freed by a removal.
+const TOMBSTONE: u32 = u32::MAX - 1;
+
+/// Fresh identity token for a [`Relation`] instance (see [`Relation::id`]).
+fn next_relation_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, AtomicOrdering::Relaxed)
+}
+
+/// Multiply-mix hash over a tuple's components (FxHash-style). Cheaper than
+/// SipHash on the 1–4 word tuples the evaluator probes in its inner loops;
+/// HashDoS resistance is irrelevant for interned ids.
+fn hash_tuple(t: &Tuple) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h: u64 = t.arity() as u64;
+    for c in t.items() {
+        h = (h.rotate_left(5) ^ u64::from(c.id())).wrapping_mul(K);
+    }
+    h
+}
 
 /// A finite `k`-ary relation: a set of [`Tuple`]s of fixed arity.
 ///
@@ -10,10 +35,31 @@ use std::fmt;
 /// engines need fast membership (`contains`), fast insertion with dedup, set
 /// algebra (union / intersection / difference / subset — the lattice on which
 /// *least* fixpoints are defined), and hash-join indexing.
-#[derive(Debug, Clone)]
+///
+/// # Layout
+///
+/// Tuples live in an insertion-ordered dense `Vec<Tuple>` — iteration is a
+/// linear walk, and the suffix `dense()[w..]` is exactly the set of tuples
+/// added since watermark `w`, which external incremental indexes exploit.
+/// Membership goes through an open-addressing table of indices into the
+/// dense vector, so each tuple is stored once.
+#[derive(Debug)]
 pub struct Relation {
     arity: usize,
-    tuples: HashSet<Tuple>,
+    /// Dense storage in insertion order (append-only except for `remove`).
+    tuples: Vec<Tuple>,
+    /// Open-addressing slots: indices into `tuples`, `EMPTY` or `TOMBSTONE`.
+    /// Length is a power of two (or zero while the relation is empty).
+    slots: Vec<u32>,
+    /// Occupied slots including tombstones (load-factor accounting).
+    used: usize,
+    /// Identity token: fresh on construction, clone and removal; stable
+    /// across insertions. External index caches use it to decide whether a
+    /// cached index may be extended incrementally or must be rebuilt.
+    id: u64,
+    /// Cached lexicographic order (indices into `tuples`); cleared on
+    /// mutation so `sorted()` only re-sorts relations that changed.
+    sorted_cache: RefCell<Option<Vec<u32>>>,
 }
 
 impl Relation {
@@ -21,16 +67,19 @@ impl Relation {
     pub fn new(arity: usize) -> Self {
         Relation {
             arity,
-            tuples: HashSet::new(),
+            tuples: Vec::new(),
+            slots: Vec::new(),
+            used: 0,
+            id: next_relation_id(),
+            sorted_cache: RefCell::new(None),
         }
     }
 
     /// Creates an empty relation with pre-reserved capacity.
     pub fn with_capacity(arity: usize, cap: usize) -> Self {
-        Relation {
-            arity,
-            tuples: HashSet::with_capacity(cap),
-        }
+        let mut r = Relation::new(arity);
+        r.reserve(cap);
+        r
     }
 
     /// Builds a relation from an iterator of tuples.
@@ -43,6 +92,16 @@ impl Relation {
             r.insert(t);
         }
         r
+    }
+
+    /// Builds a relation of an explicit arity from an iterator — unlike the
+    /// `FromIterator` impl, an empty iterator yields an empty relation of
+    /// the *requested* arity instead of inferring arity 0.
+    ///
+    /// # Panics
+    /// Panics if any tuple's arity differs from `arity`.
+    pub fn from_iter_with_arity(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        Relation::from_tuples(arity, tuples)
     }
 
     /// The full relation `A^k` over a universe of the given size.
@@ -65,6 +124,67 @@ impl Relation {
         self.tuples.is_empty()
     }
 
+    /// Identity token for external index caches: stable while the relation
+    /// only grows, refreshed whenever cached positional indexes over it
+    /// would go stale (construction, clone, removal).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The tuples in insertion order. `dense()[w..]` is exactly the set of
+    /// tuples inserted after the relation had `w` tuples — the delta that
+    /// incremental index maintenance consumes.
+    pub fn dense(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Pre-reserves capacity for `extra` additional tuples.
+    pub fn reserve(&mut self, extra: usize) {
+        self.tuples.reserve(extra);
+        let needed = self.tuples.len() + extra;
+        if needed * 4 >= self.slots.len() * 3 {
+            self.rebuild_slots(needed);
+        }
+    }
+
+    /// Rebuilds the probe table with room for `cap` live entries, clearing
+    /// tombstones.
+    fn rebuild_slots(&mut self, cap: usize) {
+        let target = (cap.max(4) * 2).next_power_of_two();
+        self.slots.clear();
+        self.slots.resize(target, EMPTY);
+        let mask = target as u64 - 1;
+        for (i, t) in self.tuples.iter().enumerate() {
+            let mut slot = (hash_tuple(t) & mask) as usize;
+            while self.slots[slot] != EMPTY {
+                slot = (slot + 1) & mask as usize;
+            }
+            self.slots[slot] = i as u32;
+        }
+        self.used = self.tuples.len();
+    }
+
+    /// Probes for `t`: `Ok(slot)` if present (slot holds its dense index),
+    /// `Err(slot)` with the insertion slot otherwise.
+    fn probe(&self, t: &Tuple) -> Result<usize, usize> {
+        debug_assert!(!self.slots.is_empty());
+        let mask = self.slots.len() as u64 - 1;
+        let mut slot = (hash_tuple(t) & mask) as usize;
+        let mut insert_at: Option<usize> = None;
+        loop {
+            match self.slots[slot] {
+                EMPTY => return Err(insert_at.unwrap_or(slot)),
+                TOMBSTONE => insert_at = insert_at.or(Some(slot)),
+                idx => {
+                    if &self.tuples[idx as usize] == t {
+                        return Ok(slot);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask as usize;
+        }
+    }
+
     /// Inserts a tuple; returns `true` if it was new.
     ///
     /// # Panics
@@ -78,37 +198,104 @@ impl Relation {
             t.arity(),
             self.arity
         );
-        self.tuples.insert(t)
+        self.insert_unchecked(t)
+    }
+
+    /// Inserts without the arity assertion (hot paths that already
+    /// validated the arity structurally, e.g. bulk union).
+    fn insert_unchecked(&mut self, t: Tuple) -> bool {
+        if (self.used + 1) * 4 >= self.slots.len() * 3 {
+            self.rebuild_slots(self.tuples.len() + 1);
+        }
+        match self.probe(&t) {
+            Ok(_) => false,
+            Err(slot) => {
+                if self.slots[slot] == EMPTY {
+                    self.used += 1;
+                }
+                self.slots[slot] = self.tuples.len() as u32;
+                self.tuples.push(t);
+                self.sorted_cache.borrow_mut().take();
+                true
+            }
+        }
     }
 
     /// Removes a tuple; returns `true` if it was present.
+    ///
+    /// Removal reorders the dense storage (swap-remove) and refreshes the
+    /// relation's [`id`](Self::id), invalidating external index caches.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        self.tuples.remove(t)
+        if self.slots.is_empty() {
+            return false;
+        }
+        let Ok(slot) = self.probe(t) else {
+            return false;
+        };
+        let idx = self.slots[slot] as usize;
+        self.slots[slot] = TOMBSTONE;
+        self.tuples.swap_remove(idx);
+        if idx < self.tuples.len() {
+            // The previous last tuple moved to `idx`: redirect its slot.
+            let moved_from = self.tuples.len() as u32;
+            let mask = self.slots.len() as u64 - 1;
+            let mut s = (hash_tuple(&self.tuples[idx]) & mask) as usize;
+            while self.slots[s] != moved_from {
+                debug_assert!(self.slots[s] != EMPTY, "moved tuple must be indexed");
+                s = (s + 1) & mask as usize;
+            }
+            self.slots[s] = idx as u32;
+        }
+        self.id = next_relation_id();
+        self.sorted_cache.borrow_mut().take();
+        true
     }
 
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.tuples.contains(t)
+        !self.slots.is_empty() && self.probe(t).is_ok()
     }
 
-    /// Iterates over tuples in unspecified order.
+    /// Iterates over tuples in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
         self.tuples.iter()
     }
 
     /// Returns the tuples sorted lexicographically (deterministic output for
     /// display, hashing into SAT variables, and tests).
+    ///
+    /// The sort order is cached and reused until the relation changes.
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
-        v.sort();
-        v
+        let mut cache = self.sorted_cache.borrow_mut();
+        let order = cache.get_or_insert_with(|| {
+            let mut idx: Vec<u32> = (0..self.tuples.len() as u32).collect();
+            idx.sort_unstable_by(|&a, &b| self.tuples[a as usize].cmp(&self.tuples[b as usize]));
+            idx
+        });
+        order
+            .iter()
+            .map(|&i| self.tuples[i as usize].clone())
+            .collect()
     }
 
     /// In-place union; returns the number of newly added tuples.
+    ///
+    /// The arity is checked once up front and capacity for the incoming
+    /// tuples is pre-reserved; the new tuples are appended to the dense
+    /// suffix, so `dense()[len_before..]` afterwards is exactly the delta.
+    ///
+    /// # Panics
+    /// Panics if the relations' arities differ.
     pub fn union_with(&mut self, other: &Relation) -> usize {
+        assert_eq!(
+            other.arity, self.arity,
+            "relation arity {} does not match relation arity {}",
+            other.arity, self.arity
+        );
         let before = self.tuples.len();
+        self.reserve(other.len());
         for t in other.iter() {
-            self.insert(t.clone());
+            self.insert_unchecked(t.clone());
         }
         self.tuples.len() - before
     }
@@ -122,18 +309,23 @@ impl Relation {
 
     /// Set intersection.
     pub fn intersection(&self, other: &Relation) -> Relation {
-        Relation {
-            arity: self.arity,
-            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
-        }
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Relation::from_tuples(
+            self.arity,
+            small.iter().filter(|t| large.contains(t)).cloned(),
+        )
     }
 
     /// Set difference `self \ other`.
     pub fn difference(&self, other: &Relation) -> Relation {
-        Relation {
-            arity: self.arity,
-            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
-        }
+        Relation::from_tuples(
+            self.arity,
+            self.iter().filter(|t| !other.contains(t)).cloned(),
+        )
     }
 
     /// Complement within `A^k` for a universe of the given size.
@@ -149,7 +341,7 @@ impl Relation {
 
     /// Subset test (the componentwise order ⊆ used to define least fixpoints).
     pub fn is_subset(&self, other: &Relation) -> bool {
-        self.tuples.is_subset(&other.tuples)
+        self.len() <= other.len() && self.iter().all(|t| other.contains(t))
     }
 
     /// Whether the two relations are ⊆-incomparable (neither contains the
@@ -160,6 +352,9 @@ impl Relation {
     }
 
     /// Builds a hash index on the given key columns: key projection ↦ tuples.
+    ///
+    /// One-shot convenience; the evaluator maintains persistent positional
+    /// indexes over [`dense`](Self::dense) instead.
     pub fn index_on(&self, cols: &[usize]) -> HashMap<Tuple, Vec<Tuple>> {
         let mut idx: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
         for t in self.iter() {
@@ -197,9 +392,26 @@ impl Relation {
     }
 }
 
+impl Clone for Relation {
+    /// Clones get a fresh [`id`](Self::id): the clone diverges from the
+    /// original, so indexes cached against the original must not serve it.
+    fn clone(&self) -> Self {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+            slots: self.slots.clone(),
+            used: self.used,
+            id: next_relation_id(),
+            sorted_cache: RefCell::new(self.sorted_cache.borrow().clone()),
+        }
+    }
+}
+
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.arity == other.arity && self.tuples == other.tuples
+        self.arity == other.arity
+            && self.len() == other.len()
+            && self.iter().all(|t| other.contains(t))
     }
 }
 
@@ -219,8 +431,10 @@ impl fmt::Display for Relation {
 }
 
 impl FromIterator<Tuple> for Relation {
-    /// Collects tuples into a relation, inferring arity from the first tuple
-    /// (empty iterators produce an arity-0 relation).
+    /// Collects tuples into a relation, inferring arity from the first tuple.
+    ///
+    /// Empty iterators produce an arity-0 relation — if the arity is known,
+    /// prefer [`Relation::from_iter_with_arity`], which cannot mis-infer.
     fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
         let mut it = iter.into_iter().peekable();
         let arity = it.peek().map_or(0, Tuple::arity);
@@ -256,6 +470,13 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "arity")]
+    fn union_with_wrong_arity_panics() {
+        let mut r = Relation::new(2);
+        r.union_with(&Relation::new(1));
+    }
+
+    #[test]
     fn set_algebra() {
         let a = rel(1, &[&[0], &[1]]);
         let b = rel(1, &[&[1], &[2]]);
@@ -273,6 +494,30 @@ mod tests {
         let b = rel(1, &[&[0], &[1], &[2]]);
         assert_eq!(a.union_with(&b), 2);
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn dense_suffix_is_the_union_delta() {
+        let mut a = rel(1, &[&[0], &[1]]);
+        let before = a.len();
+        let b = rel(1, &[&[1], &[2], &[3]]);
+        let added = a.union_with(&b);
+        assert_eq!(added, 2);
+        let delta: BTreeSet<&Tuple> = a.dense()[before..].iter().collect();
+        assert_eq!(delta, [t(&[2]), t(&[3])].iter().collect());
+    }
+
+    #[test]
+    fn id_stable_under_growth_fresh_on_clone_and_remove() {
+        let mut a = rel(1, &[&[0]]);
+        let id0 = a.id();
+        a.insert(t(&[1]));
+        a.union_with(&rel(1, &[&[2]]));
+        assert_eq!(a.id(), id0, "append-only growth keeps the id");
+        let b = a.clone();
+        assert_ne!(b.id(), id0, "clones diverge");
+        a.remove(&t(&[1]));
+        assert_ne!(a.id(), id0, "removal reorders dense storage");
     }
 
     #[test]
@@ -317,6 +562,18 @@ mod tests {
         let r = rel(2, &[&[1, 0], &[0, 1], &[0, 0]]);
         let s = r.sorted();
         assert_eq!(s, vec![t(&[0, 0]), t(&[0, 1]), t(&[1, 0])]);
+        // Cached: a second call returns the same order.
+        assert_eq!(r.sorted(), s);
+    }
+
+    #[test]
+    fn sorted_cache_invalidated_by_mutation() {
+        let mut r = rel(1, &[&[2], &[0]]);
+        assert_eq!(r.sorted(), vec![t(&[0]), t(&[2])]);
+        r.insert(t(&[1]));
+        assert_eq!(r.sorted(), vec![t(&[0]), t(&[1]), t(&[2])]);
+        r.remove(&t(&[0]));
+        assert_eq!(r.sorted(), vec![t(&[1]), t(&[2])]);
     }
 
     #[test]
@@ -343,10 +600,49 @@ mod tests {
     }
 
     #[test]
+    fn from_iter_with_arity_keeps_arity_when_empty() {
+        let r = Relation::from_iter_with_arity(3, Vec::<Tuple>::new());
+        assert_eq!(r.arity(), 3);
+        assert!(r.is_empty());
+        let r = Relation::from_iter_with_arity(2, vec![t(&[1, 2])]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
     fn remove_tuples() {
         let mut r = rel(1, &[&[0], &[1]]);
         assert!(r.remove(&t(&[0])));
         assert!(!r.remove(&t(&[0])));
         assert_eq!(r.len(), 1);
+        assert!(r.contains(&t(&[1])));
+        assert!(!Relation::new(1).remove(&t(&[5])));
+    }
+
+    #[test]
+    fn insert_remove_stress_consistency() {
+        // Exercise tombstones, swap-remove redirects and table growth
+        // against a model HashSet.
+        let mut r = Relation::new(2);
+        let mut model = std::collections::HashSet::new();
+        let mut x: u64 = 0x9e37_79b9;
+        for step in 0..2000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (x >> 33) as u32 % 17;
+            let b = (x >> 11) as u32 % 17;
+            let tup = t(&[a, b]);
+            if step % 3 == 0 {
+                assert_eq!(r.remove(&tup), model.remove(&tup), "step {step}");
+            } else {
+                assert_eq!(r.insert(tup.clone()), model.insert(tup), "step {step}");
+            }
+            assert_eq!(r.len(), model.len(), "step {step}");
+        }
+        for tup in &model {
+            assert!(r.contains(tup));
+        }
+        assert_eq!(r.sorted().len(), model.len());
     }
 }

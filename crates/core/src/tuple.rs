@@ -1,6 +1,8 @@
 //! Constants and tuples: elements of `A` and of `A^k`.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// An element of the universe `A`, represented as an interned id.
 ///
@@ -29,42 +31,84 @@ impl fmt::Display for Const {
     }
 }
 
+/// Largest arity stored inline (without heap allocation).
+const INLINE_CAP: usize = 4;
+
+/// Storage for a tuple: packed inline for arities up to [`INLINE_CAP`],
+/// spilling to a boxed slice beyond that.
+///
+/// Invariant: tuples of arity ≤ `INLINE_CAP` are *always* `Inline` and their
+/// unused slots are zeroed, so the two variants never overlap and derived
+/// comparisons within a variant are well-defined (all comparison traits are
+/// nevertheless implemented over [`Tuple::items`] for robustness).
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, items: [Const; INLINE_CAP] },
+    Boxed(Box<[Const]>),
+}
+
 /// A `k`-tuple over the universe: an element of `A^k`.
 ///
-/// Stored as a boxed slice (two words on the stack; no spare capacity), since
-/// tuples are immutable once created and relations hold very many of them.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Tuple(Box<[Const]>);
+/// Relations hold very many tuples and the evaluator constructs them in its
+/// innermost loops, so tuples of arity ≤ 4 (every tuple the paper's programs
+/// mention, and all hash-join keys) are stored inline in a fixed `[Const; 4]`
+/// — constructing, cloning, hashing and comparing them never touches the
+/// heap. Larger arities spill to an immutable boxed slice.
+#[derive(Clone)]
+pub struct Tuple(Repr);
 
 impl Tuple {
+    /// Creates a tuple from a slice of constants.
+    pub fn from_slice(items: &[Const]) -> Self {
+        if items.len() <= INLINE_CAP {
+            let mut buf = [Const(0); INLINE_CAP];
+            buf[..items.len()].copy_from_slice(items);
+            Tuple(Repr::Inline {
+                len: items.len() as u8,
+                items: buf,
+            })
+        } else {
+            Tuple(Repr::Boxed(items.into()))
+        }
+    }
+
     /// Creates a tuple from constants.
-    pub fn new(items: impl Into<Box<[Const]>>) -> Self {
-        Tuple(items.into())
+    pub fn new(items: impl AsRef<[Const]>) -> Self {
+        Tuple::from_slice(items.as_ref())
     }
 
     /// The empty (0-ary) tuple — used by propositional (arity-0) relations.
     pub fn empty() -> Self {
-        Tuple(Box::from([]))
+        Tuple(Repr::Inline {
+            len: 0,
+            items: [Const(0); INLINE_CAP],
+        })
     }
 
     /// Creates a tuple directly from raw ids.
     pub fn from_ids(ids: &[u32]) -> Self {
-        Tuple(ids.iter().map(|&i| Const(i)).collect())
+        ids.iter().map(|&i| Const(i)).collect()
     }
 
     /// Tuple arity `k`.
     pub fn arity(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Boxed(b) => b.len(),
+        }
     }
 
     /// Component access.
     pub fn get(&self, i: usize) -> Option<Const> {
-        self.0.get(i).copied()
+        self.items().get(i).copied()
     }
 
     /// The components as a slice.
     pub fn items(&self) -> &[Const] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, items } => &items[..*len as usize],
+            Repr::Boxed(b) => b,
+        }
     }
 
     /// Projects the tuple onto the given column indices.
@@ -72,25 +116,64 @@ impl Tuple {
     /// # Panics
     /// Panics if any index is out of bounds.
     pub fn project(&self, cols: &[usize]) -> Tuple {
-        Tuple(cols.iter().map(|&c| self.0[c]).collect())
+        let items = self.items();
+        cols.iter().map(|&c| items[c]).collect()
     }
 
     /// Concatenates two tuples.
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        Tuple(self.0.iter().chain(other.0.iter()).copied().collect())
+        self.items()
+            .iter()
+            .chain(other.items().iter())
+            .copied()
+            .collect()
     }
 
     /// Renders the tuple with names from a display function.
     pub fn display_with(&self, mut name: impl FnMut(Const) -> String) -> String {
-        let parts: Vec<String> = self.0.iter().map(|&c| name(c)).collect();
+        let parts: Vec<String> = self.items().iter().map(|&c| name(c)).collect();
         format!("({})", parts.join(","))
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.items() == other.items()
+    }
+}
+
+impl Eq for Tuple {}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    /// Lexicographic componentwise order (shorter tuples sort first on
+    /// shared prefixes), as with the previous boxed-slice representation.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.items().cmp(other.items())
+    }
+}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.items().hash(state);
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Tuple").field(&self.items()).finish()
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, c) in self.0.iter().enumerate() {
+        for (i, c) in self.items().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -100,28 +183,51 @@ impl fmt::Display for Tuple {
     }
 }
 
+impl FromIterator<Const> for Tuple {
+    /// Collects constants without heap allocation for arities ≤ 4 — the
+    /// evaluator's head-tuple and key-tuple construction path.
+    fn from_iter<I: IntoIterator<Item = Const>>(iter: I) -> Self {
+        let mut it = iter.into_iter();
+        let mut buf = [Const(0); INLINE_CAP];
+        let mut len = 0usize;
+        for c in it.by_ref() {
+            if len == INLINE_CAP {
+                // Spill: gather everything into a boxed slice.
+                let spilled: Vec<Const> = buf.iter().copied().chain(Some(c)).chain(it).collect();
+                return Tuple(Repr::Boxed(spilled.into_boxed_slice()));
+            }
+            buf[len] = c;
+            len += 1;
+        }
+        Tuple(Repr::Inline {
+            len: len as u8,
+            items: buf,
+        })
+    }
+}
+
 impl From<Vec<Const>> for Tuple {
     fn from(v: Vec<Const>) -> Self {
-        Tuple(v.into_boxed_slice())
+        Tuple::from_slice(&v)
     }
 }
 
 impl From<&[Const]> for Tuple {
     fn from(v: &[Const]) -> Self {
-        Tuple(v.into())
+        Tuple::from_slice(v)
     }
 }
 
 impl<const N: usize> From<[Const; N]> for Tuple {
     fn from(v: [Const; N]) -> Self {
-        Tuple(Box::from(v.as_slice()))
+        Tuple::from_slice(&v)
     }
 }
 
 impl std::ops::Index<usize> for Tuple {
     type Output = Const;
     fn index(&self, i: usize) -> &Const {
-        &self.0[i]
+        &self.items()[i]
     }
 }
 
@@ -210,6 +316,45 @@ mod tests {
     fn tuple_ordering_is_lexicographic() {
         assert!(t(&[0, 1]) < t(&[0, 2]));
         assert!(t(&[0, 9]) < t(&[1, 0]));
+        // Across the inline/boxed boundary, prefixes still sort first.
+        assert!(t(&[0, 1, 2, 3]) < t(&[0, 1, 2, 3, 0]));
+        assert!(t(&[9, 0, 0, 0, 0]) > t(&[8, 9, 9, 9]));
+    }
+
+    #[test]
+    fn inline_and_boxed_representations_agree() {
+        use std::collections::hash_map::DefaultHasher;
+        // Arity 4 is the last inline size; arity 5 spills to the heap. The
+        // behavioral surface (eq, ord, hash of equal values, items) must not
+        // change across the boundary.
+        for k in 0..=6usize {
+            let ids: Vec<u32> = (0..k as u32).collect();
+            let a = Tuple::from_ids(&ids);
+            let b: Tuple = ids.iter().map(|&i| Const(i)).collect();
+            let c = Tuple::from(ids.iter().map(|&i| Const(i)).collect::<Vec<_>>());
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+            assert_eq!(a.arity(), k);
+            assert_eq!(a.items().len(), k);
+            let hash = |t: &Tuple| {
+                let mut h = DefaultHasher::new();
+                t.hash(&mut h);
+                h.finish()
+            };
+            assert_eq!(hash(&a), hash(&b));
+        }
+    }
+
+    #[test]
+    fn large_arity_spills_to_heap() {
+        let ids: Vec<u32> = (0..10).collect();
+        let x = t(&ids);
+        assert_eq!(x.arity(), 10);
+        assert_eq!(x.get(9), Some(Const(9)));
+        assert_eq!(x.project(&[9, 0]), t(&[9, 0]));
+        let y = x.concat(&t(&[99]));
+        assert_eq!(y.arity(), 11);
+        assert_eq!(y[10], Const(99));
     }
 
     #[test]

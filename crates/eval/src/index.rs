@@ -1,0 +1,206 @@
+//! Persistent, incrementally maintained hash-join indexes.
+//!
+//! The executor's keyed [`Scan`](crate::plan::Step::Scan)s probe hash
+//! indexes (key projection ↦ positions in the relation's dense storage).
+//! Rebuilding those indexes on every Θ application would dominate the
+//! evaluation cost, and fixpoint iteration only ever *grows* relations — so
+//! indexes live here, in an [`IndexSet`] owned by the evaluation context,
+//! and are maintained incrementally:
+//!
+//! * each index records the dense-prefix watermark `upto` it has consumed;
+//!   [`Relation::dense`]`()[upto..]` is exactly the set of tuples added
+//!   since (the per-round delta), so catching up is a linear walk of the
+//!   new suffix;
+//! * indexes are keyed by [`Relation::id`], which is stable under
+//!   append-only growth and refreshed by clones and removals — a stale id
+//!   simply misses and the index is rebuilt, never served incorrectly;
+//! * postings are `u32` positions into the dense storage, so probing
+//!   returns a borrowed `&[u32]` and the executor reads tuples in place —
+//!   no tuple collection is cloned on the probe path.
+//!
+//! Entries untouched for several Θ applications are evicted once the set
+//! grows past a watermark, bounding memory across long iterations that
+//! allocate fresh relations each round.
+
+use inflog_core::{Relation, Tuple};
+use std::collections::HashMap;
+
+/// Key-column set encoded as a bitmask (positions are small: they index
+/// into an atom's argument list). Columns ≥ 128 are never indexed.
+///
+/// The bitmask erases column *order*, so index identity relies on every
+/// caller presenting key columns strictly ascending — which the planner
+/// guarantees (`key_cols` is built by an in-order enumerate+filter). The
+/// debug assertion turns that incidental invariant into an enforced one:
+/// an unsorted column list would key the projection map inconsistently and
+/// silently drop join matches.
+pub fn col_mask(cols: &[usize]) -> Option<u128> {
+    debug_assert!(
+        cols.windows(2).all(|w| w[0] < w[1]),
+        "key columns must be strictly ascending, got {cols:?}"
+    );
+    let mut mask = 0u128;
+    for &c in cols {
+        if c >= 128 {
+            return None;
+        }
+        mask |= 1 << c;
+    }
+    Some(mask)
+}
+
+/// One persistent index: key projection ↦ dense positions, plus the
+/// watermark of how much of the relation it has consumed.
+#[derive(Debug, Clone)]
+struct Index {
+    cols: Vec<usize>,
+    /// `relation.dense()[..upto]` is indexed.
+    upto: usize,
+    map: HashMap<Tuple, Vec<u32>>,
+    /// Tick of the last application that touched this index.
+    last_used: u64,
+}
+
+impl Index {
+    fn extend_from(&mut self, rel: &Relation) {
+        let dense = rel.dense();
+        for (i, t) in dense.iter().enumerate().skip(self.upto) {
+            self.map
+                .entry(t.project(&self.cols))
+                .or_default()
+                .push(i as u32);
+        }
+        self.upto = dense.len();
+    }
+}
+
+/// Evict entries untouched for this many applications (once over the size
+/// watermark).
+const EVICT_AGE: u64 = 8;
+/// Start evicting when the set holds more than this many indexes.
+const EVICT_WATERMARK: usize = 128;
+
+/// The set of persistent indexes owned by an evaluation context.
+#[derive(Debug, Clone, Default)]
+pub struct IndexSet {
+    indexes: HashMap<(u64, u128), Index>,
+    /// Monotone Θ-application counter (drives eviction).
+    tick: u64,
+}
+
+impl IndexSet {
+    /// Marks the start of one Θ application; occasionally evicts indexes of
+    /// relations that no longer participate (e.g. dead per-round deltas).
+    pub fn begin_application(&mut self) {
+        self.tick += 1;
+        if self.indexes.len() > EVICT_WATERMARK {
+            let tick = self.tick;
+            self.indexes.retain(|_, ix| ix.last_used + EVICT_AGE > tick);
+        }
+    }
+
+    /// Ensures an up-to-date index on `cols` exists for `rel`, building it
+    /// or extending it from the dense suffix added since the last
+    /// application.
+    pub fn ensure(&mut self, rel: &Relation, cols: &[usize]) {
+        let Some(mask) = col_mask(cols) else { return };
+        let tick = self.tick;
+        let ix = self
+            .indexes
+            .entry((rel.id(), mask))
+            .or_insert_with(|| Index {
+                cols: cols.to_vec(),
+                upto: 0,
+                map: HashMap::new(),
+                last_used: tick,
+            });
+        ix.last_used = tick;
+        ix.extend_from(rel);
+    }
+
+    /// Probes the index of `(rel_id, cols)` for a key: the dense positions
+    /// of the matching tuples, borrowed — no clone.
+    ///
+    /// Returns `None` when no index is registered (the executor falls back
+    /// to a filtered scan) and `Some(&[])` when the key has no matches.
+    pub fn probe(&self, rel_id: u64, cols: &[usize], key: &Tuple) -> Option<&[u32]> {
+        let mask = col_mask(cols)?;
+        let ix = self.indexes.get(&(rel_id, mask))?;
+        Some(ix.map.get(key).map_or(&[][..], Vec::as_slice))
+    }
+
+    /// Number of live indexes (observability / tests).
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Whether no indexes are held.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_core::Tuple;
+
+    fn t(ids: &[u32]) -> Tuple {
+        Tuple::from_ids(ids)
+    }
+
+    fn rel(ts: &[&[u32]]) -> Relation {
+        Relation::from_tuples(2, ts.iter().map(|ids| t(ids)))
+    }
+
+    #[test]
+    fn builds_and_probes() {
+        let r = rel(&[&[0, 1], &[0, 2], &[1, 2]]);
+        let mut set = IndexSet::default();
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        let hits = set.probe(r.id(), &[0], &t(&[0])).unwrap();
+        assert_eq!(hits.len(), 2);
+        for &i in hits {
+            assert_eq!(r.dense()[i as usize][0].id(), 0);
+        }
+        assert_eq!(set.probe(r.id(), &[0], &t(&[9])).unwrap(), &[] as &[u32]);
+        assert!(set.probe(r.id() + 1, &[0], &t(&[0])).is_none());
+    }
+
+    #[test]
+    fn extends_incrementally_from_dense_suffix() {
+        let mut r = rel(&[&[0, 1]]);
+        let mut set = IndexSet::default();
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[0])).unwrap().len(), 1);
+        r.union_with(&rel(&[&[0, 2], &[3, 4]]));
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[0])).unwrap().len(), 2);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[3])).unwrap().len(), 1);
+        assert_eq!(set.len(), 1, "same index, extended in place");
+    }
+
+    #[test]
+    fn stale_ids_never_served() {
+        let r = rel(&[&[0, 1]]);
+        let mut set = IndexSet::default();
+        set.ensure(&r, &[0]);
+        let clone = r.clone();
+        assert!(set.probe(clone.id(), &[0], &t(&[0])).is_none());
+    }
+
+    #[test]
+    fn eviction_bounds_growth() {
+        let mut set = IndexSet::default();
+        let rels: Vec<Relation> = (0..200).map(|_| rel(&[&[0, 1]])).collect();
+        for r in &rels {
+            set.begin_application();
+            set.ensure(r, &[0]);
+        }
+        assert!(set.len() <= EVICT_WATERMARK + EVICT_AGE as usize + 1);
+        assert!(!set.is_empty());
+    }
+}

@@ -46,13 +46,13 @@ pub fn inflationary_naive_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> (
     let mut s = cp.empty_interp();
     loop {
         let theta = apply(cp, ctx, &s);
-        let mut next = s.clone();
-        let added = next.union_with(&theta);
+        // Θ̃(S) = S ∪ Θ(S), computed in place: relation identities stay
+        // stable, so the context's persistent indexes extend incrementally.
+        let added = s.union_with(&theta);
         if added == 0 {
             break;
         }
         trace.record_round(added);
-        s = next;
     }
     trace.final_tuples = s.total_tuples();
     (s, trace)

@@ -5,6 +5,8 @@
 //!
 //! * [`operator`] — the operator Θ itself, over compiled rule plans, with
 //!   synchronous (Jacobi) application and delta-restricted application;
+//! * [`index`] — persistent hash-join indexes, owned by the evaluation
+//!   context and maintained incrementally across Θ applications;
 //! * [`naive`] / [`seminaive`] — least-fixpoint evaluation of *positive*
 //!   DATALOG programs (the paper's standard semantics);
 //! * [`inflationary()`](inflationary()) — the paper's §4 proposal: Θ̃(S) = S ∪ Θ(S) iterated to
@@ -24,6 +26,7 @@
 //! programs; stratified model is a fixpoint of Θ) is tested directly.
 
 pub mod error;
+pub mod index;
 pub mod inflationary;
 pub mod interp;
 pub mod naive;
@@ -36,6 +39,7 @@ pub mod trace;
 pub mod wellfounded;
 
 pub use error::EvalError;
+pub use index::IndexSet;
 pub use inflationary::{inflationary, inflationary_naive};
 pub use interp::Interp;
 pub use naive::least_fixpoint_naive;

@@ -55,12 +55,16 @@ pub fn least_fixpoint_naive_compiled(
     let mut s = cp.empty_interp();
     loop {
         let next = apply(cp, ctx, &s);
-        if next == s {
+        // Monotone Θ iterated from ∅ is an increasing chain (Θⁿ⁺¹(∅) ⊇
+        // Θⁿ(∅)), so in-place union computes exactly s ← Θ(s) while keeping
+        // relation identities stable — the context's persistent indexes
+        // extend incrementally instead of rebuilding every round — and "no
+        // new tuples" is exactly the fixpoint test.
+        let added = s.union_with(&next);
+        if added == 0 {
             break;
         }
-        let added = next.total_tuples().saturating_sub(s.total_tuples());
         trace.record_round(added);
-        s = next;
     }
     trace.final_tuples = s.total_tuples();
     (s, trace)

@@ -18,20 +18,31 @@
 //!   interpretation (the alternating-fixpoint transform Γ of the
 //!   well-founded semantics needs this).
 
+use crate::index::IndexSet;
 use crate::interp::Interp;
 use crate::plan::{CTerm, Plan, PredRef, Source, Step};
 use crate::resolve::CompiledProgram;
 use crate::Result;
 use inflog_core::{Const, Database, Relation, Tuple};
-use std::collections::HashMap;
+use std::cell::RefCell;
 
-/// Evaluation context: materialized EDB relations and the universe size.
+/// Evaluation context: materialized EDB relations, the universe size, and
+/// the persistent hash-join indexes.
+///
+/// The context outlives every round of a fixpoint iteration, so the
+/// [`IndexSet`] it owns persists across Θ applications: EDB indexes are
+/// built exactly once, and IDB indexes are extended incrementally from each
+/// round's newly derived tuples instead of being rebuilt from scratch.
 #[derive(Debug, Clone)]
 pub struct EvalContext {
     /// EDB relations by EDB id (absent in the database = empty).
     pub edb: Vec<Relation>,
     /// `|A|` — the range of `Domain` plan steps.
     pub universe_size: usize,
+    /// Persistent indexes, maintained across Θ applications. Interior
+    /// mutability lets the read-only evaluation entry points keep their
+    /// `&EvalContext` signatures while the cache warms.
+    indexes: RefCell<IndexSet>,
 }
 
 impl EvalContext {
@@ -43,7 +54,13 @@ impl EvalContext {
         Ok(EvalContext {
             edb: cp.edb_relations(db)?,
             universe_size: db.universe_size(),
+            indexes: RefCell::new(IndexSet::default()),
         })
+    }
+
+    /// Number of persistent indexes currently held (observability / tests).
+    pub fn num_indexes(&self) -> usize {
+        self.indexes.borrow().len()
     }
 }
 
@@ -162,19 +179,12 @@ pub fn enumerate_bindings(plan: &Plan, ctx: &EvalContext) -> Vec<Tuple> {
         s: &empty,
         delta: None,
         neg: &empty,
-        cache: HashMap::new(),
     };
+    ctx.indexes.borrow_mut().begin_application();
+    exec.prepare_plan(plan);
     exec.run_plan(plan, 0, &mut out);
     let mut rels = out.into_relations();
     rels.pop().expect("one output relation").sorted()
-}
-
-/// Key for the per-application hash-index cache.
-#[derive(PartialEq, Eq, Hash)]
-struct IndexKey {
-    pred: PredRef,
-    source: Source,
-    cols: Vec<usize>,
 }
 
 struct Executor<'a> {
@@ -182,7 +192,6 @@ struct Executor<'a> {
     s: &'a Interp,
     delta: Option<&'a Interp>,
     neg: &'a Interp,
-    cache: HashMap<IndexKey, HashMap<Tuple, Vec<Tuple>>>,
 }
 
 fn run(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, opts: &ApplyOpts<'_>) -> Interp {
@@ -192,7 +201,6 @@ fn run(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, opts: &ApplyOpts<'_>
         s,
         delta: opts.delta,
         neg: opts.neg.unwrap_or(s),
-        cache: HashMap::new(),
     };
 
     let all_indices: Vec<usize>;
@@ -203,6 +211,22 @@ fn run(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, opts: &ApplyOpts<'_>
             &all_indices
         }
     };
+
+    // Bring every index the selected plans probe up to date with the
+    // relations as of this application (incremental: only the dense suffix
+    // added since the last application is consumed). Execution then only
+    // *reads* the index set, so probes can return borrowed slices.
+    ctx.indexes.borrow_mut().begin_application();
+    for &ri in selected {
+        let rule = &cp.rules[ri];
+        if opts.delta.is_some() {
+            for plan in &rule.delta_plans {
+                exec.prepare_plan(plan);
+            }
+        } else {
+            exec.prepare_plan(&rule.full_plan);
+        }
+    }
 
     for &ri in selected {
         let rule = &cp.rules[ri];
@@ -235,6 +259,26 @@ impl<'a> Executor<'a> {
         match pred {
             PredRef::Edb(i) => &self.ctx.edb[i],
             PredRef::Idb(i) => self.neg.get(i),
+        }
+    }
+
+    /// Registers (and incrementally refreshes) the indexes `plan`'s keyed
+    /// scans will probe. Called once per plan per Θ application, before
+    /// execution starts.
+    fn prepare_plan(&self, plan: &Plan) {
+        let mut indexes = self.ctx.indexes.borrow_mut();
+        for step in &plan.steps {
+            if let Step::Scan {
+                pred,
+                source,
+                key_cols,
+                ..
+            } = step
+            {
+                if !key_cols.is_empty() {
+                    indexes.ensure(self.relation(*pred, *source), key_cols);
+                }
+            }
         }
     }
 
@@ -282,56 +326,59 @@ impl<'a> Executor<'a> {
                 key_cols,
             } => {
                 let rel = self.relation(*pred, *source);
-                // Candidate tuples: via a hash index when key columns exist.
-                let candidates: Vec<Tuple> = if key_cols.is_empty() {
-                    rel.iter().cloned().collect()
+                // Term positions that bind a fresh variable. `bound` is
+                // restored between candidates, so the set is identical for
+                // every candidate of this scan — computed once, as a
+                // bitmask, keeping the per-tuple loop allocation-free.
+                assert!(
+                    terms.len() <= 128,
+                    "executor supports atoms of arity <= 128"
+                );
+                let mut binds_mask: u128 = 0;
+                for (col, term) in terms.iter().enumerate() {
+                    if let CTerm::Var(v) = term {
+                        if !bound[*v] && !terms[..col].contains(term) {
+                            binds_mask |= 1 << col;
+                        }
+                    }
+                }
+                if key_cols.is_empty() {
+                    // Full scan: iterate the dense storage in place.
+                    for ti in 0..rel.dense().len() {
+                        let t = &rel.dense()[ti];
+                        self.scan_candidate(
+                            plan, idx, head_pred, vals, bound, out, t, terms, binds_mask,
+                        );
+                    }
                 } else {
+                    // Keyed scan: probe the persistent index; the postings
+                    // are borrowed positions into the dense storage — no
+                    // tuple collection is cloned.
                     let key: Tuple = key_cols
                         .iter()
                         .map(|&c| self.value(&terms[c], vals))
-                        .collect::<Vec<_>>()
-                        .into();
-                    let index_key = IndexKey {
-                        pred: *pred,
-                        source: *source,
-                        cols: key_cols.clone(),
-                    };
-                    let index = self
-                        .cache
-                        .entry(index_key)
-                        .or_insert_with(|| rel.index_on(key_cols));
-                    index.get(&key).cloned().unwrap_or_default()
-                };
-                for t in candidates {
-                    let mut newly: Vec<usize> = Vec::new();
-                    let mut ok = true;
-                    for (col, term) in terms.iter().enumerate() {
-                        match term {
-                            CTerm::Const(c) => {
-                                if t[col] != *c {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                            CTerm::Var(v) => {
-                                if bound[*v] {
-                                    if t[col] != vals[*v] {
-                                        ok = false;
-                                        break;
-                                    }
-                                } else {
-                                    vals[*v] = t[col];
-                                    bound[*v] = true;
-                                    newly.push(*v);
-                                }
-                            }
+                        .collect();
+                    let indexes = self.ctx.indexes.borrow();
+                    if let Some(postings) = indexes.probe(rel.id(), key_cols, &key) {
+                        for &ti in postings {
+                            let t = &rel.dense()[ti as usize];
+                            self.scan_candidate(
+                                plan, idx, head_pred, vals, bound, out, t, terms, binds_mask,
+                            );
                         }
-                    }
-                    if ok {
-                        self.step(plan, idx + 1, head_pred, vals, bound, out);
-                    }
-                    for v in newly {
-                        bound[v] = false;
+                    } else {
+                        // No index registered (unprepared plan): filtered
+                        // linear scan — correct, just slower.
+                        drop(indexes);
+                        for ti in 0..rel.dense().len() {
+                            let t = &rel.dense()[ti];
+                            if key_cols.iter().enumerate().any(|(r, &c)| t[c] != key[r]) {
+                                continue;
+                            }
+                            self.scan_candidate(
+                                plan, idx, head_pred, vals, bound, out, t, terms, binds_mask,
+                            );
+                        }
                     }
                 }
             }
@@ -373,6 +420,56 @@ impl<'a> Executor<'a> {
                     self.step(plan, idx + 1, head_pred, vals, bound, out);
                 }
             }
+        }
+    }
+
+    /// Tries one scan candidate: unify `t` against `terms`, recurse into the
+    /// remaining steps on success, then restore the bindings this scan step
+    /// introduced (`binds_mask` marks the term positions that bind).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_candidate(
+        &mut self,
+        plan: &Plan,
+        idx: usize,
+        head_pred: usize,
+        vals: &mut Vec<Const>,
+        bound: &mut Vec<bool>,
+        out: &mut Interp,
+        t: &Tuple,
+        terms: &[CTerm],
+        binds_mask: u128,
+    ) {
+        let mut ok = true;
+        for (col, term) in terms.iter().enumerate() {
+            match term {
+                CTerm::Const(c) => {
+                    if t[col] != *c {
+                        ok = false;
+                        break;
+                    }
+                }
+                CTerm::Var(v) => {
+                    if binds_mask & (1 << col) != 0 {
+                        vals[*v] = t[col];
+                        bound[*v] = true;
+                    } else if t[col] != vals[*v] {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if ok {
+            self.step(plan, idx + 1, head_pred, vals, bound, out);
+        }
+        let mut mask = binds_mask;
+        while mask != 0 {
+            let col = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let CTerm::Var(v) = terms[col] else {
+                unreachable!("binds_mask marks variable positions only")
+            };
+            bound[v] = false;
         }
     }
 }

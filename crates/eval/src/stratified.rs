@@ -121,6 +121,10 @@ pub fn stratified_eval_compiled(
         rules_by_stratum[strat.stratum(&rule.head.predicate)].push(i);
     }
 
+    // `s` grows in place across strata and rounds, so the context's
+    // persistent hash-join indexes extend incrementally from each round's
+    // newly derived tuples — lower strata stay indexed when negations and
+    // joins of higher strata read them.
     for rules in &rules_by_stratum {
         if rules.is_empty() {
             continue;

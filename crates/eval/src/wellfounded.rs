@@ -74,6 +74,11 @@ pub fn well_founded_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> WellFou
 }
 
 /// `Γ(J)`: the least fixpoint of the operator with negations frozen at `J`.
+///
+/// `s` grows in place, so within one Γ computation the context's persistent
+/// indexes over it extend incrementally round over round (EDB indexes
+/// persist across Γ computations and alternations too — `ctx` outlives the
+/// whole alternating iteration).
 fn gamma(cp: &CompiledProgram, ctx: &EvalContext, j: &Interp) -> Interp {
     let mut s = cp.empty_interp();
     loop {
