@@ -1,0 +1,136 @@
+//! `bench_gate` — fail CI on throughput regressions.
+//!
+//! Compares a freshly generated `BENCH_eval.json` against the committed
+//! baseline and exits non-zero if any suite's `tuples_per_sec` regressed by
+//! more than the allowed fraction (default 30%).
+//!
+//! ```text
+//! cargo run --release -p inflog-bench --bin bench_gate -- \
+//!     --baseline BENCH_eval.json --fresh BENCH_fresh.json [--min-ratio 0.7]
+//! ```
+//!
+//! Suites present on only one side are reported but do not fail the gate
+//! (new suites have no baseline yet; retired suites have no fresh number).
+//! The JSON is parsed with a purpose-built scanner for the report's own
+//! schema — the workspace is dependency-free by design.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts `name → (params, tuples_per_sec)` from a `BENCH_eval.json`
+/// document. The params string identifies the workload: two reports are
+/// only comparable suite-by-suite where the params agree (the quick and
+/// standard grids measure different workload sizes).
+fn parse_report(text: &str) -> BTreeMap<String, (String, f64)> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let Some(params) = field_str(line, "params") else {
+            continue;
+        };
+        let Some(tps) = field_num(line, "tuples_per_sec") else {
+            continue;
+        };
+        out.insert(name, (params, tps));
+    }
+    out
+}
+
+/// Reads a `"key": "value"` string field from a JSON object line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Reads a `"key": number` field from a JSON object line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = arg_value(&args, "--baseline").unwrap_or_else(|| "BENCH_eval.json".into());
+    let fresh_path = arg_value(&args, "--fresh").unwrap_or_else(|| "BENCH_fresh.json".into());
+    let min_ratio: f64 = arg_value(&args, "--min-ratio")
+        .map(|v| v.parse().expect("--min-ratio takes a number"))
+        .unwrap_or(0.7);
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let baseline = parse_report(&read(&baseline_path));
+    let fresh = parse_report(&read(&fresh_path));
+    assert!(!fresh.is_empty(), "no suites found in {fresh_path}");
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>7}  verdict",
+        "suite", "baseline t/s", "fresh t/s", "ratio"
+    );
+    let mut failed = false;
+    let mut compared = 0usize;
+    for (name, (base_params, base_tps)) in &baseline {
+        let Some((fresh_params, fresh_tps)) = fresh.get(name) else {
+            println!(
+                "{name:<26} {base_tps:>14.0} {:>14} {:>7}  retired (skip)",
+                "-", "-"
+            );
+            continue;
+        };
+        if fresh_params != base_params {
+            println!(
+                "{name:<26} {base_tps:>14.0} {fresh_tps:>14.0} {:>7}  params differ (skip)",
+                "-"
+            );
+            continue;
+        }
+        compared += 1;
+        let ratio = fresh_tps / base_tps;
+        let verdict = if ratio < min_ratio {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{name:<26} {base_tps:>14.0} {fresh_tps:>14.0} {ratio:>6.2}x  {verdict}");
+    }
+    for (name, (_, fresh_tps)) in &fresh {
+        if !baseline.contains_key(name) {
+            println!(
+                "{name:<26} {:>14} {fresh_tps:>14.0} {:>7}  new (skip)",
+                "-", "-"
+            );
+        }
+    }
+
+    if compared == 0 {
+        // Every suite skipped would make the gate pass vacuously — e.g. a
+        // workload-size bump in bench_report without a regenerated baseline
+        // must not silently turn the regression check off.
+        println!("\nbench gate FAILED: no suite was comparable (params/baseline out of date?)");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        println!("\nbench gate FAILED: a suite regressed below {min_ratio:.2}x of baseline");
+        ExitCode::FAILURE
+    } else {
+        println!("\nbench gate passed (threshold {min_ratio:.2}x, {compared} suites compared)");
+        ExitCode::SUCCESS
+    }
+}

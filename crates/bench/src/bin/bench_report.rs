@@ -78,15 +78,33 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json").into());
 
-    let (tc_n, tc_gnp_n, naive_n, dist_n, ground_n, wf_n, strat_n, iters) = if quick {
-        (200, 80, 80, 9, 6, 96, 64, 3)
-    } else {
-        (400, 120, 120, 11, 7, 160, 96, 5)
-    };
+    let (tc_n, tc_gnp_n, naive_n, dist_n, ground_n, wf_n, wf_gnp_n, infneg_n, strat_n, iters) =
+        if quick {
+            (200, 80, 80, 9, 6, 96, 64, 48, 64, 3)
+        } else {
+            (400, 120, 120, 11, 7, 160, 96, 72, 96, 5)
+        };
 
     let tc = pi3_tc();
     let dist = distance_program();
     let win = parse_program("Win(x) :- Move(x, y), !Win(y).").expect("valid program");
+    // Win-move plus positive recursion guarded by the non-stratified
+    // predicate: exercises the incremental engine's deletion cascade.
+    let win_reach = parse_program(
+        "Win(x) :- Move(x, y), !Win(y).
+         Safe(x, y) :- Move(x, y), !Win(x).
+         Safe(x, y) :- Safe(x, z), Move(z, y), !Win(y).",
+    )
+    .expect("valid program");
+    // Inflationary semantics over a negation-heavy program: the asymmetric
+    // closure keeps deriving through decaying negations round after round.
+    let inf_neg = parse_program(
+        "R(x, y) :- E(x, y).
+         R(x, y) :- E(x, z), R(z, y).
+         N(x, y) :- R(x, y), !R(y, x).
+         D(x) :- E(x, y), !N(x, y).",
+    )
+    .expect("valid program");
     let tc_comp =
         parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). C(x, y) :- !S(x, y).")
             .expect("valid program");
@@ -102,6 +120,14 @@ fn main() {
         let mut g = DiGraph::path(wf_n);
         g.add_edge(0, (wf_n - 1) as u32);
         g.to_database("Move")
+    };
+    let wf_gnp_db = {
+        let mut rng = StdRng::seed_from_u64(11);
+        DiGraph::random_gnp(wf_gnp_n, 0.04, &mut rng).to_database("Move")
+    };
+    let inf_neg_db = {
+        let mut rng = StdRng::seed_from_u64(13);
+        DiGraph::random_gnp(infneg_n, 0.05, &mut rng).to_database("E")
     };
     let strat_db = DiGraph::path(strat_n).to_database("E");
 
@@ -144,6 +170,26 @@ fn main() {
             let m = well_founded(&win, &wf_db).expect("total semantics");
             m.true_facts.total_tuples() + m.undefined.total_tuples()
         }),
+        bench(
+            "wellfounded_win_move_gnp",
+            format!("n={wf_gnp_n},p=0.04,seed=11"),
+            iters,
+            || {
+                let m = well_founded(&win_reach, &wf_gnp_db).expect("well-founded is total");
+                m.true_facts.total_tuples() + m.undefined.total_tuples()
+            },
+        ),
+        bench(
+            "inflationary_negation_gnp",
+            format!("n={infneg_n},p=0.05,seed=13"),
+            iters,
+            || {
+                inflationary(&inf_neg, &inf_neg_db)
+                    .expect("total")
+                    .1
+                    .final_tuples
+            },
+        ),
         bench(
             "stratified_tc_complement",
             format!("n={strat_n}"),

@@ -57,6 +57,15 @@ pub struct Relation {
     /// across insertions. External index caches use it to decide whether a
     /// cached index may be extended incrementally or must be rebuilt.
     id: u64,
+    /// Bumped by every [`truncate`](Self::truncate) (rollback to a
+    /// watermark). Unlike `remove`, truncation preserves the dense *prefix*,
+    /// so external positional indexes stay valid up to the cut — they
+    /// resynchronize by comparing epochs instead of discarding everything.
+    shrink_epoch: u64,
+    /// The length of the most recent truncation's surviving prefix. Together
+    /// with `shrink_epoch` (each truncate bumps it exactly once) an external
+    /// index that is exactly one epoch behind knows how far to roll back.
+    last_truncate_len: usize,
     /// Cached lexicographic order (indices into `tuples`); cleared on
     /// mutation so `sorted()` only re-sorts relations that changed.
     sorted_cache: RefCell<Option<Vec<u32>>>,
@@ -71,6 +80,8 @@ impl Relation {
             slots: Vec::new(),
             used: 0,
             id: next_relation_id(),
+            shrink_epoch: 0,
+            last_truncate_len: 0,
             sorted_cache: RefCell::new(None),
         }
     }
@@ -136,6 +147,100 @@ impl Relation {
     /// incremental index maintenance consumes.
     pub fn dense(&self) -> &[Tuple] {
         &self.tuples
+    }
+
+    /// Truncation epoch: bumped exactly once per [`truncate`](Self::truncate).
+    ///
+    /// An external positional index synchronized at epoch `e` with watermark
+    /// `w` remains valid on the prefix `min(w, last_truncate_len())` when the
+    /// relation is at epoch `e + 1`, and must rebuild when further behind.
+    pub fn shrink_epoch(&self) -> u64 {
+        self.shrink_epoch
+    }
+
+    /// Surviving prefix length of the most recent truncation (0 if the
+    /// relation has never been truncated).
+    pub fn last_truncate_len(&self) -> usize {
+        self.last_truncate_len
+    }
+
+    /// Rolls the relation back to its first `len` tuples in insertion order
+    /// — the snapshot/rollback primitive for restartable fixpoints.
+    ///
+    /// Because insertion is append-only, `truncate(w)` restores exactly the
+    /// state the relation had when `len() == w`. The dense prefix keeps its
+    /// positions and the [`id`](Self::id) is preserved, so external
+    /// positional indexes stay valid up to `len` and resynchronize via
+    /// [`shrink_epoch`](Self::shrink_epoch) instead of rebuilding. No-op if
+    /// `len >= self.len()`.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.tuples.len() {
+            return;
+        }
+        self.shrink_epoch += 1;
+        self.last_truncate_len = len;
+        self.sorted_cache.borrow_mut().take();
+        if len == 0 {
+            self.tuples.clear();
+            self.slots.fill(EMPTY);
+            self.used = 0;
+            return;
+        }
+        let removed = self.tuples.len() - len;
+        if removed * 4 >= len {
+            // Large cut: rebuilding the probe table (also clears tombstones)
+            // beats tombstoning each removed tuple.
+            self.tuples.truncate(len);
+            self.rebuild_slots(self.tuples.len());
+        } else {
+            let mask = self.slots.len() as u64 - 1;
+            for i in len..self.tuples.len() {
+                let mut slot = (hash_tuple(&self.tuples[i]) & mask) as usize;
+                while self.slots[slot] != i as u32 {
+                    debug_assert!(self.slots[slot] != EMPTY, "truncated tuple must be indexed");
+                    slot = (slot + 1) & mask as usize;
+                }
+                self.slots[slot] = TOMBSTONE;
+            }
+            self.tuples.truncate(len);
+        }
+    }
+
+    /// Removes every tuple while keeping the allocated storage (and the
+    /// relation [`id`](Self::id)) — `truncate(0)`. Scratch relations that
+    /// are refilled every round reuse their dense vector and probe table.
+    pub fn clear(&mut self) {
+        self.truncate(0);
+    }
+
+    /// Like [`truncate`](Self::truncate), but returns the removed suffix (in
+    /// insertion order) instead of dropping it. Same epoch/index semantics.
+    pub fn split_off(&mut self, len: usize) -> Vec<Tuple> {
+        if len >= self.tuples.len() {
+            return Vec::new();
+        }
+        self.shrink_epoch += 1;
+        self.last_truncate_len = len;
+        self.sorted_cache.borrow_mut().take();
+        let suffix = self.tuples.split_off(len);
+        if len == 0 {
+            self.slots.fill(EMPTY);
+            self.used = 0;
+        } else if suffix.len() * 4 >= len {
+            self.rebuild_slots(self.tuples.len());
+        } else {
+            let mask = self.slots.len() as u64 - 1;
+            for (off, t) in suffix.iter().enumerate() {
+                let dense_idx = (len + off) as u32;
+                let mut slot = (hash_tuple(t) & mask) as usize;
+                while self.slots[slot] != dense_idx {
+                    debug_assert!(self.slots[slot] != EMPTY, "split tuple must be indexed");
+                    slot = (slot + 1) & mask as usize;
+                }
+                self.slots[slot] = TOMBSTONE;
+            }
+        }
+        suffix
     }
 
     /// Pre-reserves capacity for `extra` additional tuples.
@@ -249,6 +354,44 @@ impl Relation {
         self.id = next_relation_id();
         self.sorted_cache.borrow_mut().take();
         true
+    }
+
+    /// Removes a tuple **without refreshing the relation's identity**,
+    /// returning the dense positions the swap-remove touched:
+    /// `(removed_pos, moved_from_pos)` — the tuple previously at
+    /// `moved_from_pos` (the last position) now sits at `removed_pos`
+    /// (the two are equal when the last tuple itself was removed).
+    ///
+    /// External positional indexes over the relation become stale at exactly
+    /// those two positions; the caller **must** patch or discard them
+    /// synchronously (see `IndexSet::patch_swap_remove` in the evaluator) —
+    /// this is the one mutation the identity token does not guard. The
+    /// incremental well-founded engine uses it to delete the handful of
+    /// tuples that leave the decreasing side each alternation while keeping
+    /// its indexes warm.
+    pub fn remove_tracked(&mut self, t: &Tuple) -> Option<(usize, usize)> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let Ok(slot) = self.probe(t) else {
+            return None;
+        };
+        let idx = self.slots[slot] as usize;
+        self.slots[slot] = TOMBSTONE;
+        self.tuples.swap_remove(idx);
+        let moved_from = self.tuples.len();
+        if idx < self.tuples.len() {
+            // The previous last tuple moved to `idx`: redirect its slot.
+            let mask = self.slots.len() as u64 - 1;
+            let mut s = (hash_tuple(&self.tuples[idx]) & mask) as usize;
+            while self.slots[s] != moved_from as u32 {
+                debug_assert!(self.slots[s] != EMPTY, "moved tuple must be indexed");
+                s = (s + 1) & mask as usize;
+            }
+            self.slots[s] = idx as u32;
+        }
+        self.sorted_cache.borrow_mut().take();
+        Some((idx, moved_from))
     }
 
     /// Membership test.
@@ -402,6 +545,8 @@ impl Clone for Relation {
             slots: self.slots.clone(),
             used: self.used,
             id: next_relation_id(),
+            shrink_epoch: 0,
+            last_truncate_len: 0,
             sorted_cache: RefCell::new(self.sorted_cache.borrow().clone()),
         }
     }
@@ -617,6 +762,120 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert!(r.contains(&t(&[1])));
         assert!(!Relation::new(1).remove(&t(&[5])));
+    }
+
+    #[test]
+    fn truncate_restores_previous_state() {
+        let mut r = rel(1, &[&[0], &[1]]);
+        let id0 = r.id();
+        let snapshot = r.len();
+        r.insert(t(&[2]));
+        r.insert(t(&[3]));
+        r.truncate(snapshot);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t(&[0])) && r.contains(&t(&[1])));
+        assert!(!r.contains(&t(&[2])) && !r.contains(&t(&[3])));
+        assert_eq!(r.id(), id0, "truncation preserves the identity token");
+        assert_eq!(r.last_truncate_len(), snapshot);
+        // The dense prefix is untouched, and re-growth works.
+        assert_eq!(r.dense(), &[t(&[0]), t(&[1])]);
+        assert!(r.insert(t(&[3])));
+        assert_eq!(r.dense()[2], t(&[3]));
+    }
+
+    #[test]
+    fn truncate_epoch_bumps_once_per_cut() {
+        let mut r = rel(1, &[&[0], &[1], &[2]]);
+        assert_eq!(r.shrink_epoch(), 0);
+        r.truncate(3); // no-op: nothing removed
+        assert_eq!(r.shrink_epoch(), 0);
+        r.truncate(2);
+        assert_eq!(r.shrink_epoch(), 1);
+        r.insert(t(&[9]));
+        assert_eq!(r.shrink_epoch(), 1, "growth does not bump the epoch");
+        r.truncate(0);
+        assert_eq!(r.shrink_epoch(), 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_identity_and_reuses_storage() {
+        let mut r = rel(2, &[&[0, 1], &[2, 3]]);
+        let id0 = r.id();
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.id(), id0);
+        assert!(!r.contains(&t(&[0, 1])));
+        assert!(r.insert(t(&[4, 5])));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn remove_tracked_reports_swap_positions() {
+        let mut r = rel(1, &[&[0], &[1], &[2], &[3]]);
+        let id0 = r.id();
+        // Remove an interior tuple: the last one moves into its slot.
+        assert_eq!(r.remove_tracked(&t(&[1])), Some((1, 3)));
+        assert_eq!(r.dense(), &[t(&[0]), t(&[3]), t(&[2])]);
+        // Remove the (current) last tuple: nothing moves.
+        assert_eq!(r.remove_tracked(&t(&[2])), Some((2, 2)));
+        assert_eq!(r.dense(), &[t(&[0]), t(&[3])]);
+        assert_eq!(r.remove_tracked(&t(&[9])), None);
+        assert_eq!(r.id(), id0, "tracked removal preserves the identity");
+        assert!(r.contains(&t(&[0])) && r.contains(&t(&[3])));
+        assert!(!r.contains(&t(&[1])) && !r.contains(&t(&[2])));
+        assert!(r.insert(t(&[1])));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn split_off_returns_suffix_in_insertion_order() {
+        let mut r = rel(1, &[&[5], &[3], &[8], &[1]]);
+        let id0 = r.id();
+        let suffix = r.split_off(2);
+        assert_eq!(suffix, vec![t(&[8]), t(&[1])]);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t(&[5])) && r.contains(&t(&[3])));
+        assert!(!r.contains(&t(&[8])) && !r.contains(&t(&[1])));
+        assert_eq!(r.id(), id0);
+        assert_eq!(r.shrink_epoch(), 1);
+        assert_eq!(r.last_truncate_len(), 2);
+        assert!(r.split_off(2).is_empty());
+    }
+
+    #[test]
+    fn truncate_large_and_small_cuts_against_model() {
+        // Exercise both the tombstone path (small suffix) and the
+        // rebuild path (large suffix) against a replayed model.
+        let mut x: u64 = 0xdead_beef;
+        let mut next = move |m: u32| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u32 % m
+        };
+        let mut r = Relation::new(1);
+        let mut log: Vec<Tuple> = Vec::new(); // dense insertion order
+        for step in 0..500 {
+            if step % 7 == 6 {
+                let cut = next(log.len().max(1) as u32) as usize;
+                r.truncate(cut);
+                log.truncate(cut);
+            } else {
+                let tup = t(&[next(97)]);
+                let fresh = !log.contains(&tup);
+                assert_eq!(r.insert(tup.clone()), fresh, "step {step}");
+                if fresh {
+                    log.push(tup);
+                }
+            }
+            assert_eq!(r.len(), log.len(), "step {step}");
+            assert_eq!(r.dense(), &log[..], "step {step}");
+        }
+        for tup in &log {
+            assert!(r.contains(tup));
+        }
+        assert!(!r.contains(&t(&[97])));
     }
 
     #[test]

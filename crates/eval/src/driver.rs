@@ -1,0 +1,328 @@
+//! The shared semi-naive round driver.
+//!
+//! Every delta-capable engine — semi-naive least fixpoint, per-stratum
+//! stratified evaluation, inflationary iteration, and both sides of the
+//! well-founded alternating fixpoint — runs the *same* loop: one full Θ
+//! application to pick up derivations the current state has no delta for,
+//! then delta-restricted rounds until nothing new appears. Before this
+//! module each engine carried its own copy of that loop; now they all drive
+//! [`DeltaDriver::extend`], parameterized by a rule subset (stratified) and
+//! a frozen negation context (well-founded Γ).
+//!
+//! `extend` grows `s` **in place**: relations keep their identity, so the
+//! evaluation context's persistent hash-join indexes extend incrementally
+//! round over round (and across calls — a warm-started fixpoint that reuses
+//! `s` also reuses the index work of the previous call).
+//!
+//! The driver owns two scratch interpretations (`derived` and `delta`) that
+//! are cleared and refilled each round instead of reallocated, and the delta
+//! is read back off `s`'s dense suffix after the union — the set-difference
+//! pass the per-engine loops used to run every round is gone entirely.
+//!
+//! Soundness of the delta restriction requires the effective operator to be
+//! monotone in `s` over the rounds of one `extend` call. Each caller
+//! discharges that differently:
+//!
+//! * positive programs (semi-naive): Θ itself is monotone;
+//! * stratified, per stratum: negations refer to lower strata only, which
+//!   `extend` never grows while iterating that stratum's rules;
+//! * well-founded Γ: negations are frozen at an explicit `neg`
+//!   interpretation, and the positivized operator is monotone;
+//! * inflationary: not monotone, but under an *increasing* `s` a negated
+//!   literal only decays true→false, so a body instance newly true this
+//!   round still must have gained a positive IDB tuple — the delta argument
+//!   goes through (this is §4's observation, see `inflationary.rs`).
+//!
+//! In debug builds every delta round is cross-checked against a full naive
+//! application from the same state: the new tuples must match exactly,
+//! round by round.
+
+use crate::interp::Interp;
+use crate::operator::{apply_general_into, EvalContext, PlanKind};
+use crate::resolve::CompiledProgram;
+use crate::trace::EvalTrace;
+
+/// Reusable round driver: scratch buffers plus the shared semi-naive loop.
+///
+/// Create one per evaluation (or per engine) and call
+/// [`extend`](Self::extend) as many times as needed — the scratch space is
+/// recycled across rounds and across calls.
+#[derive(Debug)]
+pub struct DeltaDriver {
+    /// Output buffer for Θ applications (cleared, not reallocated).
+    derived: Interp,
+    /// Per-round delta read back off `s`'s dense suffix.
+    delta: Interp,
+}
+
+impl DeltaDriver {
+    /// Builds a driver with scratch buffers shaped for `cp`'s IDB arities.
+    pub fn new(cp: &CompiledProgram) -> Self {
+        DeltaDriver {
+            derived: cp.empty_interp(),
+            delta: cp.empty_interp(),
+        }
+    }
+
+    /// Extends `s` in place to the least fixpoint of the (effective)
+    /// operator above `s`, semi-naively. Returns the number of tuples
+    /// added.
+    ///
+    /// * `rules` — restrict to these rule indices (stratified evaluation);
+    ///   `None` runs the whole program.
+    /// * `frozen_neg` — evaluate negative IDB literals against this fixed
+    ///   interpretation (the well-founded Γ transform); `None` evaluates
+    ///   them against the current `s` (standard Θ).
+    /// * `trace` — when present, one round is recorded per application that
+    ///   added tuples, exactly as the engines' hand-rolled loops did.
+    ///
+    /// The first round is a **full** application against the current `s`:
+    /// a warm-started call (`s` non-empty) has no delta describing how `s`
+    /// came to be, and rules without positive IDB atoms never fire in delta
+    /// rounds. Subsequent rounds are delta-restricted.
+    pub fn extend(
+        &mut self,
+        cp: &CompiledProgram,
+        ctx: &EvalContext,
+        s: &mut Interp,
+        rules: Option<&[usize]>,
+        frozen_neg: Option<&Interp>,
+        trace: Option<&mut EvalTrace>,
+    ) -> usize {
+        apply_general_into(
+            cp,
+            ctx,
+            s,
+            rules,
+            PlanKind::Full,
+            None,
+            frozen_neg,
+            &mut self.derived,
+        );
+        self.drain_rounds(cp, ctx, s, rules, frozen_neg, trace)
+    }
+
+    /// Like [`extend`](Self::extend), but the first round is **restricted**
+    /// to derivations enabled by `removed` — the tuples that just left the
+    /// frozen negation context — via the rules' neg-delta plans, instead of
+    /// a full application.
+    ///
+    /// Sound and complete when (a) `s` is already a fixpoint of the operator
+    /// with the *previous* negation context, and (b) `frozen_neg` differs
+    /// from that context exactly by `removed` shrinking out of it: a ground
+    /// instance newly true under the smaller context, with `s` unchanged,
+    /// must use at least one negated IDB literal whose atom is in `removed`
+    /// (negations only gain truth when their context shrinks), and the
+    /// neg-delta plan driven by that occurrence enumerates it. The
+    /// incremental well-founded engine calls this for every alternation
+    /// after the first; the debug cross-check verifies the argument against
+    /// a full naive round.
+    pub fn extend_from_removed(
+        &mut self,
+        cp: &CompiledProgram,
+        ctx: &EvalContext,
+        s: &mut Interp,
+        removed: &Interp,
+        frozen_neg: &Interp,
+        trace: Option<&mut EvalTrace>,
+    ) -> usize {
+        apply_general_into(
+            cp,
+            ctx,
+            s,
+            None,
+            PlanKind::NegDelta,
+            Some(removed),
+            Some(frozen_neg),
+            &mut self.derived,
+        );
+        #[cfg(debug_assertions)]
+        self.cross_check_against_naive_round(cp, ctx, s, None, Some(frozen_neg));
+        self.drain_rounds(cp, ctx, s, None, Some(frozen_neg), trace)
+    }
+
+    /// Shared tail of both entry points: absorb the first round already
+    /// sitting in `self.derived`, then run delta rounds until stable.
+    fn drain_rounds(
+        &mut self,
+        cp: &CompiledProgram,
+        ctx: &EvalContext,
+        s: &mut Interp,
+        rules: Option<&[usize]>,
+        frozen_neg: Option<&Interp>,
+        mut trace: Option<&mut EvalTrace>,
+    ) -> usize {
+        let mut total = 0;
+        let mut added = absorb(s, &self.derived, &mut self.delta);
+        while added > 0 {
+            total += added;
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.record_round(added);
+            }
+            apply_general_into(
+                cp,
+                ctx,
+                s,
+                rules,
+                PlanKind::PosDelta,
+                Some(&self.delta),
+                frozen_neg,
+                &mut self.derived,
+            );
+            #[cfg(debug_assertions)]
+            self.cross_check_against_naive_round(cp, ctx, s, rules, frozen_neg);
+            added = absorb(s, &self.derived, &mut self.delta);
+        }
+        total
+    }
+
+    /// Debug-build invariant: the delta application just stored in
+    /// `self.derived` must contribute exactly the tuples a full (naive)
+    /// application from the same `s` would — semi-naive Γ equals naive Γ,
+    /// round by round (and likewise for every other engine on the driver).
+    #[cfg(debug_assertions)]
+    fn cross_check_against_naive_round(
+        &self,
+        cp: &CompiledProgram,
+        ctx: &EvalContext,
+        s: &Interp,
+        rules: Option<&[usize]>,
+        frozen_neg: Option<&Interp>,
+    ) {
+        let mut full = cp.empty_interp();
+        apply_general_into(
+            cp,
+            ctx,
+            s,
+            rules,
+            PlanKind::Full,
+            None,
+            frozen_neg,
+            &mut full,
+        );
+        debug_assert_eq!(
+            full.difference(s),
+            self.derived.difference(s),
+            "semi-naive round diverged from the naive round"
+        );
+    }
+}
+
+/// Unions `derived` into `s` and rebuilds `delta` from `s`'s dense suffix —
+/// the tuples the union actually added, with no set-difference pass.
+/// Returns the number of tuples added.
+fn absorb(s: &mut Interp, derived: &Interp, delta: &mut Interp) -> usize {
+    let mut added = 0;
+    for i in 0..s.len() {
+        let before = s.get(i).len();
+        s.get_mut(i).union_with(derived.get(i));
+        let drel = delta.get_mut(i);
+        drel.clear();
+        let srel = s.get(i);
+        for t in &srel.dense()[before..] {
+            drel.insert(t.clone());
+        }
+        added += srel.len() - before;
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::least_fixpoint_naive;
+    use crate::operator::apply_with_neg;
+    use inflog_core::graphs::DiGraph;
+    use inflog_syntax::parse_program;
+
+    const TC: &str = "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).";
+
+    fn setup(src: &str, db: &inflog_core::Database) -> (CompiledProgram, EvalContext) {
+        let p = parse_program(src).unwrap();
+        let cp = CompiledProgram::compile(&p, db).unwrap();
+        let ctx = EvalContext::new(&cp, db).unwrap();
+        (cp, ctx)
+    }
+
+    #[test]
+    fn extend_from_empty_computes_least_fixpoint() {
+        let db = DiGraph::binary_tree(15).to_database("E");
+        let (cp, ctx) = setup(TC, &db);
+        let mut s = cp.empty_interp();
+        let mut driver = DeltaDriver::new(&cp);
+        let added = driver.extend(&cp, &ctx, &mut s, None, None, None);
+        let (lfp, _) = least_fixpoint_naive(&parse_program(TC).unwrap(), &db).unwrap();
+        assert_eq!(s, lfp);
+        assert_eq!(added, lfp.total_tuples());
+    }
+
+    #[test]
+    fn extend_is_idempotent_once_at_fixpoint() {
+        let db = DiGraph::path(6).to_database("E");
+        let (cp, ctx) = setup(TC, &db);
+        let mut s = cp.empty_interp();
+        let mut driver = DeltaDriver::new(&cp);
+        driver.extend(&cp, &ctx, &mut s, None, None, None);
+        let again = driver.extend(&cp, &ctx, &mut s, None, None, None);
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn warm_start_from_subset_reaches_the_same_fixpoint() {
+        // Seed with a strict subset of the least fixpoint (the base facts):
+        // warm-started extension must land on exactly the lfp.
+        let db = DiGraph::path(7).to_database("E");
+        let (cp, ctx) = setup(TC, &db);
+        let mut driver = DeltaDriver::new(&cp);
+
+        let mut cold = cp.empty_interp();
+        driver.extend(&cp, &ctx, &mut cold, None, None, None);
+
+        let mut warm = cp.empty_interp();
+        let sid = cp.idb_id("S").unwrap();
+        for t in ctx.edb[0].iter() {
+            warm.insert(sid, t.clone());
+        }
+        driver.extend(&cp, &ctx, &mut warm, None, None, None);
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn frozen_neg_extend_matches_naive_gamma() {
+        // Γ(J) via the driver equals Γ(J) by naive iteration of
+        // apply_with_neg, for the win-move program and several J.
+        let db = DiGraph::path(6).to_database("Move");
+        let (cp, ctx) = setup("Win(x) :- Move(x, y), !Win(y).", &db);
+        let wid = cp.idb_id("Win").unwrap();
+        let mut driver = DeltaDriver::new(&cp);
+        for j_members in [vec![], vec![1u32], vec![0, 2, 4]] {
+            let mut j = cp.empty_interp();
+            for m in &j_members {
+                j.insert(wid, inflog_core::Tuple::from_ids(&[*m]));
+            }
+            let mut s = cp.empty_interp();
+            driver.extend(&cp, &ctx, &mut s, None, Some(&j), None);
+            // Naive Γ(J): iterate the frozen-neg operator from ∅.
+            let mut naive = cp.empty_interp();
+            loop {
+                let derived = apply_with_neg(&cp, &ctx, &naive, &j);
+                if naive.union_with(&derived) == 0 {
+                    break;
+                }
+            }
+            assert_eq!(s, naive, "J = {j_members:?}");
+        }
+    }
+
+    #[test]
+    fn trace_rounds_match_hand_rolled_loop() {
+        let db = DiGraph::path(5).to_database("E");
+        let (cp, ctx) = setup(TC, &db);
+        let mut s = cp.empty_interp();
+        let mut driver = DeltaDriver::new(&cp);
+        let mut trace = EvalTrace::default();
+        driver.extend(&cp, &ctx, &mut s, None, None, Some(&mut trace));
+        // L_5 TC: rounds add 4, 3, 2, 1 tuples.
+        assert_eq!(trace.added_per_round, vec![4, 3, 2, 1]);
+    }
+}

@@ -14,6 +14,14 @@
 //! * indexes are keyed by [`Relation::id`], which is stable under
 //!   append-only growth and refreshed by clones and removals — a stale id
 //!   simply misses and the index is rebuilt, never served incorrectly;
+//! * relations that *shrink* stay indexed through two paths: a rollback to
+//!   a watermark ([`Relation::truncate`] / `split_off`) keeps the id and
+//!   the dense prefix, so the index detects it via
+//!   [`Relation::shrink_epoch`] and drops only the postings past the cut;
+//!   and a tracked single-tuple removal ([`Relation::remove_tracked`] — how
+//!   the incremental well-founded engine deletes the few tuples that leave
+//!   its decreasing side each alternation) has its two affected postings
+//!   patched in place by [`IndexSet::patch_swap_remove`];
 //! * postings are `u32` positions into the dense storage, so probing
 //!   returns a borrowed `&[u32]` and the executor reads tuples in place —
 //!   no tuple collection is cloned on the probe path.
@@ -56,13 +64,34 @@ struct Index {
     cols: Vec<usize>,
     /// `relation.dense()[..upto]` is indexed.
     upto: usize,
+    /// [`Relation::shrink_epoch`] at the last synchronization. A relation
+    /// one epoch ahead was truncated exactly once since: postings at or past
+    /// its `last_truncate_len` are dropped and the prefix survives. Further
+    /// behind than one epoch, the index rebuilds from scratch.
+    epoch: u64,
     map: HashMap<Tuple, Vec<u32>>,
     /// Tick of the last application that touched this index.
     last_used: u64,
 }
 
 impl Index {
-    fn extend_from(&mut self, rel: &Relation) {
+    /// Brings the index up to date with `rel`, resynchronizing across
+    /// truncations (see [`Relation::truncate`]) before consuming the dense
+    /// suffix added since the last call.
+    fn sync(&mut self, rel: &Relation) {
+        let epoch = rel.shrink_epoch();
+        if epoch == self.epoch + 1 {
+            // Exactly one rollback since the last sync: the dense prefix
+            // below the cut is unchanged, so drop only the dead postings.
+            self.rollback_to(rel.last_truncate_len().min(self.upto));
+            self.epoch = epoch;
+        } else if epoch != self.epoch {
+            // Several rollbacks: the intermediate low-water mark is unknown,
+            // so the positions we hold cannot be trusted. Rebuild.
+            self.map.clear();
+            self.upto = 0;
+            self.epoch = epoch;
+        }
         let dense = rel.dense();
         for (i, t) in dense.iter().enumerate().skip(self.upto) {
             self.map
@@ -71,6 +100,18 @@ impl Index {
                 .push(i as u32);
         }
         self.upto = dense.len();
+    }
+
+    /// Drops all postings at dense positions `>= cut`. Postings within a
+    /// bucket are strictly increasing (appended in dense order, truncated in
+    /// dense order), so each bucket is cut at a partition point.
+    fn rollback_to(&mut self, cut: usize) {
+        self.map.retain(|_, postings| {
+            let keep = postings.partition_point(|&p| (p as usize) < cut);
+            postings.truncate(keep);
+            !postings.is_empty()
+        });
+        self.upto = cut;
     }
 }
 
@@ -111,11 +152,60 @@ impl IndexSet {
             .or_insert_with(|| Index {
                 cols: cols.to_vec(),
                 upto: 0,
+                epoch: rel.shrink_epoch(),
                 map: HashMap::new(),
                 last_used: tick,
             });
         ix.last_used = tick;
-        ix.extend_from(rel);
+        ix.sync(rel);
+    }
+
+    /// Patches every index of `rel` after a [`Relation::remove_tracked`]
+    /// swap-remove: the posting for `removed` (at `removed_pos`) is dropped,
+    /// and the tuple that moved from `moved_from` (the old last position)
+    /// into `removed_pos` has its posting redirected. Indexes that were not
+    /// fully synchronized with the relation before the removal cannot be
+    /// patched positionally and are discarded instead (they rebuild on the
+    /// next [`ensure`](Self::ensure)).
+    ///
+    /// `old_len` is the relation's length *before* the removal.
+    pub fn patch_swap_remove(
+        &mut self,
+        rel: &Relation,
+        removed: &Tuple,
+        removed_pos: usize,
+        moved_from: usize,
+        old_len: usize,
+    ) {
+        self.indexes.retain(|&(rel_id, _), ix| {
+            if rel_id != rel.id() {
+                return true;
+            }
+            if ix.upto != old_len || ix.epoch != rel.shrink_epoch() {
+                return false; // not in sync: positional patching is unsound
+            }
+            let drop_key = removed.project(&ix.cols);
+            if let Some(postings) = ix.map.get_mut(&drop_key) {
+                if let Ok(p) = postings.binary_search(&(removed_pos as u32)) {
+                    postings.remove(p);
+                }
+                if postings.is_empty() {
+                    ix.map.remove(&drop_key);
+                }
+            }
+            if moved_from != removed_pos {
+                // The moved tuple now lives at `removed_pos`.
+                let moved_key = rel.dense()[removed_pos].project(&ix.cols);
+                let postings = ix.map.entry(moved_key).or_default();
+                if let Ok(p) = postings.binary_search(&(moved_from as u32)) {
+                    postings.remove(p);
+                }
+                let at = postings.partition_point(|&p| (p as usize) < removed_pos);
+                postings.insert(at, removed_pos as u32);
+            }
+            ix.upto = rel.dense().len();
+            true
+        });
     }
 
     /// Probes the index of `(rel_id, cols)` for a key: the dense positions
@@ -190,6 +280,111 @@ mod tests {
         set.ensure(&r, &[0]);
         let clone = r.clone();
         assert!(set.probe(clone.id(), &[0], &t(&[0])).is_none());
+    }
+
+    #[test]
+    fn rollback_drops_postings_past_the_cut() {
+        let mut r = rel(&[&[0, 1], &[0, 2]]);
+        let mut set = IndexSet::default();
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[0])).unwrap().len(), 2);
+        let w = r.len();
+        r.union_with(&rel(&[&[0, 3], &[5, 6]]));
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[0])).unwrap().len(), 3);
+        // Roll the relation back to the watermark: the index follows.
+        r.truncate(w);
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[0])).unwrap().len(), 2);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[5])).unwrap(), &[] as &[u32]);
+        assert_eq!(set.len(), 1, "rolled back in place, not rebuilt");
+    }
+
+    #[test]
+    fn truncate_then_regrow_between_syncs_is_detected() {
+        // The dangerous interleaving: the index last synced at length 3, the
+        // relation is truncated to 1 and regrown past 3 before the next
+        // sync. Length alone cannot reveal the cut — the epoch does.
+        let mut r = rel(&[&[0, 1], &[0, 2], &[0, 3]]);
+        let mut set = IndexSet::default();
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        r.truncate(1);
+        r.union_with(&rel(&[&[1, 7], &[1, 8], &[0, 9]]));
+        assert_eq!(r.len(), 4);
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        let hits = set.probe(r.id(), &[0], &t(&[0])).unwrap();
+        assert_eq!(hits.len(), 2); // (0,1) from the prefix, (0,9) regrown
+        for &i in hits {
+            assert_eq!(r.dense()[i as usize][0].id(), 0);
+        }
+        assert_eq!(set.probe(r.id(), &[0], &t(&[1])).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn patch_swap_remove_keeps_index_exact() {
+        let mut r = rel(&[&[0, 1], &[0, 2], &[1, 3], &[0, 4]]);
+        let mut set = IndexSet::default();
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[0])).unwrap().len(), 3);
+        // Remove (0,2): (0,4) moves from position 3 into position 1.
+        let old_len = r.len();
+        let (rp, mp) = r.remove_tracked(&t(&[0, 2])).unwrap();
+        set.patch_swap_remove(&r, &t(&[0, 2]), rp, mp, old_len);
+        let hits = set.probe(r.id(), &[0], &t(&[0])).unwrap();
+        assert_eq!(hits.len(), 2);
+        for &i in hits {
+            assert_eq!(r.dense()[i as usize][0].id(), 0);
+        }
+        assert!(hits.windows(2).all(|w| w[0] < w[1]), "postings stay sorted");
+        // Remove the last remaining (1,_) tuple: its bucket disappears.
+        let old_len = r.len();
+        let (rp, mp) = r.remove_tracked(&t(&[1, 3])).unwrap();
+        set.patch_swap_remove(&r, &t(&[1, 3]), rp, mp, old_len);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[1])).unwrap(), &[] as &[u32]);
+        // The index keeps extending incrementally afterwards.
+        r.union_with(&rel(&[&[0, 9]]));
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[0])).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unsynced_index_is_discarded_on_patch() {
+        let mut r = rel(&[&[0, 1], &[0, 2]]);
+        let mut set = IndexSet::default();
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        // Grow the relation *without* re-syncing the index, then remove.
+        r.union_with(&rel(&[&[0, 3]]));
+        let old_len = r.len();
+        let (rp, mp) = r.remove_tracked(&t(&[0, 1])).unwrap();
+        set.patch_swap_remove(&r, &t(&[0, 1]), rp, mp, old_len);
+        assert!(
+            set.probe(r.id(), &[0], &t(&[0])).is_none(),
+            "stale index must be dropped, not patched"
+        );
+    }
+
+    #[test]
+    fn multiple_truncations_between_syncs_rebuild() {
+        let mut r = rel(&[&[0, 1], &[0, 2], &[0, 3]]);
+        let mut set = IndexSet::default();
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        r.truncate(2);
+        r.union_with(&rel(&[&[2, 5]]));
+        r.truncate(1); // second cut without an intervening sync
+        r.union_with(&rel(&[&[0, 6]]));
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[0])).unwrap().len(), 2);
+        assert_eq!(set.probe(r.id(), &[0], &t(&[2])).unwrap(), &[] as &[u32]);
     }
 
     #[test]

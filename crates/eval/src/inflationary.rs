@@ -15,15 +15,17 @@
 //!
 //! Two implementations:
 //! * [`inflationary_naive`] — literal transcription of the definition;
-//! * [`inflationary`] — semi-naive delta evaluation. Sound because a ground
-//!   body instance false at `Θ^{n-1}` and true at `Θ^n` must have gained a
-//!   positive IDB tuple: under a growing interpretation, negated literals
-//!   only flip true→false. Rules without positive IDB atoms therefore fire
-//!   only in round one. A `debug_assertions` cross-check recomputes each
-//!   round with the naive step.
+//! * [`inflationary`] — semi-naive delta evaluation via the shared
+//!   [`DeltaDriver`]. Sound because a ground body instance false at
+//!   `Θ^{n-1}` and true at `Θ^n` must have gained a positive IDB tuple:
+//!   under a growing interpretation, negated literals only flip true→false.
+//!   Rules without positive IDB atoms therefore fire only in round one. The
+//!   driver's `debug_assertions` cross-check recomputes each round with the
+//!   naive step.
 
+use crate::driver::DeltaDriver;
 use crate::interp::Interp;
-use crate::operator::{apply, apply_delta, EvalContext};
+use crate::operator::{apply, EvalContext};
 use crate::resolve::CompiledProgram;
 use crate::trace::EvalTrace;
 use crate::Result;
@@ -69,45 +71,16 @@ pub fn inflationary(program: &Program, db: &Database) -> Result<(Interp, EvalTra
 }
 
 /// Semi-naive inflationary iteration over a compiled program.
+///
+/// Instantiates the shared [`DeltaDriver`]: the driver's full first round
+/// is the only round in which rules without positive IDB atoms can add
+/// anything — negations against the *current* state can re-enable nothing
+/// (they only decay) — and its delta rounds are exactly §4's increasing
+/// iteration.
 pub fn inflationary_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> (Interp, EvalTrace) {
     let mut trace = EvalTrace::default();
-
-    // Round 1: full application against the empty interpretation; this is
-    // the only round in which rules without positive IDB atoms can add
-    // anything... except that negations against the *current* state can
-    // re-enable nothing (they only decay), so it is also the last time we
-    // run them.
-    let theta1 = apply(cp, ctx, &cp.empty_interp());
     let mut s = cp.empty_interp();
-    let added1 = s.union_with(&theta1);
-    let mut delta = theta1;
-    if added1 > 0 {
-        trace.record_round(added1);
-    }
-
-    while delta.total_tuples() > 0 {
-        let derived = apply_delta(cp, ctx, &s, &delta, None);
-        let new = derived.difference(&s);
-
-        #[cfg(debug_assertions)]
-        {
-            // Cross-check: the naive round from `s` must add exactly `new`.
-            let naive_new = apply(cp, ctx, &s).difference(&s);
-            debug_assert_eq!(
-                naive_new, new,
-                "semi-naive inflationary round diverged from naive round"
-            );
-        }
-
-        let added = new.total_tuples();
-        if added == 0 {
-            break;
-        }
-        trace.record_round(added);
-        s.union_with(&new);
-        delta = new;
-    }
-
+    DeltaDriver::new(cp).extend(cp, ctx, &mut s, None, None, Some(&mut trace));
     trace.final_tuples = s.total_tuples();
     (s, trace)
 }

@@ -6,7 +6,11 @@
 //! * [`operator`] — the operator Θ itself, over compiled rule plans, with
 //!   synchronous (Jacobi) application and delta-restricted application;
 //! * [`index`] — persistent hash-join indexes, owned by the evaluation
-//!   context and maintained incrementally across Θ applications;
+//!   context and maintained incrementally across Θ applications (and across
+//!   watermark rollbacks of the well-founded engine's decreasing side);
+//! * [`driver`] — the one semi-naive round loop every delta-capable engine
+//!   drives, with reusable scratch buffers and a debug cross-check against
+//!   the naive round;
 //! * [`naive`] / [`seminaive`] — least-fixpoint evaluation of *positive*
 //!   DATALOG programs (the paper's standard semantics);
 //! * [`inflationary()`](inflationary()) — the paper's §4 proposal: Θ̃(S) = S ∪ Θ(S) iterated to
@@ -25,6 +29,7 @@
 //! agreement (naive ≡ semi-naive; inflationary ≡ least fixpoint on positive
 //! programs; stratified model is a fixpoint of Θ) is tested directly.
 
+pub mod driver;
 pub mod error;
 pub mod index;
 pub mod inflationary;
@@ -38,13 +43,15 @@ pub mod stratified;
 pub mod trace;
 pub mod wellfounded;
 
+pub use driver::DeltaDriver;
 pub use error::EvalError;
 pub use index::IndexSet;
 pub use inflationary::{inflationary, inflationary_naive};
 pub use interp::Interp;
 pub use naive::least_fixpoint_naive;
 pub use operator::{
-    apply, apply_delta, apply_subset, apply_with_neg, enumerate_bindings, EvalContext,
+    apply, apply_delta, apply_delta_with_neg, apply_subset, apply_with_neg, enumerate_bindings,
+    EvalContext,
 };
 pub use resolve::{ensure_program_constants, CompiledProgram};
 pub use seminaive::least_fixpoint_seminaive;

@@ -16,7 +16,13 @@
 //!   through a positive IDB atom — negative literals only decay);
 //! * [`apply_with_neg`] — negative IDB literals read a *separate*
 //!   interpretation (the alternating-fixpoint transform Γ of the
-//!   well-founded semantics needs this).
+//!   well-founded semantics needs this);
+//! * [`apply_delta_with_neg`] — both at once: the semi-naive step of Γ.
+//!   With negations frozen, the positivized operator is monotone, so the
+//!   delta argument is exactly the positive-program one.
+//!
+//! The engines do not drive rounds themselves; the shared round loop lives
+//! in [`driver`](crate::driver).
 
 use crate::index::IndexSet;
 use crate::interp::Interp;
@@ -62,13 +68,49 @@ impl EvalContext {
     pub fn num_indexes(&self) -> usize {
         self.indexes.borrow().len()
     }
+
+    /// Removes `t` from `rel` while keeping this context's indexes over it
+    /// consistent (patched in place, not rebuilt). Returns whether the tuple
+    /// was present.
+    ///
+    /// This is the deletion primitive of the incremental well-founded
+    /// engine: the decreasing side loses a handful of tuples per
+    /// alternation, and rebuilding its indexes each time would cost more
+    /// than the alternation itself.
+    pub(crate) fn remove_patched(&self, rel: &mut Relation, t: &Tuple) -> bool {
+        let old_len = rel.len();
+        let Some((removed_pos, moved_from)) = rel.remove_tracked(t) else {
+            return false;
+        };
+        self.indexes
+            .borrow_mut()
+            .patch_swap_remove(rel, t, removed_pos, moved_from, old_len);
+        true
+    }
+}
+
+/// Which plan set of each rule an application executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlanKind {
+    /// The full body plan.
+    Full,
+    /// One delta plan per positive IDB atom occurrence (semi-naive rounds);
+    /// the delta interpretation holds the last round's new tuples.
+    PosDelta,
+    /// One delta plan per negated IDB atom occurrence (the incremental
+    /// alternating fixpoint's restart round); the delta interpretation holds
+    /// the tuples that just *left* the frozen negation context.
+    NegDelta,
 }
 
 /// Options threading through one Θ application.
 struct ApplyOpts<'a> {
     /// Restrict to these rule indices (source order); `None` = all rules.
     rules: Option<&'a [usize]>,
-    /// If set, run delta plans against this delta interpretation.
+    /// Which plan set to execute.
+    plans: PlanKind,
+    /// Resolves [`Source::Delta`] scans (the per-round delta for
+    /// [`PlanKind::PosDelta`], the removed set for [`PlanKind::NegDelta`]).
     delta: Option<&'a Interp>,
     /// If set, negative IDB literals read this interpretation instead of `s`.
     neg: Option<&'a Interp>,
@@ -82,6 +124,7 @@ pub fn apply(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp) -> Interp {
         s,
         &ApplyOpts {
             rules: None,
+            plans: PlanKind::Full,
             delta: None,
             neg: None,
         },
@@ -101,6 +144,7 @@ pub fn apply_subset(
         s,
         &ApplyOpts {
             rules: Some(rules),
+            plans: PlanKind::Full,
             delta: None,
             neg: None,
         },
@@ -123,6 +167,7 @@ pub fn apply_delta(
         s,
         &ApplyOpts {
             rules,
+            plans: PlanKind::PosDelta,
             delta: Some(delta),
             neg: None,
         },
@@ -138,10 +183,79 @@ pub fn apply_with_neg(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, neg: 
         s,
         &ApplyOpts {
             rules: None,
+            plans: PlanKind::Full,
             delta: None,
             neg: Some(neg),
         },
     )
+}
+
+/// Semi-naive step of the well-founded Γ transform: derivations using at
+/// least one `delta` tuple in a positive IDB position, with negative IDB
+/// literals frozen at `neg`.
+///
+/// Sound for the same reason [`apply_delta`] is sound for positive programs:
+/// with the negations frozen at a fixed `neg`, the positivized operator is
+/// **monotone** in `s`, so a ground body instance newly true this round must
+/// have gained a positive IDB tuple — the standard delta argument applies
+/// verbatim. (Rules without positive IDB atoms derive nothing here; the
+/// round driver fires them in its full first round.)
+pub fn apply_delta_with_neg(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    s: &Interp,
+    delta: &Interp,
+    neg: &Interp,
+    rules: Option<&[usize]>,
+) -> Interp {
+    run(
+        cp,
+        ctx,
+        s,
+        &ApplyOpts {
+            rules,
+            plans: PlanKind::PosDelta,
+            delta: Some(delta),
+            neg: Some(neg),
+        },
+    )
+}
+
+/// Fully general Θ application (any combination of rule subset, delta
+/// restriction and frozen negation context), written into a caller-owned
+/// output buffer.
+///
+/// `out` is cleared first ([`Relation::clear`] keeps its allocations), so a
+/// round driver can reuse one scratch interpretation across every round of a
+/// fixpoint instead of allocating fresh relations per application.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_general_into(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    s: &Interp,
+    rules: Option<&[usize]>,
+    plans: PlanKind,
+    delta: Option<&Interp>,
+    neg: Option<&Interp>,
+    out: &mut Interp,
+) {
+    debug_assert_eq!(
+        plans == PlanKind::Full,
+        delta.is_none(),
+        "delta interpretations accompany exactly the delta plan kinds"
+    );
+    run_into(
+        cp,
+        ctx,
+        s,
+        &ApplyOpts {
+            rules,
+            plans,
+            delta,
+            neg,
+        },
+        out,
+    );
 }
 
 /// Enumerates every variable binding that satisfies a plan containing **no
@@ -187,6 +301,89 @@ pub fn enumerate_bindings(plan: &Plan, ctx: &EvalContext) -> Vec<Tuple> {
     rels.pop().expect("one output relation").sorted()
 }
 
+/// Synchronizes the persistent indexes probed by the **check plans** with
+/// the current state of `s` (and the EDB). Call before a batch of
+/// [`derivable`] checks; between batches, only relations that grew need to
+/// be (and are) consumed incrementally.
+pub(crate) fn sync_check_indexes(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp) {
+    let exec = Executor {
+        ctx,
+        s,
+        delta: None,
+        neg: s,
+    };
+    ctx.indexes.borrow_mut().begin_application();
+    for rule in &cp.rules {
+        exec.prepare_plan(&rule.check_plan);
+    }
+}
+
+/// One-step derivability: is `tuple` derivable as IDB predicate `pred` by
+/// some rule instance, with positive IDB atoms read from `s` and negative
+/// IDB literals read from `neg`?
+///
+/// Runs each candidate rule's check plan with the head variables pre-bound
+/// from `tuple`, so body atoms probe the persistent hash-join indexes
+/// (prepare them with [`sync_check_indexes`]) and the search exits on the
+/// first witness. The incremental well-founded engine uses this to confirm
+/// which tuples of the previous `U` survive into the next one.
+pub(crate) fn derivable(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    pred: usize,
+    tuple: &Tuple,
+    s: &Interp,
+    neg: &Interp,
+) -> bool {
+    let exec = Executor {
+        ctx,
+        s,
+        delta: None,
+        neg,
+    };
+    let mut vals: Vec<Const> = Vec::new();
+    let mut bound: Vec<bool> = Vec::new();
+    for rule in cp.rules.iter().filter(|r| r.head_pred == pred) {
+        vals.clear();
+        vals.resize(rule.num_vars, Const(0));
+        bound.clear();
+        bound.resize(rule.num_vars, false);
+        if !unify_head(&rule.head_terms, tuple, &mut vals, &mut bound) {
+            continue;
+        }
+        if exec.probe_steps(&rule.check_plan, 0, &mut vals, &mut bound) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Unifies a rule head against a concrete tuple, binding head variables.
+/// Fails on constant mismatches and on inconsistent repeated variables.
+fn unify_head(head: &[CTerm], tuple: &Tuple, vals: &mut [Const], bound: &mut [bool]) -> bool {
+    debug_assert_eq!(head.len(), tuple.arity());
+    for (term, &c) in head.iter().zip(tuple.items()) {
+        match term {
+            CTerm::Const(k) => {
+                if *k != c {
+                    return false;
+                }
+            }
+            CTerm::Var(v) => {
+                if bound[*v] {
+                    if vals[*v] != c {
+                        return false;
+                    }
+                } else {
+                    vals[*v] = c;
+                    bound[*v] = true;
+                }
+            }
+        }
+    }
+    true
+}
+
 struct Executor<'a> {
     ctx: &'a EvalContext,
     s: &'a Interp,
@@ -196,6 +393,20 @@ struct Executor<'a> {
 
 fn run(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, opts: &ApplyOpts<'_>) -> Interp {
     let mut out = cp.empty_interp();
+    run_into(cp, ctx, s, opts, &mut out);
+    out
+}
+
+fn run_into(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    s: &Interp,
+    opts: &ApplyOpts<'_>,
+    out: &mut Interp,
+) {
+    for i in 0..out.len() {
+        out.get_mut(i).clear();
+    }
     let mut exec = Executor {
         ctx,
         s,
@@ -218,28 +429,26 @@ fn run(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, opts: &ApplyOpts<'_>
     // *reads* the index set, so probes can return borrowed slices.
     ctx.indexes.borrow_mut().begin_application();
     for &ri in selected {
-        let rule = &cp.rules[ri];
-        if opts.delta.is_some() {
-            for plan in &rule.delta_plans {
-                exec.prepare_plan(plan);
-            }
-        } else {
-            exec.prepare_plan(&rule.full_plan);
+        for plan in plans_of(&cp.rules[ri], opts.plans) {
+            exec.prepare_plan(plan);
         }
     }
 
     for &ri in selected {
         let rule = &cp.rules[ri];
-        let head_pred = rule.head_pred;
-        if opts.delta.is_some() {
-            for plan in &rule.delta_plans {
-                exec.run_plan(plan, head_pred, &mut out);
-            }
-        } else {
-            exec.run_plan(&rule.full_plan, head_pred, &mut out);
+        for plan in plans_of(rule, opts.plans) {
+            exec.run_plan(plan, rule.head_pred, out);
         }
     }
-    out
+}
+
+/// The plan set of `rule` that a [`PlanKind`] application executes.
+fn plans_of(rule: &crate::resolve::CompiledRule, kind: PlanKind) -> &[Plan] {
+    match kind {
+        PlanKind::Full => std::slice::from_ref(&rule.full_plan),
+        PlanKind::PosDelta => &rule.delta_plans,
+        PlanKind::NegDelta => &rule.neg_delta_plans,
+    }
 }
 
 impl<'a> Executor<'a> {
@@ -296,11 +505,9 @@ impl<'a> Executor<'a> {
     }
 
     fn build_tuple(&self, terms: &[CTerm], vals: &[Const]) -> Tuple {
-        terms
-            .iter()
-            .map(|t| self.value(t, vals))
-            .collect::<Vec<_>>()
-            .into()
+        // Collects straight into a Tuple: arities ≤ 4 stay inline, so the
+        // executor's innermost head/filter construction never allocates.
+        terms.iter().map(|t| self.value(t, vals)).collect()
     }
 
     #[allow(clippy::too_many_lines)]
@@ -471,6 +678,167 @@ impl<'a> Executor<'a> {
             };
             bound[v] = false;
         }
+    }
+
+    /// Satisfiability probe: does any completion of the current binding
+    /// satisfy the plan's remaining steps? Same semantics as [`step`](Self::step)
+    /// minus head construction, returning on the **first** witness — the
+    /// one-step derivability checks of the incremental well-founded engine
+    /// run entire rule bodies through this.
+    fn probe_steps(
+        &self,
+        plan: &Plan,
+        idx: usize,
+        vals: &mut Vec<Const>,
+        bound: &mut Vec<bool>,
+    ) -> bool {
+        if idx == plan.steps.len() {
+            return true;
+        }
+        match &plan.steps[idx] {
+            Step::Scan {
+                pred,
+                source,
+                terms,
+                key_cols,
+            } => {
+                let rel = self.relation(*pred, *source);
+                let mut binds_mask: u128 = 0;
+                for (col, term) in terms.iter().enumerate() {
+                    if let CTerm::Var(v) = term {
+                        if !bound[*v] && !terms[..col].contains(term) {
+                            binds_mask |= 1 << col;
+                        }
+                    }
+                }
+                let mut found = false;
+                if key_cols.is_empty() {
+                    for ti in 0..rel.dense().len() {
+                        let t = &rel.dense()[ti];
+                        if self.probe_candidate(plan, idx, vals, bound, t, terms, binds_mask) {
+                            found = true;
+                            break;
+                        }
+                    }
+                } else {
+                    let key: Tuple = key_cols
+                        .iter()
+                        .map(|&c| self.value(&terms[c], vals))
+                        .collect();
+                    let indexes = self.ctx.indexes.borrow();
+                    if let Some(postings) = indexes.probe(rel.id(), key_cols, &key) {
+                        for &ti in postings {
+                            let t = &rel.dense()[ti as usize];
+                            if self.probe_candidate(plan, idx, vals, bound, t, terms, binds_mask) {
+                                found = true;
+                                break;
+                            }
+                        }
+                    } else {
+                        drop(indexes);
+                        for ti in 0..rel.dense().len() {
+                            let t = &rel.dense()[ti];
+                            if key_cols.iter().enumerate().any(|(r, &c)| t[c] != key[r]) {
+                                continue;
+                            }
+                            if self.probe_candidate(plan, idx, vals, bound, t, terms, binds_mask) {
+                                found = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Bindings this scan introduced were already unwound by
+                // `probe_candidate`.
+                found
+            }
+            Step::Domain { var } => {
+                let var = *var;
+                bound[var] = true;
+                let mut found = false;
+                for c in 0..self.ctx.universe_size as u32 {
+                    vals[var] = Const(c);
+                    if self.probe_steps(plan, idx + 1, vals, bound) {
+                        found = true;
+                        break;
+                    }
+                }
+                bound[var] = false;
+                found
+            }
+            Step::FilterPos { pred, terms } => {
+                let t = self.build_tuple(terms, vals);
+                self.relation(*pred, Source::Full).contains(&t)
+                    && self.probe_steps(plan, idx + 1, vals, bound)
+            }
+            Step::FilterNeg { pred, terms } => {
+                let t = self.build_tuple(terms, vals);
+                !self.neg_relation(*pred).contains(&t)
+                    && self.probe_steps(plan, idx + 1, vals, bound)
+            }
+            Step::BindEq { var, from } => {
+                let var = *var;
+                vals[var] = self.value(from, vals);
+                bound[var] = true;
+                let found = self.probe_steps(plan, idx + 1, vals, bound);
+                bound[var] = false;
+                found
+            }
+            Step::FilterEq { a, b } => {
+                self.value(a, vals) == self.value(b, vals)
+                    && self.probe_steps(plan, idx + 1, vals, bound)
+            }
+            Step::FilterNeq { a, b } => {
+                self.value(a, vals) != self.value(b, vals)
+                    && self.probe_steps(plan, idx + 1, vals, bound)
+            }
+        }
+    }
+
+    /// [`scan_candidate`](Self::scan_candidate) for probes: unify, recurse,
+    /// unwind; reports whether a witness was found downstream.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_candidate(
+        &self,
+        plan: &Plan,
+        idx: usize,
+        vals: &mut Vec<Const>,
+        bound: &mut Vec<bool>,
+        t: &Tuple,
+        terms: &[CTerm],
+        binds_mask: u128,
+    ) -> bool {
+        let mut ok = true;
+        for (col, term) in terms.iter().enumerate() {
+            match term {
+                CTerm::Const(c) => {
+                    if t[col] != *c {
+                        ok = false;
+                        break;
+                    }
+                }
+                CTerm::Var(v) => {
+                    if binds_mask & (1 << col) != 0 {
+                        vals[*v] = t[col];
+                        bound[*v] = true;
+                    } else if t[col] != vals[*v] {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        let found = ok && self.probe_steps(plan, idx + 1, vals, bound);
+        let mut mask = binds_mask;
+        while mask != 0 {
+            let col = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let CTerm::Var(v) = terms[col] else {
+                unreachable!("binds_mask marks variable positions only")
+            };
+            bound[v] = false;
+        }
+        found
     }
 }
 

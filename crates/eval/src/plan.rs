@@ -186,8 +186,60 @@ pub fn plan_rule(
     num_vars: usize,
     delta_lit: Option<usize>,
 ) -> Plan {
+    plan_rule_inner(head, body, num_vars, delta_lit, false, &[])
+}
+
+/// Builds a plan whose leading scan reads the [`Source::Delta`] relation for
+/// the **negated** IDB atom at body index `neg_lit` — the atom's tuples are
+/// drawn from a *removed set* (tuples that just left the frozen negation
+/// context), its variables bound by unification like any positive scan.
+///
+/// The driven occurrence itself is consumed: a removed tuple is by
+/// definition absent from the negation context, so re-filtering it is a
+/// tautology (other negated occurrences still filter normally). The
+/// incremental well-founded engine uses these plans to run the first round
+/// of `Γ` restricted to derivations that a shrinking `J` newly enables.
+///
+/// # Panics
+/// Panics if `neg_lit` does not refer to a negated IDB atom.
+pub fn plan_rule_neg_delta(
+    head: Vec<CTerm>,
+    body: &[RLit],
+    num_vars: usize,
+    neg_lit: usize,
+) -> Plan {
+    plan_rule_inner(head, body, num_vars, Some(neg_lit), true, &[])
+}
+
+/// Builds a plan with the given variable slots already bound by the caller
+/// (seeded into the executor's binding array before the plan runs).
+///
+/// Used for **check plans**: the head variables are pre-bound from a
+/// candidate head tuple, so the body atoms mentioning them become keyed
+/// scans against the persistent indexes and the plan decides one-step
+/// derivability of that tuple.
+pub fn plan_rule_prebound(
+    head: Vec<CTerm>,
+    body: &[RLit],
+    num_vars: usize,
+    pre_bound: &[usize],
+) -> Plan {
+    plan_rule_inner(head, body, num_vars, None, false, pre_bound)
+}
+
+fn plan_rule_inner(
+    head: Vec<CTerm>,
+    body: &[RLit],
+    num_vars: usize,
+    delta_lit: Option<usize>,
+    delta_is_neg: bool,
+    pre_bound: &[usize],
+) -> Plan {
     let mut steps = Vec::new();
     let mut bound = vec![false; num_vars];
+    for &v in pre_bound {
+        bound[v] = true;
+    }
     let mut remaining: Vec<(usize, &RLit)> = body.iter().enumerate().collect();
 
     let term_bound = |t: &CTerm, bound: &[bool]| match t {
@@ -198,25 +250,24 @@ pub fn plan_rule(
     // Emit the delta scan first: the delta is the smallest relation.
     if let Some(d) = delta_lit {
         let lit = &body[d];
-        match lit {
-            RLit::Pos { pred, terms } => {
-                assert!(
-                    matches!(pred, PredRef::Idb(_)),
-                    "delta literal must be an IDB atom"
-                );
-                steps.push(Step::Scan {
-                    pred: *pred,
-                    source: Source::Delta,
-                    terms: terms.clone(),
-                    key_cols: Vec::new(),
-                });
-                for v in lit.vars() {
-                    bound[v] = true;
-                }
-                remaining.retain(|(i, _)| *i != d);
-            }
-            _ => panic!("delta literal must be a positive atom"),
+        let (pred, terms) = match (lit, delta_is_neg) {
+            (RLit::Pos { pred, terms }, false) | (RLit::Neg { pred, terms }, true) => (pred, terms),
+            _ => panic!("delta literal polarity does not match the requested plan"),
+        };
+        assert!(
+            matches!(pred, PredRef::Idb(_)),
+            "delta literal must be an IDB atom"
+        );
+        steps.push(Step::Scan {
+            pred: *pred,
+            source: Source::Delta,
+            terms: terms.clone(),
+            key_cols: Vec::new(),
+        });
+        for v in lit.vars() {
+            bound[v] = true;
         }
+        remaining.retain(|(i, _)| *i != d);
     }
 
     while !remaining.is_empty() {
@@ -475,6 +526,88 @@ mod tests {
             Step::Scan { key_cols, .. } => assert_eq!(key_cols, &vec![1]),
             other => panic!("expected scan, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn neg_delta_plan_scans_removed_set_first() {
+        // Win(x) <- Move(x,y), !Win(y): the neg-delta plan scans the removed
+        // Win tuples (binding y), then probes Move keyed on its second
+        // column. The driven negation is consumed, not re-filtered.
+        let body = vec![
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(0), v(1)],
+            },
+            RLit::Neg {
+                pred: T,
+                terms: vec![v(1)],
+            },
+        ];
+        let p = plan_rule_neg_delta(vec![v(0)], &body, 2, 1);
+        match &p.steps[0] {
+            Step::Scan { pred, source, .. } => {
+                assert_eq!(*pred, T);
+                assert_eq!(*source, Source::Delta);
+            }
+            other => panic!("expected removed-set scan, got {other:?}"),
+        }
+        match &p.steps[1] {
+            Step::Scan { pred, key_cols, .. } => {
+                assert_eq!(*pred, E);
+                assert_eq!(key_cols, &vec![1]);
+            }
+            other => panic!("expected keyed Move scan, got {other:?}"),
+        }
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn neg_delta_plan_keeps_other_negations_as_filters() {
+        let q = PredRef::Idb(1);
+        let body = vec![
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(0), v(1)],
+            },
+            RLit::Neg {
+                pred: T,
+                terms: vec![v(1)],
+            },
+            RLit::Neg {
+                pred: q,
+                terms: vec![v(0)],
+            },
+        ];
+        let p = plan_rule_neg_delta(vec![v(0)], &body, 2, 1);
+        let neg_filters = p
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::FilterNeg { .. }))
+            .count();
+        assert_eq!(neg_filters, 1, "only the driven occurrence is consumed");
+    }
+
+    #[test]
+    fn prebound_head_vars_key_the_first_scan() {
+        // Check plan for Win(x) <- Move(x,y), !Win(y) with x pre-bound:
+        // Move is scanned keyed on column 0, no Domain steps.
+        let body = vec![
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(0), v(1)],
+            },
+            RLit::Neg {
+                pred: T,
+                terms: vec![v(1)],
+            },
+        ];
+        let p = plan_rule_prebound(vec![v(0)], &body, 2, &[0]);
+        match &p.steps[0] {
+            Step::Scan { key_cols, .. } => assert_eq!(key_cols, &vec![0]),
+            other => panic!("expected keyed scan, got {other:?}"),
+        }
+        assert!(matches!(p.steps[1], Step::FilterNeg { .. }));
+        assert!(!p.steps.iter().any(|s| matches!(s, Step::Domain { .. })));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::error::EvalError;
 use crate::interp::Interp;
-use crate::plan::{plan_rule, CTerm, Plan, PredRef, RLit};
+use crate::plan::{plan_rule, plan_rule_neg_delta, plan_rule_prebound, CTerm, Plan, PredRef, RLit};
 use crate::Result;
 use inflog_core::{Database, Relation};
 use inflog_syntax::{Atom, Literal, Program, Term};
@@ -26,6 +26,14 @@ pub struct CompiledRule {
     pub full_plan: Plan,
     /// Delta plans, one per positive IDB atom occurrence in the body.
     pub delta_plans: Vec<Plan>,
+    /// Neg-delta plans, one per **negated** IDB atom occurrence: the
+    /// occurrence scans a removed set (tuples that just left the frozen
+    /// negation context) instead of filtering. The incremental well-founded
+    /// engine drives `Γ`'s restart rounds with these.
+    pub neg_delta_plans: Vec<Plan>,
+    /// Plan deciding one-step derivability of a given head tuple: the head
+    /// variables are pre-bound, so body atoms probe the persistent indexes.
+    pub check_plan: Plan,
     /// Whether the body contains at least one positive IDB atom. Rules
     /// without one can fire new derivations only in the first round of an
     /// inflationary/semi-naive iteration (their body truth only decays as
@@ -163,6 +171,28 @@ impl CompiledProgram {
                 .iter()
                 .map(|&i| plan_rule(head_terms.clone(), &body, num_vars, Some(i)))
                 .collect();
+            let neg_delta_plans: Vec<Plan> = body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| {
+                    matches!(
+                        l,
+                        RLit::Neg {
+                            pred: PredRef::Idb(_),
+                            ..
+                        }
+                    )
+                })
+                .map(|(i, _)| plan_rule_neg_delta(head_terms.clone(), &body, num_vars, i))
+                .collect();
+            let head_vars: Vec<usize> = head_terms
+                .iter()
+                .filter_map(|t| match t {
+                    CTerm::Var(v) => Some(*v),
+                    CTerm::Const(_) => None,
+                })
+                .collect();
+            let check_plan = plan_rule_prebound(head_terms.clone(), &body, num_vars, &head_vars);
 
             rules.push(CompiledRule {
                 head_pred,
@@ -171,6 +201,8 @@ impl CompiledProgram {
                 full_plan,
                 has_pos_idb: !pos_idb_lits.is_empty(),
                 delta_plans,
+                neg_delta_plans,
+                check_plan,
                 src_index,
                 body,
             });

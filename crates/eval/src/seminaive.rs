@@ -6,9 +6,10 @@
 //! IDB atom occurrence with that occurrence restricted to the delta.
 //! Ablation bench `seminaive.rs` measures the win over naive iteration.
 
+use crate::driver::DeltaDriver;
 use crate::interp::Interp;
 use crate::naive::require_positive;
-use crate::operator::{apply, apply_delta, EvalContext};
+use crate::operator::EvalContext;
 use crate::resolve::CompiledProgram;
 use crate::trace::EvalTrace;
 use crate::Result;
@@ -27,31 +28,17 @@ pub fn least_fixpoint_seminaive(program: &Program, db: &Database) -> Result<(Int
 }
 
 /// Semi-naive iteration over an already-compiled positive program.
+///
+/// The round loop itself lives in [`DeltaDriver::extend`]; this engine is
+/// the trivial instantiation (all rules, standard negation context, cold
+/// start from ∅).
 pub fn least_fixpoint_seminaive_compiled(
     cp: &CompiledProgram,
     ctx: &EvalContext,
 ) -> (Interp, EvalTrace) {
     let mut trace = EvalTrace::default();
-
-    // Round 1: full application from the empty interpretation.
-    let mut s = apply(cp, ctx, &cp.empty_interp());
-    let mut delta = s.clone();
-    if s.total_tuples() > 0 {
-        trace.record_round(s.total_tuples());
-    }
-
-    while delta.total_tuples() > 0 {
-        let derived = apply_delta(cp, ctx, &s, &delta, None);
-        let new = derived.difference(&s);
-        let added = new.total_tuples();
-        if added == 0 {
-            break;
-        }
-        trace.record_round(added);
-        s.union_with(&new);
-        delta = new;
-    }
-
+    let mut s = cp.empty_interp();
+    DeltaDriver::new(cp).extend(cp, ctx, &mut s, None, None, Some(&mut trace));
     trace.final_tuples = s.total_tuples();
     (s, trace)
 }

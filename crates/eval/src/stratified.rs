@@ -13,9 +13,10 @@
 //! the per-stratum operator is monotone and its least fixpoint is reached by
 //! accumulating iteration (semi-naive after the first round).
 
+use crate::driver::DeltaDriver;
 use crate::error::EvalError;
 use crate::interp::Interp;
-use crate::operator::{apply_delta, apply_subset, EvalContext};
+use crate::operator::EvalContext;
 use crate::resolve::CompiledProgram;
 use crate::trace::EvalTrace;
 use crate::Result;
@@ -124,31 +125,16 @@ pub fn stratified_eval_compiled(
     // `s` grows in place across strata and rounds, so the context's
     // persistent hash-join indexes extend incrementally from each round's
     // newly derived tuples — lower strata stay indexed when negations and
-    // joins of higher strata read them.
+    // joins of higher strata read them. Each stratum is one warm-started
+    // call of the shared semi-naive driver: within the stratum the operator
+    // is monotone (negations see lower strata only), so delta iteration
+    // computes its least fixpoint.
+    let mut driver = DeltaDriver::new(cp);
     for rules in &rules_by_stratum {
         if rules.is_empty() {
             continue;
         }
-        // First round of this stratum: full application, accumulate.
-        let derived = apply_subset(cp, ctx, &s, rules);
-        let mut delta = derived.difference(&s);
-        let added = s.union_with(&delta);
-        if added > 0 {
-            trace.record_round(added);
-        }
-        // Then semi-naive rounds until the stratum stabilizes. Within the
-        // stratum the operator is monotone (negations see lower strata
-        // only), so delta iteration computes its least fixpoint.
-        while delta.total_tuples() > 0 {
-            let derived = apply_delta(cp, ctx, &s, &delta, Some(rules));
-            let new = derived.difference(&s);
-            if new.total_tuples() == 0 {
-                break;
-            }
-            trace.record_round(new.total_tuples());
-            s.union_with(&new);
-            delta = new;
-        }
+        driver.extend(cp, ctx, &mut s, Some(rules), None, Some(&mut trace));
     }
 
     trace.final_tuples = s.total_tuples();
