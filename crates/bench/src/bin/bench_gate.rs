@@ -11,17 +11,23 @@
 //!
 //! Suites present on only one side are reported but do not fail the gate
 //! (new suites have no baseline yet; retired suites have no fresh number).
+//! Entries are keyed by `(name, threads)` — `bench_report --threads 1,4`
+//! writes one entry per worker-thread count, and a single-thread baseline
+//! must never be compared against a multi-thread fresh number (or vice
+//! versa); entries without a `threads` field count as single-threaded.
 //! The JSON is parsed with a purpose-built scanner for the report's own
 //! schema — the workspace is dependency-free by design.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Extracts `name → (params, tuples_per_sec)` from a `BENCH_eval.json`
-/// document. The params string identifies the workload: two reports are
-/// only comparable suite-by-suite where the params agree (the quick and
-/// standard grids measure different workload sizes).
-fn parse_report(text: &str) -> BTreeMap<String, (String, f64)> {
+/// Extracts `(name, threads) → (params, tuples_per_sec)` from a
+/// `BENCH_eval.json` document. The params string identifies the workload:
+/// two reports are only comparable suite-by-suite where the params agree
+/// (the quick and standard grids measure different workload sizes), and
+/// only at the same worker-thread count. Pre-threading reports carry no
+/// `threads` field; they count as single-threaded.
+fn parse_report(text: &str) -> BTreeMap<(String, u64), (String, f64)> {
     let mut out = BTreeMap::new();
     for line in text.lines() {
         let Some(name) = field_str(line, "name") else {
@@ -33,7 +39,9 @@ fn parse_report(text: &str) -> BTreeMap<String, (String, f64)> {
         let Some(tps) = field_num(line, "tuples_per_sec") else {
             continue;
         };
-        out.insert(name, (params, tps));
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let threads = field_num(line, "threads").map_or(1, |t| t as u64);
+        out.insert((name, threads), (params, tps));
     }
     out
 }
@@ -80,22 +88,22 @@ fn main() -> ExitCode {
     assert!(!fresh.is_empty(), "no suites found in {fresh_path}");
 
     println!(
-        "{:<26} {:>14} {:>14} {:>7}  verdict",
-        "suite", "baseline t/s", "fresh t/s", "ratio"
+        "{:<26} {:>3} {:>14} {:>14} {:>7}  verdict",
+        "suite", "thr", "baseline t/s", "fresh t/s", "ratio"
     );
     let mut failed = false;
     let mut compared = 0usize;
-    for (name, (base_params, base_tps)) in &baseline {
-        let Some((fresh_params, fresh_tps)) = fresh.get(name) else {
+    for ((name, threads), (base_params, base_tps)) in &baseline {
+        let Some((fresh_params, fresh_tps)) = fresh.get(&(name.clone(), *threads)) else {
             println!(
-                "{name:<26} {base_tps:>14.0} {:>14} {:>7}  retired (skip)",
+                "{name:<26} {threads:>3} {base_tps:>14.0} {:>14} {:>7}  retired (skip)",
                 "-", "-"
             );
             continue;
         };
         if fresh_params != base_params {
             println!(
-                "{name:<26} {base_tps:>14.0} {fresh_tps:>14.0} {:>7}  params differ (skip)",
+                "{name:<26} {threads:>3} {base_tps:>14.0} {fresh_tps:>14.0} {:>7}  params differ (skip)",
                 "-"
             );
             continue;
@@ -108,12 +116,14 @@ fn main() -> ExitCode {
         } else {
             "ok"
         };
-        println!("{name:<26} {base_tps:>14.0} {fresh_tps:>14.0} {ratio:>6.2}x  {verdict}");
+        println!(
+            "{name:<26} {threads:>3} {base_tps:>14.0} {fresh_tps:>14.0} {ratio:>6.2}x  {verdict}"
+        );
     }
-    for (name, (_, fresh_tps)) in &fresh {
-        if !baseline.contains_key(name) {
+    for ((name, threads), (_, fresh_tps)) in &fresh {
+        if !baseline.contains_key(&(name.clone(), *threads)) {
             println!(
-                "{name:<26} {:>14} {fresh_tps:>14.0} {:>7}  new (skip)",
+                "{name:<26} {threads:>3} {:>14} {fresh_tps:>14.0} {:>7}  new (skip)",
                 "-", "-"
             );
         }
@@ -124,6 +134,24 @@ fn main() -> ExitCode {
         // workload-size bump in bench_report without a regenerated baseline
         // must not silently turn the regression check off.
         println!("\nbench gate FAILED: no suite was comparable (params/baseline out of date?)");
+        return ExitCode::FAILURE;
+    }
+    // A whole thread-count curve disappearing from the fresh report (e.g.
+    // the CI bench step losing its `--threads 1,4`) must fail, not pass
+    // via the surviving curve: per-suite retirement is tolerated above, but
+    // the baseline's thread grid is part of the contract.
+    let curve = |m: &BTreeMap<(String, u64), (String, f64)>| -> std::collections::BTreeSet<u64> {
+        m.keys().map(|(_, t)| *t).collect()
+    };
+    let missing: Vec<u64> = curve(&baseline)
+        .difference(&curve(&fresh))
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        println!(
+            "\nbench gate FAILED: baseline has thread count(s) {missing:?} with no fresh entries \
+             (bench_report missing --threads?)"
+        );
         return ExitCode::FAILURE;
     }
     if failed {

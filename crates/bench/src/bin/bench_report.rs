@@ -11,15 +11,24 @@
 //! cargo run --release -p inflog-bench --bin bench_report            # standard grid
 //! cargo run --release -p inflog-bench --bin bench_report -- --quick # CI-sized grid
 //! cargo run --release -p inflog-bench --bin bench_report -- --out path.json
+//! cargo run --release -p inflog-bench --bin bench_report -- --threads 1,4
 //! ```
 //!
 //! Every suite derives its inputs from fixed seeds, so two runs on the same
 //! machine measure the same workload. Timings are wall-clock (`Instant`),
 //! with one untimed warm-up iteration per suite.
+//!
+//! `--threads` runs the grid once per listed worker-thread count (default
+//! `1`) and records a `threads` field in every entry; `bench_gate` matches
+//! entries on `(name, params, threads)`, so single- and multi-thread
+//! baselines never get compared against each other. Engines without a
+//! parallel path (naive iteration, grounding) are measured only at
+//! `threads = 1`.
 
 use inflog::core::graphs::DiGraph;
 use inflog::eval::{
-    inflationary, least_fixpoint_naive, least_fixpoint_seminaive, stratified_eval, well_founded,
+    inflationary_with, least_fixpoint_naive, least_fixpoint_seminaive_with, stratified_eval_with,
+    well_founded_with, EvalOptions,
 };
 use inflog::fixpoint::GroundProgram;
 use inflog::reductions::programs::{distance_program, pi3_tc};
@@ -33,6 +42,7 @@ use std::time::Instant;
 struct BenchResult {
     name: &'static str,
     params: String,
+    threads: usize,
     iters: u32,
     wall_ns: u128,
     tuples: usize,
@@ -50,6 +60,7 @@ impl BenchResult {
 fn bench(
     name: &'static str,
     params: String,
+    threads: usize,
     iters: u32,
     mut f: impl FnMut() -> usize,
 ) -> BenchResult {
@@ -62,6 +73,7 @@ fn bench(
     BenchResult {
         name,
         params,
+        threads,
         iters,
         wall_ns,
         tuples,
@@ -77,6 +89,17 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json").into());
+    let thread_counts: Vec<usize> = match args.iter().position(|a| a == "--threads") {
+        None => vec![1],
+        // A dangling flag must fail loudly: silently falling back to the
+        // single-thread grid would quietly disable the multi-thread gate.
+        Some(i) => args
+            .get(i + 1)
+            .expect("--threads requires a value, e.g. --threads 1,4")
+            .split(',')
+            .map(|t| t.trim().parse().expect("--threads takes e.g. 1,4"))
+            .collect(),
+    };
 
     let (tc_n, tc_gnp_n, naive_n, dist_n, ground_n, wf_n, wf_gnp_n, infneg_n, strat_n, iters) =
         if quick {
@@ -131,81 +154,122 @@ fn main() {
     };
     let strat_db = DiGraph::path(strat_n).to_database("E");
 
-    let results = vec![
-        bench("seminaive_tc_path", format!("n={tc_n}"), iters, || {
-            least_fixpoint_seminaive(&tc, &path_db)
-                .expect("positive")
-                .1
-                .final_tuples
-        }),
-        bench(
-            "seminaive_tc_gnp",
-            format!("n={tc_gnp_n},p=0.08,seed=7"),
+    let mut results = Vec::new();
+    for &threads in &thread_counts {
+        let opts = EvalOptions::with_threads(threads);
+        results.push(bench(
+            "seminaive_tc_path",
+            format!("n={tc_n}"),
+            threads,
             iters,
             || {
-                least_fixpoint_seminaive(&tc, &gnp_db)
+                least_fixpoint_seminaive_with(&tc, &path_db, &opts)
                     .expect("positive")
                     .1
                     .final_tuples
             },
-        ),
-        bench("naive_tc_path", format!("n={naive_n}"), iters, || {
-            least_fixpoint_naive(&tc, &naive_db)
-                .expect("positive")
-                .1
-                .final_tuples
-        }),
-        bench(
+        ));
+        results.push(bench(
+            "seminaive_tc_gnp",
+            format!("n={tc_gnp_n},p=0.08,seed=7"),
+            threads,
+            iters,
+            || {
+                least_fixpoint_seminaive_with(&tc, &gnp_db, &opts)
+                    .expect("positive")
+                    .1
+                    .final_tuples
+            },
+        ));
+        if threads == 1 {
+            // The naive engine and the grounder have no parallel path.
+            results.push(bench(
+                "naive_tc_path",
+                format!("n={naive_n}"),
+                threads,
+                iters,
+                || {
+                    least_fixpoint_naive(&tc, &naive_db)
+                        .expect("positive")
+                        .1
+                        .final_tuples
+                },
+            ));
+            results.push(bench(
+                "grounding_distance",
+                format!("n={ground_n}"),
+                threads,
+                iters,
+                || {
+                    GroundProgram::build(&dist, &ground_db)
+                        .expect("compiles")
+                        .num_bodies()
+                },
+            ));
+        }
+        results.push(bench(
             "inflationary_distance",
             format!("n={dist_n}"),
-            iters,
-            || inflationary(&dist, &dist_db).expect("total").1.final_tuples,
-        ),
-        bench("grounding_distance", format!("n={ground_n}"), iters, || {
-            GroundProgram::build(&dist, &ground_db)
-                .expect("compiles")
-                .num_bodies()
-        }),
-        bench("wellfounded_win_move", format!("n={wf_n}"), iters, || {
-            let m = well_founded(&win, &wf_db).expect("total semantics");
-            m.true_facts.total_tuples() + m.undefined.total_tuples()
-        }),
-        bench(
-            "wellfounded_win_move_gnp",
-            format!("n={wf_gnp_n},p=0.04,seed=11"),
+            threads,
             iters,
             || {
-                let m = well_founded(&win_reach, &wf_gnp_db).expect("well-founded is total");
-                m.true_facts.total_tuples() + m.undefined.total_tuples()
-            },
-        ),
-        bench(
-            "inflationary_negation_gnp",
-            format!("n={infneg_n},p=0.05,seed=13"),
-            iters,
-            || {
-                inflationary(&inf_neg, &inf_neg_db)
+                inflationary_with(&dist, &dist_db, &opts)
                     .expect("total")
                     .1
                     .final_tuples
             },
-        ),
-        bench(
-            "stratified_tc_complement",
-            format!("n={strat_n}"),
+        ));
+        results.push(bench(
+            "wellfounded_win_move",
+            format!("n={wf_n}"),
+            threads,
             iters,
             || {
-                stratified_eval(&tc_comp, &strat_db)
+                let m = well_founded_with(&win, &wf_db, &opts).expect("total semantics");
+                m.true_facts.total_tuples() + m.undefined.total_tuples()
+            },
+        ));
+        results.push(bench(
+            "wellfounded_win_move_gnp",
+            format!("n={wf_gnp_n},p=0.04,seed=11"),
+            threads,
+            iters,
+            || {
+                let m = well_founded_with(&win_reach, &wf_gnp_db, &opts)
+                    .expect("well-founded is total");
+                m.true_facts.total_tuples() + m.undefined.total_tuples()
+            },
+        ));
+        results.push(bench(
+            "inflationary_negation_gnp",
+            format!("n={infneg_n},p=0.05,seed=13"),
+            threads,
+            iters,
+            || {
+                inflationary_with(&inf_neg, &inf_neg_db, &opts)
+                    .expect("total")
+                    .1
+                    .final_tuples
+            },
+        ));
+        results.push(bench(
+            "stratified_tc_complement",
+            format!("n={strat_n}"),
+            threads,
+            iters,
+            || {
+                stratified_eval_with(&tc_comp, &strat_db, &opts)
                     .expect("stratified")
                     .1
                     .final_tuples
             },
-        ),
-    ];
+        ));
+    }
 
     let mut table = Table::new(&[
         "bench",
         "params",
+        "threads",
         "iters",
         "wall_ms",
         "tuples",
@@ -215,6 +279,7 @@ fn main() {
         table.row_strings(vec![
             r.name.to_owned(),
             r.params.clone(),
+            r.threads.to_string(),
             r.iters.to_string(),
             format!("{:.2}", r.wall_ns as f64 / 1e6),
             r.tuples.to_string(),
@@ -239,9 +304,10 @@ fn render_json(results: &[BenchResult], quick: bool) -> String {
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"params\": \"{}\", \"ops\": {}, \"wall_ns\": {}, \"tuples\": {}, \"tuples_per_sec\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"params\": \"{}\", \"threads\": {}, \"ops\": {}, \"wall_ns\": {}, \"tuples\": {}, \"tuples_per_sec\": {:.1}}}{}\n",
             r.name,
             r.params,
+            r.threads,
             r.iters,
             r.wall_ns,
             r.tuples,

@@ -1,10 +1,10 @@
 //! Finite `k`-ary relations on the universe, with set algebra and indexing.
 
 use crate::tuple::{Const, Tuple};
-use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Mutex;
 
 /// Slot marker: never occupied.
 const EMPTY: u32 = u32::MAX;
@@ -68,7 +68,13 @@ pub struct Relation {
     last_truncate_len: usize,
     /// Cached lexicographic order (indices into `tuples`); cleared on
     /// mutation so `sorted()` only re-sorts relations that changed.
-    sorted_cache: RefCell<Option<Vec<u32>>>,
+    ///
+    /// A `Mutex` rather than a `RefCell` so that `Relation` is [`Sync`]:
+    /// parallel evaluation rounds share relations read-only across worker
+    /// threads. Every mutation path holds `&mut self` and clears the cache
+    /// through the lock-free [`Mutex::get_mut`]; only [`sorted`](Self::sorted)
+    /// (display/tests, never an evaluation hot path) actually locks.
+    sorted_cache: Mutex<Option<Vec<u32>>>,
 }
 
 impl Relation {
@@ -82,7 +88,7 @@ impl Relation {
             id: next_relation_id(),
             shrink_epoch: 0,
             last_truncate_len: 0,
-            sorted_cache: RefCell::new(None),
+            sorted_cache: Mutex::new(None),
         }
     }
 
@@ -179,7 +185,7 @@ impl Relation {
         }
         self.shrink_epoch += 1;
         self.last_truncate_len = len;
-        self.sorted_cache.borrow_mut().take();
+        self.clear_sorted_cache();
         if len == 0 {
             self.tuples.clear();
             self.slots.fill(EMPTY);
@@ -221,7 +227,7 @@ impl Relation {
         }
         self.shrink_epoch += 1;
         self.last_truncate_len = len;
-        self.sorted_cache.borrow_mut().take();
+        self.clear_sorted_cache();
         let suffix = self.tuples.split_off(len);
         if len == 0 {
             self.slots.fill(EMPTY);
@@ -320,7 +326,7 @@ impl Relation {
                 }
                 self.slots[slot] = self.tuples.len() as u32;
                 self.tuples.push(t);
-                self.sorted_cache.borrow_mut().take();
+                self.clear_sorted_cache();
                 true
             }
         }
@@ -352,7 +358,7 @@ impl Relation {
             self.slots[s] = idx as u32;
         }
         self.id = next_relation_id();
-        self.sorted_cache.borrow_mut().take();
+        self.clear_sorted_cache();
         true
     }
 
@@ -390,7 +396,7 @@ impl Relation {
             }
             self.slots[s] = idx as u32;
         }
-        self.sorted_cache.borrow_mut().take();
+        self.clear_sorted_cache();
         Some((idx, moved_from))
     }
 
@@ -404,12 +410,25 @@ impl Relation {
         self.tuples.iter()
     }
 
+    /// Drops the cached sort order (every mutation path calls this). Holding
+    /// `&mut self` means no other thread can be probing the cache, so the
+    /// uncontended [`Mutex::get_mut`] access compiles to a plain store.
+    fn clear_sorted_cache(&mut self) {
+        *self
+            .sorted_cache
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    }
+
     /// Returns the tuples sorted lexicographically (deterministic output for
     /// display, hashing into SAT variables, and tests).
     ///
     /// The sort order is cached and reused until the relation changes.
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut cache = self.sorted_cache.borrow_mut();
+        let mut cache = self
+            .sorted_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let order = cache.get_or_insert_with(|| {
             let mut idx: Vec<u32> = (0..self.tuples.len() as u32).collect();
             idx.sort_unstable_by(|&a, &b| self.tuples[a as usize].cmp(&self.tuples[b as usize]));
@@ -547,7 +566,12 @@ impl Clone for Relation {
             id: next_relation_id(),
             shrink_epoch: 0,
             last_truncate_len: 0,
-            sorted_cache: RefCell::new(self.sorted_cache.borrow().clone()),
+            sorted_cache: Mutex::new(
+                self.sorted_cache
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone(),
+            ),
         }
     }
 }
@@ -597,6 +621,16 @@ mod tests {
 
     fn rel(arity: usize, ts: &[&[u32]]) -> Relation {
         Relation::from_tuples(arity, ts.iter().map(|ids| t(ids)))
+    }
+
+    #[test]
+    fn relation_is_send_and_sync() {
+        // Parallel evaluation rounds share relations read-only across
+        // worker threads; this fails to compile if an interior-mutability
+        // change ever takes `Sync` away again.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Relation>();
+        assert_send_sync::<Tuple>();
     }
 
     #[test]

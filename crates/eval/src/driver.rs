@@ -39,6 +39,7 @@
 
 use crate::interp::Interp;
 use crate::operator::{apply_general_into, EvalContext, PlanKind};
+use crate::options::EvalOptions;
 use crate::resolve::CompiledProgram;
 use crate::trace::EvalTrace;
 
@@ -53,14 +54,25 @@ pub struct DeltaDriver {
     derived: Interp,
     /// Per-round delta read back off `s`'s dense suffix.
     delta: Interp,
+    /// Parallel-executor knobs forwarded to every Θ application this driver
+    /// issues; rounds below the threshold stay sequential automatically.
+    opts: EvalOptions,
 }
 
 impl DeltaDriver {
-    /// Builds a driver with scratch buffers shaped for `cp`'s IDB arities.
+    /// Builds a driver with scratch buffers shaped for `cp`'s IDB arities,
+    /// using [`EvalOptions::default`] (sequential unless the environment
+    /// says otherwise).
     pub fn new(cp: &CompiledProgram) -> Self {
+        DeltaDriver::with_options(cp, EvalOptions::default())
+    }
+
+    /// Builds a driver with explicit evaluation options.
+    pub fn with_options(cp: &CompiledProgram, opts: EvalOptions) -> Self {
         DeltaDriver {
             derived: cp.empty_interp(),
             delta: cp.empty_interp(),
+            opts,
         }
     }
 
@@ -98,6 +110,7 @@ impl DeltaDriver {
             None,
             frozen_neg,
             &mut self.derived,
+            &self.opts,
         );
         self.drain_rounds(cp, ctx, s, rules, frozen_neg, trace)
     }
@@ -135,6 +148,7 @@ impl DeltaDriver {
             Some(removed),
             Some(frozen_neg),
             &mut self.derived,
+            &self.opts,
         );
         #[cfg(debug_assertions)]
         self.cross_check_against_naive_round(cp, ctx, s, None, Some(frozen_neg));
@@ -168,6 +182,7 @@ impl DeltaDriver {
                 Some(&self.delta),
                 frozen_neg,
                 &mut self.derived,
+                &self.opts,
             );
             #[cfg(debug_assertions)]
             self.cross_check_against_naive_round(cp, ctx, s, rules, frozen_neg);
@@ -199,6 +214,7 @@ impl DeltaDriver {
             None,
             frozen_neg,
             &mut full,
+            &EvalOptions::sequential(),
         );
         debug_assert_eq!(
             full.difference(s),
@@ -312,6 +328,52 @@ mod tests {
             }
             assert_eq!(s, naive, "J = {j_members:?}");
         }
+    }
+
+    #[test]
+    fn empty_delta_early_exit_runs_no_delta_round() {
+        // Re-extending at a fixpoint with every round forced parallel must
+        // issue exactly one (full) application and exit on the empty delta
+        // — no delta round, hence no extra fork.
+        let db = DiGraph::path(20).to_database("E");
+        let (cp, ctx) = setup(TC, &db);
+        let mut driver = DeltaDriver::with_options(
+            &cp,
+            EvalOptions {
+                threads: 4,
+                parallel_threshold: 0,
+            },
+        );
+        let mut s = cp.empty_interp();
+        driver.extend(&cp, &ctx, &mut s, None, None, None);
+        let at_fixpoint = ctx.parallel_applications();
+        assert!(at_fixpoint > 0, "forced-parallel rounds must have forked");
+        let again = driver.extend(&cp, &ctx, &mut s, None, None, None);
+        assert_eq!(again, 0);
+        assert_eq!(
+            ctx.parallel_applications() - at_fixpoint,
+            1,
+            "only the full re-check application may run at a fixpoint"
+        );
+    }
+
+    #[test]
+    fn auto_mode_never_forks_below_the_threshold() {
+        // Tiny workload, 4 requested threads, default threshold: every
+        // round falls back to sequential execution — and still computes the
+        // right fixpoint.
+        let db = DiGraph::path(6).to_database("E");
+        let (cp, ctx) = setup(TC, &db);
+        let mut driver = DeltaDriver::with_options(&cp, EvalOptions::with_threads(4));
+        let mut s = cp.empty_interp();
+        driver.extend(&cp, &ctx, &mut s, None, None, None);
+        assert_eq!(
+            ctx.parallel_applications(),
+            0,
+            "auto mode must not spawn threads for tiny rounds"
+        );
+        let (lfp, _) = least_fixpoint_naive(&parse_program(TC).unwrap(), &db).unwrap();
+        assert_eq!(s, lfp);
     }
 
     #[test]

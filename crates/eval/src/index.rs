@@ -208,6 +208,61 @@ impl IndexSet {
         });
     }
 
+    /// Invariant check: every surviving index over `rel` is **sorted and
+    /// complete** — each bucket's postings are strictly ascending positions
+    /// below the watermark, and every indexed dense position appears in
+    /// exactly the bucket of its key projection.
+    ///
+    /// The parallel round executor reads postings concurrently and merges
+    /// worker output by position order, so a posting that went stale or out
+    /// of order after a [`patch_swap_remove`](Self::patch_swap_remove) or a
+    /// `shrink_epoch` rollback would silently drop or misorder join
+    /// matches. The sweep is `O(total postings)`, so it runs per *batch* of
+    /// patches, not per patch (the incremental well-founded engine
+    /// validates once per alternation in debug builds); tests call it
+    /// directly around rollback + parallel-round sequences.
+    ///
+    /// # Panics
+    /// Panics if any index over `rel` violates the invariant.
+    pub fn debug_validate(&self, rel: &Relation) {
+        for (&(rel_id, _), ix) in &self.indexes {
+            if rel_id != rel.id() {
+                continue;
+            }
+            assert!(
+                ix.upto <= rel.dense().len(),
+                "index watermark {} beyond relation length {}",
+                ix.upto,
+                rel.dense().len()
+            );
+            let mut covered = 0usize;
+            for (key, postings) in &ix.map {
+                assert!(
+                    postings.windows(2).all(|w| w[0] < w[1]),
+                    "postings for key {key} are not strictly ascending"
+                );
+                for &p in postings {
+                    assert!(
+                        (p as usize) < ix.upto,
+                        "posting {p} at/after watermark {}",
+                        ix.upto
+                    );
+                    assert_eq!(
+                        &rel.dense()[p as usize].project(&ix.cols),
+                        key,
+                        "posting {p} filed under the wrong key"
+                    );
+                }
+                covered += postings.len();
+            }
+            assert_eq!(
+                covered, ix.upto,
+                "index covers {covered} positions but watermark is {}",
+                ix.upto
+            );
+        }
+    }
+
     /// Probes the index of `(rel_id, cols)` for a key: the dense positions
     /// of the matching tuples, borrowed — no clone.
     ///
@@ -385,6 +440,53 @@ mod tests {
         set.ensure(&r, &[0]);
         assert_eq!(set.probe(r.id(), &[0], &t(&[0])).unwrap().len(), 2);
         assert_eq!(set.probe(r.id(), &[0], &t(&[2])).unwrap(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn validate_passes_after_patch_and_rollback_sequences() {
+        // Interleave growth, tracked removals and truncation rollbacks; the
+        // postings must stay sorted and complete at every step — this is
+        // what lets a parallel round trust posting order right after the
+        // incremental well-founded engine's patch/rollback paths.
+        let mut r = rel(&[&[0, 1], &[0, 2], &[1, 3], &[0, 4], &[2, 5]]);
+        let mut set = IndexSet::default();
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        set.debug_validate(&r);
+        // Tracked removal in the middle: swap-remove patch.
+        let old_len = r.len();
+        let (rp, mp) = r.remove_tracked(&t(&[0, 2])).unwrap();
+        set.patch_swap_remove(&r, &t(&[0, 2]), rp, mp, old_len);
+        set.debug_validate(&r);
+        // Rollback to a watermark, then regrow and resync.
+        let w = r.len();
+        r.union_with(&rel(&[&[0, 6], &[1, 7]]));
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        r.truncate(w);
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        set.debug_validate(&r);
+        // Another tracked removal right after the rollback.
+        let old_len = r.len();
+        let (rp, mp) = r.remove_tracked(&t(&[2, 5])).unwrap();
+        set.patch_swap_remove(&r, &t(&[2, 5]), rp, mp, old_len);
+        set.debug_validate(&r);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong key")]
+    fn validate_catches_corrupted_postings() {
+        let mut r = rel(&[&[0, 1], &[1, 2]]);
+        let mut set = IndexSet::default();
+        set.begin_application();
+        set.ensure(&r, &[0]);
+        // Corrupt the relation out from under the index: swap-remove
+        // without patching, then regrow to the old length — the postings
+        // now point at tuples filed under stale keys.
+        r.remove_tracked(&t(&[0, 1])).unwrap();
+        r.insert(t(&[5, 5]));
+        set.debug_validate(&r);
     }
 
     #[test]

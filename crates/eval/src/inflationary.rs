@@ -26,6 +26,7 @@
 use crate::driver::DeltaDriver;
 use crate::interp::Interp;
 use crate::operator::{apply, EvalContext};
+use crate::options::EvalOptions;
 use crate::resolve::CompiledProgram;
 use crate::trace::EvalTrace;
 use crate::Result;
@@ -60,14 +61,29 @@ pub fn inflationary_naive_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> (
     (s, trace)
 }
 
-/// Computes `Θ^∞` semi-naively (the default engine).
+/// Computes `Θ^∞` semi-naively (the default engine), with
+/// [`EvalOptions::default`] (sequential unless the environment overrides).
 ///
 /// # Errors
 /// Compilation errors only — inflationary semantics is total.
 pub fn inflationary(program: &Program, db: &Database) -> Result<(Interp, EvalTrace)> {
+    inflationary_with(program, db, &EvalOptions::default())
+}
+
+/// [`inflationary`] with explicit evaluation options — e.g. a worker-thread
+/// count for the parallel round executor. The result is bit-identical for
+/// every thread count.
+///
+/// # Errors
+/// Compilation errors only — inflationary semantics is total.
+pub fn inflationary_with(
+    program: &Program,
+    db: &Database,
+    opts: &EvalOptions,
+) -> Result<(Interp, EvalTrace)> {
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    Ok(inflationary_compiled(&cp, &ctx))
+    Ok(inflationary_compiled_with(&cp, &ctx, opts))
 }
 
 /// Semi-naive inflationary iteration over a compiled program.
@@ -78,9 +94,25 @@ pub fn inflationary(program: &Program, db: &Database) -> Result<(Interp, EvalTra
 /// (they only decay) — and its delta rounds are exactly §4's increasing
 /// iteration.
 pub fn inflationary_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> (Interp, EvalTrace) {
+    inflationary_compiled_with(cp, ctx, &EvalOptions::default())
+}
+
+/// [`inflationary_compiled`] with explicit evaluation options.
+pub fn inflationary_compiled_with(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    opts: &EvalOptions,
+) -> (Interp, EvalTrace) {
     let mut trace = EvalTrace::default();
     let mut s = cp.empty_interp();
-    DeltaDriver::new(cp).extend(cp, ctx, &mut s, None, None, Some(&mut trace));
+    DeltaDriver::with_options(cp, opts.clone()).extend(
+        cp,
+        ctx,
+        &mut s,
+        None,
+        None,
+        Some(&mut trace),
+    );
     trace.final_tuples = s.total_tuples();
     (s, trace)
 }

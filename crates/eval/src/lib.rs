@@ -11,6 +11,10 @@
 //! * [`driver`] — the one semi-naive round loop every delta-capable engine
 //!   drives, with reusable scratch buffers and a debug cross-check against
 //!   the naive round;
+//! * [`options`] — per-evaluation knobs, notably the worker-thread count of
+//!   the parallel round executor (rounds over a size threshold shard their
+//!   work across `std::thread::scope` workers and merge deterministically —
+//!   results are bit-identical to sequential evaluation at any count);
 //! * [`naive`] / [`seminaive`] — least-fixpoint evaluation of *positive*
 //!   DATALOG programs (the paper's standard semantics);
 //! * [`inflationary()`](inflationary()) — the paper's §4 proposal: Θ̃(S) = S ∪ Θ(S) iterated to
@@ -36,6 +40,7 @@ pub mod inflationary;
 pub mod interp;
 pub mod naive;
 pub mod operator;
+pub mod options;
 pub mod plan;
 pub mod resolve;
 pub mod seminaive;
@@ -46,18 +51,19 @@ pub mod wellfounded;
 pub use driver::DeltaDriver;
 pub use error::EvalError;
 pub use index::IndexSet;
-pub use inflationary::{inflationary, inflationary_naive};
+pub use inflationary::{inflationary, inflationary_naive, inflationary_with};
 pub use interp::Interp;
 pub use naive::least_fixpoint_naive;
 pub use operator::{
     apply, apply_delta, apply_delta_with_neg, apply_subset, apply_with_neg, enumerate_bindings,
     EvalContext,
 };
+pub use options::EvalOptions;
 pub use resolve::{ensure_program_constants, CompiledProgram};
-pub use seminaive::least_fixpoint_seminaive;
-pub use stratified::{stratified_eval, stratify, Stratification};
+pub use seminaive::{least_fixpoint_seminaive, least_fixpoint_seminaive_with};
+pub use stratified::{stratified_eval, stratified_eval_with, stratify, Stratification};
 pub use trace::EvalTrace;
-pub use wellfounded::{well_founded, WellFoundedModel};
+pub use wellfounded::{well_founded, well_founded_with, WellFoundedModel};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EvalError>;

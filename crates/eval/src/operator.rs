@@ -21,16 +21,40 @@
 //!   With negations frozen, the positivized operator is monotone, so the
 //!   delta argument is exactly the positive-program one.
 //!
+//! # Parallel application
+//!
+//! One Θ application is embarrassingly parallel: within a round every plan
+//! reads the *same* frozen inputs (`s`, the delta, the EDB, the persistent
+//! indexes) and only emits head tuples. [`apply_general_into`] therefore
+//! executes large applications across worker threads: the outermost loop of
+//! each plan — for delta plans the delta scan, which the planner places
+//! first — is split into contiguous ranges, the `(rule, plan, range)` tasks
+//! run under [`std::thread::scope`] with a work-stealing cursor, each task
+//! deduplicates into its own scratch relation, and the scratch relations
+//! are merged **in task order**. Because tasks are order-contiguous
+//! segments of the sequential iteration, first occurrences survive the
+//! merge in exactly the sequential order: the output is bit-identical to a
+//! sequential application — same tuples, same insertion order — for every
+//! thread count. Small applications (see
+//! [`EvalOptions::parallel_threshold`]) skip the fork entirely.
+//!
+//! During a round the [`IndexSet`] is read-only (a single read guard is
+//! taken after plan preparation and shared by every worker); incremental
+//! index extension happens strictly between rounds, under the write lock of
+//! [`IndexSet::begin_application`]-time preparation.
+//!
 //! The engines do not drive rounds themselves; the shared round loop lives
 //! in [`driver`](crate::driver).
 
 use crate::index::IndexSet;
 use crate::interp::Interp;
+use crate::options::EvalOptions;
 use crate::plan::{CTerm, Plan, PredRef, Source, Step};
 use crate::resolve::CompiledProgram;
 use crate::Result;
 use inflog_core::{Const, Database, Relation, Tuple};
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError, RwLock};
 
 /// Evaluation context: materialized EDB relations, the universe size, and
 /// the persistent hash-join indexes.
@@ -39,16 +63,26 @@ use std::cell::RefCell;
 /// [`IndexSet`] it owns persists across Θ applications: EDB indexes are
 /// built exactly once, and IDB indexes are extended incrementally from each
 /// round's newly derived tuples instead of being rebuilt from scratch.
-#[derive(Debug, Clone)]
+///
+/// The context is [`Sync`]: during a parallel round, worker threads share
+/// it read-only (the index set behind its `RwLock` is only written between
+/// rounds, by the thread driving the fixpoint).
+#[derive(Debug)]
 pub struct EvalContext {
     /// EDB relations by EDB id (absent in the database = empty).
     pub edb: Vec<Relation>,
     /// `|A|` — the range of `Domain` plan steps.
     pub universe_size: usize,
-    /// Persistent indexes, maintained across Θ applications. Interior
-    /// mutability lets the read-only evaluation entry points keep their
-    /// `&EvalContext` signatures while the cache warms.
-    indexes: RefCell<IndexSet>,
+    /// Persistent indexes, maintained across Θ applications. The lock lets
+    /// the read-only evaluation entry points keep their `&EvalContext`
+    /// signatures while the cache warms, and lets parallel rounds share the
+    /// warmed set across workers through one read guard.
+    indexes: RwLock<IndexSet>,
+    /// Number of Θ applications routed through the parallel executor
+    /// (observability: the auto mode's sequential fallback is tested
+    /// against this). In forced mode a one-task application counts even
+    /// though no extra thread is spawned for it.
+    parallel_applications: AtomicU64,
 }
 
 impl EvalContext {
@@ -60,13 +94,39 @@ impl EvalContext {
         Ok(EvalContext {
             edb: cp.edb_relations(db)?,
             universe_size: db.universe_size(),
-            indexes: RefCell::new(IndexSet::default()),
+            indexes: RwLock::new(IndexSet::default()),
+            parallel_applications: AtomicU64::new(0),
         })
     }
 
     /// Number of persistent indexes currently held (observability / tests).
     pub fn num_indexes(&self) -> usize {
-        self.indexes.borrow().len()
+        self.read_indexes().len()
+    }
+
+    /// Number of Θ applications over this context routed through the
+    /// parallel executor. Auto mode must leave this at zero when every
+    /// round stays below the parallel threshold.
+    pub fn parallel_applications(&self) -> u64 {
+        self.parallel_applications.load(Ordering::Relaxed)
+    }
+
+    fn read_indexes(&self) -> std::sync::RwLockReadGuard<'_, IndexSet> {
+        self.indexes.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_indexes(&self) -> std::sync::RwLockWriteGuard<'_, IndexSet> {
+        self.indexes.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs [`IndexSet::debug_validate`] over this context's indexes for
+    /// `rel`: postings must be sorted and complete. Test/debug aid for the
+    /// patch/rollback paths the incremental well-founded engine exercises.
+    ///
+    /// # Panics
+    /// Panics if any index over `rel` violates the invariant.
+    pub fn debug_validate_indexes(&self, rel: &Relation) {
+        self.read_indexes().debug_validate(rel);
     }
 
     /// Removes `t` from `rel` while keeping this context's indexes over it
@@ -82,10 +142,23 @@ impl EvalContext {
         let Some((removed_pos, moved_from)) = rel.remove_tracked(t) else {
             return false;
         };
-        self.indexes
-            .borrow_mut()
+        self.write_indexes()
             .patch_swap_remove(rel, t, removed_pos, moved_from, old_len);
         true
+    }
+}
+
+impl Clone for EvalContext {
+    fn clone(&self) -> Self {
+        EvalContext {
+            edb: self.edb.clone(),
+            universe_size: self.universe_size,
+            // The warmed indexes are keyed by relation id and every cloned
+            // relation gets a fresh id, so copying them would only carry
+            // dead weight that misses on every probe — start empty.
+            indexes: RwLock::new(IndexSet::default()),
+            parallel_applications: AtomicU64::new(0),
+        }
     }
 }
 
@@ -223,11 +296,16 @@ pub fn apply_delta_with_neg(
 
 /// Fully general Θ application (any combination of rule subset, delta
 /// restriction and frozen negation context), written into a caller-owned
-/// output buffer.
+/// output buffer, optionally across worker threads.
 ///
 /// `out` is cleared first ([`Relation::clear`] keeps its allocations), so a
 /// round driver can reuse one scratch interpretation across every round of a
 /// fixpoint instead of allocating fresh relations per application.
+///
+/// `par` controls the parallel executor (see the module docs): with more
+/// than one effective thread and a work estimate at or above
+/// `par.parallel_threshold`, the application forks; the result is
+/// bit-identical either way.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_general_into(
     cp: &CompiledProgram,
@@ -238,6 +316,7 @@ pub(crate) fn apply_general_into(
     delta: Option<&Interp>,
     neg: Option<&Interp>,
     out: &mut Interp,
+    par: &EvalOptions,
 ) {
     debug_assert_eq!(
         plans == PlanKind::Full,
@@ -255,7 +334,50 @@ pub(crate) fn apply_general_into(
             neg,
         },
         out,
+        par,
     );
+}
+
+/// Resolves a plan's relation reference against the evaluation state.
+fn resolve_relation<'a>(
+    ctx: &'a EvalContext,
+    s: &'a Interp,
+    delta: Option<&'a Interp>,
+    pred: PredRef,
+    source: Source,
+) -> &'a Relation {
+    match (pred, source) {
+        (PredRef::Edb(i), _) => &ctx.edb[i],
+        (PredRef::Idb(i), Source::Full) => s.get(i),
+        (PredRef::Idb(i), Source::Delta) => delta
+            .expect("delta scan outside a delta application")
+            .get(i),
+    }
+}
+
+/// Registers (and incrementally refreshes) the indexes `plan`'s keyed scans
+/// will probe. Called once per plan per Θ application, before execution
+/// starts — the only point at which the index set is written.
+fn prepare_plan(
+    indexes: &mut IndexSet,
+    plan: &Plan,
+    ctx: &EvalContext,
+    s: &Interp,
+    delta: Option<&Interp>,
+) {
+    for step in &plan.steps {
+        if let Step::Scan {
+            pred,
+            source,
+            key_cols,
+            ..
+        } = step
+        {
+            if !key_cols.is_empty() {
+                indexes.ensure(resolve_relation(ctx, s, delta, *pred, *source), key_cols);
+            }
+        }
+    }
 }
 
 /// Enumerates every variable binding that satisfies a plan containing **no
@@ -287,18 +409,22 @@ pub fn enumerate_bindings(plan: &Plan, ctx: &EvalContext) -> Vec<Tuple> {
         "grounding plans must not reference IDB relations"
     );
     let empty = Interp::from_relations(Vec::new());
-    let mut out = Interp::from_relations(vec![Relation::new(plan.num_vars)]);
-    let mut exec = Executor {
+    let mut out = Relation::new(plan.num_vars);
+    {
+        let mut indexes = ctx.write_indexes();
+        indexes.begin_application();
+        prepare_plan(&mut indexes, plan, ctx, &empty, None);
+    }
+    let indexes = ctx.read_indexes();
+    let exec = Executor {
         ctx,
         s: &empty,
         delta: None,
         neg: &empty,
+        indexes: &indexes,
     };
-    ctx.indexes.borrow_mut().begin_application();
-    exec.prepare_plan(plan);
-    exec.run_plan(plan, 0, &mut out);
-    let mut rels = out.into_relations();
-    rels.pop().expect("one output relation").sorted()
+    exec.run_plan(plan, &mut out);
+    out.sorted()
 }
 
 /// Synchronizes the persistent indexes probed by the **check plans** with
@@ -306,15 +432,10 @@ pub fn enumerate_bindings(plan: &Plan, ctx: &EvalContext) -> Vec<Tuple> {
 /// [`derivable`] checks; between batches, only relations that grew need to
 /// be (and are) consumed incrementally.
 pub(crate) fn sync_check_indexes(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp) {
-    let exec = Executor {
-        ctx,
-        s,
-        delta: None,
-        neg: s,
-    };
-    ctx.indexes.borrow_mut().begin_application();
+    let mut indexes = ctx.write_indexes();
+    indexes.begin_application();
     for rule in &cp.rules {
-        exec.prepare_plan(&rule.check_plan);
+        prepare_plan(&mut indexes, &rule.check_plan, ctx, s, None);
     }
 }
 
@@ -335,11 +456,13 @@ pub(crate) fn derivable(
     s: &Interp,
     neg: &Interp,
 ) -> bool {
+    let indexes = ctx.read_indexes();
     let exec = Executor {
         ctx,
         s,
         delta: None,
         neg,
+        indexes: &indexes,
     };
     let mut vals: Vec<Const> = Vec::new();
     let mut bound: Vec<bool> = Vec::new();
@@ -389,12 +512,53 @@ struct Executor<'a> {
     s: &'a Interp,
     delta: Option<&'a Interp>,
     neg: &'a Interp,
+    /// The persistent index set, read-locked for the whole application:
+    /// probes borrow straight from it with no per-scan lock traffic, and
+    /// parallel workers share the same guard through this reference.
+    indexes: &'a IndexSet,
 }
 
 fn run(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, opts: &ApplyOpts<'_>) -> Interp {
     let mut out = cp.empty_interp();
-    run_into(cp, ctx, s, opts, &mut out);
+    run_into(cp, ctx, s, opts, &mut out, &EvalOptions::sequential());
     out
+}
+
+/// One `(rule, plan, outer-range)` unit of parallel work. Tasks are built —
+/// and their outputs merged — in sequential execution order, which is what
+/// makes the parallel application bit-identical to the sequential one.
+struct Task<'a> {
+    plan: &'a Plan,
+    head_pred: usize,
+    /// Contiguous range of the plan's outermost iteration, or `None` to run
+    /// the plan whole (its first step is not splittable).
+    range: Option<(usize, usize)>,
+}
+
+/// How a plan's outermost step can be partitioned across workers.
+enum Outer {
+    /// First step iterates a relation's dense storage: `0..len` positions.
+    Dense(usize),
+    /// First step ranges a variable over the universe: `0..len` constants.
+    Domain(usize),
+    /// Not splittable (keyed first scan, filter-only plan, empty body):
+    /// execute the plan as one task.
+    Whole,
+}
+
+fn outer_extent(ctx: &EvalContext, s: &Interp, delta: Option<&Interp>, plan: &Plan) -> Outer {
+    match plan.steps.first() {
+        Some(Step::Scan {
+            pred,
+            source,
+            key_cols,
+            ..
+        }) if key_cols.is_empty() => {
+            Outer::Dense(resolve_relation(ctx, s, delta, *pred, *source).len())
+        }
+        Some(Step::Domain { .. }) => Outer::Domain(ctx.universe_size),
+        _ => Outer::Whole,
+    }
 }
 
 fn run_into(
@@ -403,16 +567,11 @@ fn run_into(
     s: &Interp,
     opts: &ApplyOpts<'_>,
     out: &mut Interp,
+    par: &EvalOptions,
 ) {
     for i in 0..out.len() {
         out.get_mut(i).clear();
     }
-    let mut exec = Executor {
-        ctx,
-        s,
-        delta: opts.delta,
-        neg: opts.neg.unwrap_or(s),
-    };
 
     let all_indices: Vec<usize>;
     let selected: &[usize] = match opts.rules {
@@ -426,19 +585,150 @@ fn run_into(
     // Bring every index the selected plans probe up to date with the
     // relations as of this application (incremental: only the dense suffix
     // added since the last application is consumed). Execution then only
-    // *reads* the index set, so probes can return borrowed slices.
-    ctx.indexes.borrow_mut().begin_application();
-    for &ri in selected {
-        for plan in plans_of(&cp.rules[ri], opts.plans) {
-            exec.prepare_plan(plan);
+    // *reads* the index set, so probes return borrowed slices and worker
+    // threads share one read guard.
+    {
+        let mut indexes = ctx.write_indexes();
+        indexes.begin_application();
+        for &ri in selected {
+            for plan in plans_of(&cp.rules[ri], opts.plans) {
+                prepare_plan(&mut indexes, plan, ctx, s, opts.delta);
+            }
+        }
+    }
+    let indexes = ctx.read_indexes();
+    let exec = Executor {
+        ctx,
+        s,
+        delta: opts.delta,
+        neg: opts.neg.unwrap_or(s),
+        indexes: &indexes,
+    };
+
+    let workers = par.effective_threads();
+    if workers > 1 {
+        // Estimate the round's work as the summed outer-loop extent of its
+        // plans (for delta rounds: the delta size). Below the threshold the
+        // fork costs more than it buys. Extents are resolved once and
+        // reused for task building.
+        let mut extents: Vec<(&Plan, usize, Outer)> = Vec::new();
+        let mut estimate = 0usize;
+        for &ri in selected {
+            let rule = &cp.rules[ri];
+            for plan in plans_of(rule, opts.plans) {
+                let extent = outer_extent(ctx, s, opts.delta, plan);
+                estimate += match extent {
+                    Outer::Dense(n) | Outer::Domain(n) => n,
+                    Outer::Whole => 1,
+                };
+                extents.push((plan, rule.head_pred, extent));
+            }
+        }
+        // A threshold of 0 *forces* the parallel path (tests/CI drive every
+        // round through it); otherwise the estimate must clear the bar.
+        let forced = par.parallel_threshold == 0;
+        if estimate >= par.parallel_threshold.max(1) {
+            let tasks = build_tasks(&extents, workers, estimate, forced);
+            if tasks.len() > 1 || (forced && !tasks.is_empty()) {
+                run_tasks_parallel(&exec, &tasks, workers, out);
+                ctx.parallel_applications.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
     }
 
     for &ri in selected {
         let rule = &cp.rules[ri];
         for plan in plans_of(rule, opts.plans) {
-            exec.run_plan(plan, rule.head_pred, out);
+            exec.run_plan(plan, out.get_mut(rule.head_pred));
         }
+    }
+}
+
+/// Splits the selected plans (with their pre-resolved outer extents) into
+/// order-contiguous tasks, at most a few per worker, never slicing below a
+/// minimum grain (a sliver of outer loop per thread would be all merge
+/// overhead). In `forced` mode (threshold 0) the grain floor drops to 1 so
+/// even tiny rounds genuinely shard — that mode exists to drag every round
+/// through the parallel path under test.
+fn build_tasks<'a>(
+    extents: &[(&'a Plan, usize, Outer)],
+    workers: usize,
+    estimate: usize,
+    forced: bool,
+) -> Vec<Task<'a>> {
+    /// Minimum outer-loop candidates per task (auto mode).
+    const MIN_GRAIN: usize = 32;
+    /// Task-queue depth per worker (work stealing evens out skew).
+    const TASKS_PER_WORKER: usize = 4;
+
+    let floor = if forced { 1 } else { MIN_GRAIN };
+    let grain = (estimate / (workers * TASKS_PER_WORKER)).max(floor);
+    let mut tasks = Vec::new();
+    for &(plan, head_pred, ref extent) in extents {
+        match *extent {
+            Outer::Dense(0) | Outer::Domain(0) => {} // nothing to scan
+            Outer::Dense(n) | Outer::Domain(n) => {
+                let mut lo = 0;
+                while lo < n {
+                    let hi = (lo + grain).min(n);
+                    tasks.push(Task {
+                        plan,
+                        head_pred,
+                        range: Some((lo, hi)),
+                    });
+                    lo = hi;
+                }
+            }
+            Outer::Whole => tasks.push(Task {
+                plan,
+                head_pred,
+                range: None,
+            }),
+        }
+    }
+    tasks
+}
+
+/// Executes `tasks` across `workers` scoped threads (the calling thread
+/// participates) and merges the per-task outputs into `out` in task order.
+///
+/// The per-task scratch relations are built fresh each application —
+/// [`Relation::new`] allocates nothing until a task's first insertion, and
+/// the auto threshold keeps parallel rounds large enough that the merge
+/// clone (each derived tuple is copied once into `out`) is noise next to
+/// plan execution.
+fn run_tasks_parallel(exec: &Executor<'_>, tasks: &[Task<'_>], workers: usize, out: &mut Interp) {
+    let outputs: Vec<Mutex<Relation>> = tasks
+        .iter()
+        .map(|t| Mutex::new(Relation::new(out.get(t.head_pred).arity())))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let worker = || {
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = tasks.get(i) else { return };
+            // Each task index is claimed exactly once, so the lock is
+            // uncontended — it exists to hand the worker `&mut` access.
+            let mut rel = outputs[i].lock().unwrap_or_else(PoisonError::into_inner);
+            match task.range {
+                Some((lo, hi)) => exec.run_plan_slice(task.plan, lo, hi, &mut rel),
+                None => exec.run_plan(task.plan, &mut rel),
+            }
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers.min(tasks.len()) {
+            scope.spawn(worker);
+        }
+        worker();
+    });
+    // Deterministic merge: task order is sequential execution order, and
+    // union keeps first occurrences, so `out` ends up bit-identical to a
+    // sequential application.
+    for (task, slot) in tasks.iter().zip(outputs) {
+        let rel = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+        out.get_mut(task.head_pred).union_with(&rel);
     }
 }
 
@@ -451,16 +741,29 @@ fn plans_of(rule: &crate::resolve::CompiledRule, kind: PlanKind) -> &[Plan] {
     }
 }
 
+/// Term positions of a scan that bind a fresh variable, as a bitmask.
+/// `bound` is restored between candidates, so the set is identical for
+/// every candidate of one scan — computed once, keeping the per-tuple loop
+/// allocation-free.
+fn scan_binds_mask(terms: &[CTerm], bound: &[bool]) -> u128 {
+    assert!(
+        terms.len() <= 128,
+        "executor supports atoms of arity <= 128"
+    );
+    let mut binds_mask: u128 = 0;
+    for (col, term) in terms.iter().enumerate() {
+        if let CTerm::Var(v) = term {
+            if !bound[*v] && !terms[..col].contains(term) {
+                binds_mask |= 1 << col;
+            }
+        }
+    }
+    binds_mask
+}
+
 impl<'a> Executor<'a> {
     fn relation(&self, pred: PredRef, source: Source) -> &'a Relation {
-        match (pred, source) {
-            (PredRef::Edb(i), _) => &self.ctx.edb[i],
-            (PredRef::Idb(i), Source::Full) => self.s.get(i),
-            (PredRef::Idb(i), Source::Delta) => self
-                .delta
-                .expect("delta scan outside a delta application")
-                .get(i),
-        }
+        resolve_relation(self.ctx, self.s, self.delta, pred, source)
     }
 
     /// The relation a *negative* literal reads (the Γ transform swaps it).
@@ -471,30 +774,43 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Registers (and incrementally refreshes) the indexes `plan`'s keyed
-    /// scans will probe. Called once per plan per Θ application, before
-    /// execution starts.
-    fn prepare_plan(&self, plan: &Plan) {
-        let mut indexes = self.ctx.indexes.borrow_mut();
-        for step in &plan.steps {
-            if let Step::Scan {
-                pred,
-                source,
-                key_cols,
-                ..
-            } = step
-            {
-                if !key_cols.is_empty() {
-                    indexes.ensure(self.relation(*pred, *source), key_cols);
-                }
-            }
-        }
-    }
-
-    fn run_plan(&mut self, plan: &Plan, head_pred: usize, out: &mut Interp) {
+    fn run_plan(&self, plan: &Plan, out: &mut Relation) {
         let mut vals: Vec<Const> = vec![Const(0); plan.num_vars];
         let mut bound = vec![false; plan.num_vars];
-        self.step(plan, 0, head_pred, &mut vals, &mut bound, out);
+        self.step(plan, 0, &mut vals, &mut bound, out);
+    }
+
+    /// Runs `plan` with its **outermost** iteration restricted to the
+    /// contiguous range `lo..hi` — the unit of parallel execution. Only
+    /// called for plans whose first step is an unkeyed scan or a `Domain`
+    /// step (see [`Outer`]); outputs arrive in the same order as the
+    /// corresponding slice of a full sequential run.
+    fn run_plan_slice(&self, plan: &Plan, lo: usize, hi: usize, out: &mut Relation) {
+        let mut vals: Vec<Const> = vec![Const(0); plan.num_vars];
+        let mut bound = vec![false; plan.num_vars];
+        match plan.steps.first() {
+            Some(Step::Scan {
+                pred,
+                source,
+                terms,
+                key_cols,
+            }) if key_cols.is_empty() => {
+                let rel = self.relation(*pred, *source);
+                let binds_mask = scan_binds_mask(terms, &bound);
+                for t in &rel.dense()[lo..hi] {
+                    self.scan_candidate(plan, 0, &mut vals, &mut bound, out, t, terms, binds_mask);
+                }
+            }
+            Some(Step::Domain { var }) => {
+                let var = *var;
+                bound[var] = true;
+                for c in lo..hi {
+                    vals[var] = Const(c as u32);
+                    self.step(plan, 1, &mut vals, &mut bound, out);
+                }
+            }
+            _ => unreachable!("range tasks are built only for splittable first steps"),
+        }
     }
 
     fn value(&self, t: &CTerm, vals: &[Const]) -> Const {
@@ -512,17 +828,16 @@ impl<'a> Executor<'a> {
 
     #[allow(clippy::too_many_lines)]
     fn step(
-        &mut self,
+        &self,
         plan: &Plan,
         idx: usize,
-        head_pred: usize,
         vals: &mut Vec<Const>,
         bound: &mut Vec<bool>,
-        out: &mut Interp,
+        out: &mut Relation,
     ) {
         if idx == plan.steps.len() {
             let head = self.build_tuple(&plan.head, vals);
-            out.insert(head_pred, head);
+            out.insert(head);
             return;
         }
         match &plan.steps[idx] {
@@ -533,29 +848,12 @@ impl<'a> Executor<'a> {
                 key_cols,
             } => {
                 let rel = self.relation(*pred, *source);
-                // Term positions that bind a fresh variable. `bound` is
-                // restored between candidates, so the set is identical for
-                // every candidate of this scan — computed once, as a
-                // bitmask, keeping the per-tuple loop allocation-free.
-                assert!(
-                    terms.len() <= 128,
-                    "executor supports atoms of arity <= 128"
-                );
-                let mut binds_mask: u128 = 0;
-                for (col, term) in terms.iter().enumerate() {
-                    if let CTerm::Var(v) = term {
-                        if !bound[*v] && !terms[..col].contains(term) {
-                            binds_mask |= 1 << col;
-                        }
-                    }
-                }
+                let binds_mask = scan_binds_mask(terms, bound);
                 if key_cols.is_empty() {
                     // Full scan: iterate the dense storage in place.
                     for ti in 0..rel.dense().len() {
                         let t = &rel.dense()[ti];
-                        self.scan_candidate(
-                            plan, idx, head_pred, vals, bound, out, t, terms, binds_mask,
-                        );
+                        self.scan_candidate(plan, idx, vals, bound, out, t, terms, binds_mask);
                     }
                 } else {
                     // Keyed scan: probe the persistent index; the postings
@@ -565,26 +863,20 @@ impl<'a> Executor<'a> {
                         .iter()
                         .map(|&c| self.value(&terms[c], vals))
                         .collect();
-                    let indexes = self.ctx.indexes.borrow();
-                    if let Some(postings) = indexes.probe(rel.id(), key_cols, &key) {
+                    if let Some(postings) = self.indexes.probe(rel.id(), key_cols, &key) {
                         for &ti in postings {
                             let t = &rel.dense()[ti as usize];
-                            self.scan_candidate(
-                                plan, idx, head_pred, vals, bound, out, t, terms, binds_mask,
-                            );
+                            self.scan_candidate(plan, idx, vals, bound, out, t, terms, binds_mask);
                         }
                     } else {
                         // No index registered (unprepared plan): filtered
                         // linear scan — correct, just slower.
-                        drop(indexes);
                         for ti in 0..rel.dense().len() {
                             let t = &rel.dense()[ti];
                             if key_cols.iter().enumerate().any(|(r, &c)| t[c] != key[r]) {
                                 continue;
                             }
-                            self.scan_candidate(
-                                plan, idx, head_pred, vals, bound, out, t, terms, binds_mask,
-                            );
+                            self.scan_candidate(plan, idx, vals, bound, out, t, terms, binds_mask);
                         }
                     }
                 }
@@ -594,37 +886,37 @@ impl<'a> Executor<'a> {
                 bound[var] = true;
                 for c in 0..self.ctx.universe_size as u32 {
                     vals[var] = Const(c);
-                    self.step(plan, idx + 1, head_pred, vals, bound, out);
+                    self.step(plan, idx + 1, vals, bound, out);
                 }
                 bound[var] = false;
             }
             Step::FilterPos { pred, terms } => {
                 let t = self.build_tuple(terms, vals);
                 if self.relation(*pred, Source::Full).contains(&t) {
-                    self.step(plan, idx + 1, head_pred, vals, bound, out);
+                    self.step(plan, idx + 1, vals, bound, out);
                 }
             }
             Step::FilterNeg { pred, terms } => {
                 let t = self.build_tuple(terms, vals);
                 if !self.neg_relation(*pred).contains(&t) {
-                    self.step(plan, idx + 1, head_pred, vals, bound, out);
+                    self.step(plan, idx + 1, vals, bound, out);
                 }
             }
             Step::BindEq { var, from } => {
                 let var = *var;
                 vals[var] = self.value(from, vals);
                 bound[var] = true;
-                self.step(plan, idx + 1, head_pred, vals, bound, out);
+                self.step(plan, idx + 1, vals, bound, out);
                 bound[var] = false;
             }
             Step::FilterEq { a, b } => {
                 if self.value(a, vals) == self.value(b, vals) {
-                    self.step(plan, idx + 1, head_pred, vals, bound, out);
+                    self.step(plan, idx + 1, vals, bound, out);
                 }
             }
             Step::FilterNeq { a, b } => {
                 if self.value(a, vals) != self.value(b, vals) {
-                    self.step(plan, idx + 1, head_pred, vals, bound, out);
+                    self.step(plan, idx + 1, vals, bound, out);
                 }
             }
         }
@@ -635,13 +927,12 @@ impl<'a> Executor<'a> {
     /// introduced (`binds_mask` marks the term positions that bind).
     #[allow(clippy::too_many_arguments)]
     fn scan_candidate(
-        &mut self,
+        &self,
         plan: &Plan,
         idx: usize,
-        head_pred: usize,
         vals: &mut Vec<Const>,
         bound: &mut Vec<bool>,
-        out: &mut Interp,
+        out: &mut Relation,
         t: &Tuple,
         terms: &[CTerm],
         binds_mask: u128,
@@ -667,7 +958,7 @@ impl<'a> Executor<'a> {
             }
         }
         if ok {
-            self.step(plan, idx + 1, head_pred, vals, bound, out);
+            self.step(plan, idx + 1, vals, bound, out);
         }
         let mut mask = binds_mask;
         while mask != 0 {
@@ -703,14 +994,7 @@ impl<'a> Executor<'a> {
                 key_cols,
             } => {
                 let rel = self.relation(*pred, *source);
-                let mut binds_mask: u128 = 0;
-                for (col, term) in terms.iter().enumerate() {
-                    if let CTerm::Var(v) = term {
-                        if !bound[*v] && !terms[..col].contains(term) {
-                            binds_mask |= 1 << col;
-                        }
-                    }
-                }
+                let binds_mask = scan_binds_mask(terms, bound);
                 let mut found = false;
                 if key_cols.is_empty() {
                     for ti in 0..rel.dense().len() {
@@ -725,8 +1009,7 @@ impl<'a> Executor<'a> {
                         .iter()
                         .map(|&c| self.value(&terms[c], vals))
                         .collect();
-                    let indexes = self.ctx.indexes.borrow();
-                    if let Some(postings) = indexes.probe(rel.id(), key_cols, &key) {
+                    if let Some(postings) = self.indexes.probe(rel.id(), key_cols, &key) {
                         for &ti in postings {
                             let t = &rel.dense()[ti as usize];
                             if self.probe_candidate(plan, idx, vals, bound, t, terms, binds_mask) {
@@ -735,7 +1018,6 @@ impl<'a> Executor<'a> {
                             }
                         }
                     } else {
-                        drop(indexes);
                         for ti in 0..rel.dense().len() {
                             let t = &rel.dense()[ti];
                             if key_cols.iter().enumerate().any(|(r, &c)| t[c] != key[r]) {
@@ -861,6 +1143,17 @@ mod tests {
 
     fn t2(x: u32, y: u32) -> Tuple {
         Tuple::from_ids(&[x, y])
+    }
+
+    #[test]
+    fn eval_context_is_send_and_sync() {
+        // Parallel rounds share the context (and interpretations) across
+        // worker threads; this fails to compile if interior mutability ever
+        // takes `Sync` away again.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvalContext>();
+        assert_send_sync::<Interp>();
+        assert_send_sync::<CompiledProgram>();
     }
 
     #[test]
@@ -1038,5 +1331,72 @@ mod tests {
         let (cp, ctx) = setup("T(z) :- !T(w).", &db);
         // With A = ∅ even the toggle rule derives nothing.
         assert!(apply(&cp, &ctx, &cp.empty_interp()).all_empty());
+    }
+
+    #[test]
+    fn parallel_application_is_bit_identical() {
+        // The same Θ application, sequential vs forced-parallel at several
+        // worker counts: identical tuples in identical insertion order.
+        let db = DiGraph::binary_tree(31).to_database("E");
+        let (cp, ctx) = setup("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).", &db);
+        let seed = apply(&cp, &ctx, &cp.empty_interp());
+        let mut seq = cp.empty_interp();
+        apply_general_into(
+            &cp,
+            &ctx,
+            &seed,
+            None,
+            PlanKind::Full,
+            None,
+            None,
+            &mut seq,
+            &EvalOptions::sequential(),
+        );
+        for threads in [2, 3, 4] {
+            let mut par = cp.empty_interp();
+            apply_general_into(
+                &cp,
+                &ctx,
+                &seed,
+                None,
+                PlanKind::Full,
+                None,
+                None,
+                &mut par,
+                &EvalOptions {
+                    threads,
+                    parallel_threshold: 0,
+                },
+            );
+            for i in 0..seq.len() {
+                assert_eq!(
+                    seq.get(i).dense(),
+                    par.get(i).dense(),
+                    "insertion order diverged at {threads} threads"
+                );
+            }
+        }
+        assert!(ctx.parallel_applications() >= 3);
+    }
+
+    #[test]
+    fn auto_threshold_keeps_small_applications_sequential() {
+        let db = DiGraph::path(4).to_database("E");
+        let (cp, ctx) = setup("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).", &db);
+        let mut out = cp.empty_interp();
+        apply_general_into(
+            &cp,
+            &ctx,
+            &cp.empty_interp(),
+            None,
+            PlanKind::Full,
+            None,
+            None,
+            &mut out,
+            &EvalOptions::with_threads(4), // default threshold ≫ 3 edges
+        );
+        assert_eq!(ctx.parallel_applications(), 0);
+        // One full application from ∅: just the base rule's 3 edges.
+        assert_eq!(out.total_tuples(), 3);
     }
 }

@@ -1,0 +1,103 @@
+//! Evaluation options: the knobs every engine accepts.
+//!
+//! The only knobs today are the **parallel round executor's**: how many
+//! worker threads a Θ application may use, and how large a round has to be
+//! before forking is worth the spawn/merge overhead. The options travel
+//! from the engine entry points (`*_with` variants) through the shared
+//! [`DeltaDriver`](crate::DeltaDriver) into the operator executor; engines
+//! called without explicit options use [`EvalOptions::default`], which reads
+//! the `INFLOG_THREADS` / `INFLOG_PARALLEL_THRESHOLD` environment variables
+//! so a whole test or bench run can be forced onto the parallel driver
+//! without touching call sites.
+
+/// Work-size floor (outer-loop candidates summed over the round's plans)
+/// below which a round always runs sequentially in auto mode: spawning and
+/// merging worker threads costs tens of microseconds, which tiny rounds
+/// cannot amortize.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 512;
+
+/// Options accepted by every evaluation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Worker threads a Θ application may use. `1` evaluates sequentially
+    /// (the default); `0` is **auto** — use all available hardware
+    /// parallelism. Values above `1` request exactly that many workers.
+    ///
+    /// Whatever the count, results are **bit-identical** to sequential
+    /// evaluation: same tuples, same insertion order, same round and
+    /// alternation counts (see the threading-model notes in the README).
+    pub threads: usize,
+    /// Minimum per-round work estimate (outer-loop candidates summed over
+    /// the plans of the application — for delta rounds, the size of the
+    /// round's delta) before the round actually forks. Below it the round
+    /// runs sequentially even when `threads > 1`. `0` forces the parallel
+    /// path — with the task grain floor dropped to one candidate — for
+    /// every round that has any work at all (useful for tests).
+    pub parallel_threshold: usize,
+}
+
+impl Default for EvalOptions {
+    /// Sequential unless overridden by the environment: `INFLOG_THREADS`
+    /// sets the thread count (`0` = auto) and `INFLOG_PARALLEL_THRESHOLD`
+    /// the fork floor. CI uses these to run the whole suite with the
+    /// parallel driver forced on.
+    fn default() -> Self {
+        EvalOptions {
+            threads: env_usize("INFLOG_THREADS").unwrap_or(1),
+            parallel_threshold: env_usize("INFLOG_PARALLEL_THRESHOLD")
+                .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Explicitly sequential options (ignores the environment).
+    pub fn sequential() -> Self {
+        EvalOptions {
+            threads: 1,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Options with a fixed worker-thread count (`0` = auto) and the
+    /// default fork threshold.
+    pub fn with_threads(threads: usize) -> Self {
+        EvalOptions {
+            threads,
+            ..EvalOptions::sequential()
+        }
+    }
+
+    /// The concrete worker count: resolves `threads == 0` (auto) to the
+    /// hardware parallelism, and anything else to itself.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_one_thread() {
+        let o = EvalOptions::sequential();
+        assert_eq!(o.threads, 1);
+        assert_eq!(o.effective_threads(), 1);
+    }
+
+    #[test]
+    fn auto_resolves_to_hardware_parallelism() {
+        let o = EvalOptions::with_threads(0);
+        assert!(o.effective_threads() >= 1);
+        let o = EvalOptions::with_threads(3);
+        assert_eq!(o.effective_threads(), 3);
+    }
+}

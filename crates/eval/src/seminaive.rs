@@ -10,21 +10,37 @@ use crate::driver::DeltaDriver;
 use crate::interp::Interp;
 use crate::naive::require_positive;
 use crate::operator::EvalContext;
+use crate::options::EvalOptions;
 use crate::resolve::CompiledProgram;
 use crate::trace::EvalTrace;
 use crate::Result;
 use inflog_core::Database;
 use inflog_syntax::Program;
 
-/// Computes the least fixpoint of a positive program semi-naively.
+/// Computes the least fixpoint of a positive program semi-naively, with
+/// [`EvalOptions::default`] (sequential unless the environment overrides).
 ///
 /// # Errors
 /// Same conditions as [`least_fixpoint_naive`](crate::least_fixpoint_naive).
 pub fn least_fixpoint_seminaive(program: &Program, db: &Database) -> Result<(Interp, EvalTrace)> {
+    least_fixpoint_seminaive_with(program, db, &EvalOptions::default())
+}
+
+/// [`least_fixpoint_seminaive`] with explicit evaluation options — e.g. a
+/// worker-thread count for the parallel round executor. The result is
+/// bit-identical for every thread count.
+///
+/// # Errors
+/// Same conditions as [`least_fixpoint_naive`](crate::least_fixpoint_naive).
+pub fn least_fixpoint_seminaive_with(
+    program: &Program,
+    db: &Database,
+    opts: &EvalOptions,
+) -> Result<(Interp, EvalTrace)> {
     require_positive(program)?;
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    Ok(least_fixpoint_seminaive_compiled(&cp, &ctx))
+    Ok(least_fixpoint_seminaive_compiled_with(&cp, &ctx, opts))
 }
 
 /// Semi-naive iteration over an already-compiled positive program.
@@ -36,9 +52,25 @@ pub fn least_fixpoint_seminaive_compiled(
     cp: &CompiledProgram,
     ctx: &EvalContext,
 ) -> (Interp, EvalTrace) {
+    least_fixpoint_seminaive_compiled_with(cp, ctx, &EvalOptions::default())
+}
+
+/// [`least_fixpoint_seminaive_compiled`] with explicit evaluation options.
+pub fn least_fixpoint_seminaive_compiled_with(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    opts: &EvalOptions,
+) -> (Interp, EvalTrace) {
     let mut trace = EvalTrace::default();
     let mut s = cp.empty_interp();
-    DeltaDriver::new(cp).extend(cp, ctx, &mut s, None, None, Some(&mut trace));
+    DeltaDriver::with_options(cp, opts.clone()).extend(
+        cp,
+        ctx,
+        &mut s,
+        None,
+        None,
+        Some(&mut trace),
+    );
     trace.final_tuples = s.total_tuples();
     (s, trace)
 }

@@ -17,6 +17,7 @@ use crate::driver::DeltaDriver;
 use crate::error::EvalError;
 use crate::interp::Interp;
 use crate::operator::EvalContext;
+use crate::options::EvalOptions;
 use crate::resolve::CompiledProgram;
 use crate::trace::EvalTrace;
 use crate::Result;
@@ -96,14 +97,32 @@ pub fn stratify(program: &Program) -> Result<Stratification> {
 }
 
 /// Evaluates a stratified program bottom-up; returns the perfect model.
+/// Uses [`EvalOptions::default`] (sequential unless the environment
+/// overrides).
 ///
 /// # Errors
 /// [`EvalError::NotStratified`] or compilation errors.
 pub fn stratified_eval(program: &Program, db: &Database) -> Result<(Interp, EvalTrace)> {
+    stratified_eval_with(program, db, &EvalOptions::default())
+}
+
+/// [`stratified_eval`] with explicit evaluation options — e.g. a
+/// worker-thread count for the parallel round executor. The result is
+/// bit-identical for every thread count.
+///
+/// # Errors
+/// [`EvalError::NotStratified`] or compilation errors.
+pub fn stratified_eval_with(
+    program: &Program,
+    db: &Database,
+    opts: &EvalOptions,
+) -> Result<(Interp, EvalTrace)> {
     let strat = stratify(program)?;
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    Ok(stratified_eval_compiled(&cp, &ctx, &strat, program))
+    Ok(stratified_eval_compiled_with(
+        &cp, &ctx, &strat, program, opts,
+    ))
 }
 
 /// Stratified evaluation over a compiled program.
@@ -112,6 +131,17 @@ pub fn stratified_eval_compiled(
     ctx: &EvalContext,
     strat: &Stratification,
     program: &Program,
+) -> (Interp, EvalTrace) {
+    stratified_eval_compiled_with(cp, ctx, strat, program, &EvalOptions::default())
+}
+
+/// [`stratified_eval_compiled`] with explicit evaluation options.
+pub fn stratified_eval_compiled_with(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    strat: &Stratification,
+    program: &Program,
+    opts: &EvalOptions,
 ) -> (Interp, EvalTrace) {
     let mut trace = EvalTrace::default();
     let mut s = cp.empty_interp();
@@ -129,7 +159,7 @@ pub fn stratified_eval_compiled(
     // call of the shared semi-naive driver: within the stratum the operator
     // is monotone (negations see lower strata only), so delta iteration
     // computes its least fixpoint.
-    let mut driver = DeltaDriver::new(cp);
+    let mut driver = DeltaDriver::with_options(cp, opts.clone());
     for rules in &rules_by_stratum {
         if rules.is_empty() {
             continue;

@@ -84,6 +84,7 @@
 use crate::driver::DeltaDriver;
 use crate::interp::Interp;
 use crate::operator::{self, EvalContext};
+use crate::options::EvalOptions;
 use crate::resolve::CompiledProgram;
 use crate::Result;
 use inflog_core::{Database, Tuple};
@@ -107,22 +108,49 @@ impl WellFoundedModel {
     }
 }
 
-/// Computes the well-founded model.
+/// Computes the well-founded model, with [`EvalOptions::default`]
+/// (sequential unless the environment overrides).
 ///
 /// # Errors
 /// Compilation errors only — the well-founded semantics is total on
 /// programs.
 pub fn well_founded(program: &Program, db: &Database) -> Result<WellFoundedModel> {
+    well_founded_with(program, db, &EvalOptions::default())
+}
+
+/// [`well_founded`] with explicit evaluation options — e.g. a worker-thread
+/// count for the parallel round executor, which both Γ sides (the
+/// warm-started `T` fixpoints and the damage/overdeletion sweeps on `U`)
+/// drive. The model — facts, insertion orders, alternation count — is
+/// bit-identical for every thread count.
+///
+/// # Errors
+/// Compilation errors only — the well-founded semantics is total on
+/// programs.
+pub fn well_founded_with(
+    program: &Program,
+    db: &Database,
+    opts: &EvalOptions,
+) -> Result<WellFoundedModel> {
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    Ok(well_founded_compiled(&cp, &ctx))
+    Ok(well_founded_compiled_with(&cp, &ctx, opts))
 }
 
 /// Computes the well-founded model over a compiled program, incrementally
 /// (see the module docs for the construction and its soundness).
 pub fn well_founded_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> WellFoundedModel {
+    well_founded_compiled_with(cp, ctx, &EvalOptions::default())
+}
+
+/// [`well_founded_compiled`] with explicit evaluation options.
+pub fn well_founded_compiled_with(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    opts: &EvalOptions,
+) -> WellFoundedModel {
     let num_idb = cp.num_idb();
-    let mut driver = DeltaDriver::new(cp);
+    let mut driver = DeltaDriver::with_options(cp, opts.clone());
     // `t` grows and `u` shrinks monotonically across alternations (after
     // the first); both keep their relation identities for the whole run, so
     // the context's persistent indexes stay warm throughout.
@@ -164,6 +192,7 @@ pub fn well_founded_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> WellFou
             Some(&delta_t),
             Some(&empty_neg),
             &mut heads,
+            opts,
         );
         // Overdeletion cone, closed through positive IDB dependencies. A
         // frontier is enumerated from `u` *before* it is removed, so every
@@ -193,6 +222,7 @@ pub fn well_founded_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> WellFou
                 Some(&frontier),
                 Some(&empty_neg),
                 &mut heads,
+                opts,
             );
             for (i, list) in cone.iter_mut().enumerate() {
                 for tuple in frontier.get(i).dense() {
@@ -224,6 +254,14 @@ pub fn well_founded_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> WellFou
         }
         #[cfg(debug_assertions)]
         {
+            // One postings sweep per alternation (not per patched removal —
+            // that would make debug-build overdeletion quadratic): after the
+            // whole overdelete/rederive batch, every index over `u` must
+            // still be sorted and complete before the next parallel round
+            // trusts its posting order.
+            for i in 0..num_idb {
+                ctx.debug_validate_indexes(u.get(i));
+            }
             // Overdelete + rederive must land exactly on lfp(Γ_{T_k}) — the
             // same set a naive Γ from ∅ computes.
             let mut naive = cp.empty_interp();
