@@ -6,11 +6,16 @@
 //!
 //! ```text
 //! cargo run --release -p inflog-bench --bin bench_gate -- \
-//!     --baseline BENCH_eval.json --fresh BENCH_fresh.json [--min-ratio 0.7]
+//!     --baseline BENCH_eval.json --fresh BENCH_fresh.json [--min-ratio 0.7] \
+//!     [--require suite1,suite2]
 //! ```
 //!
 //! Suites present on only one side are reported but do not fail the gate
-//! (new suites have no baseline yet; retired suites have no fresh number).
+//! (new suites have no baseline yet; retired suites have no fresh number) —
+//! except suites named by `--require`, which must be present on **both**
+//! sides and actually compared: silently losing a required suite (e.g. the
+//! point-query benches falling out of the grid) fails the gate instead of
+//! passing vacuously.
 //! Entries are keyed by `(name, threads)` — `bench_report --threads 1,4`
 //! writes one entry per worker-thread count, and a single-thread baseline
 //! must never be compared against a multi-thread fresh number (or vice
@@ -79,6 +84,14 @@ fn main() -> ExitCode {
     let min_ratio: f64 = arg_value(&args, "--min-ratio")
         .map(|v| v.parse().expect("--min-ratio takes a number"))
         .unwrap_or(0.7);
+    let required: Vec<String> = arg_value(&args, "--require")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
 
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
@@ -93,6 +106,7 @@ fn main() -> ExitCode {
     );
     let mut failed = false;
     let mut compared = 0usize;
+    let mut compared_names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
     for ((name, threads), (base_params, base_tps)) in &baseline {
         let Some((fresh_params, fresh_tps)) = fresh.get(&(name.clone(), *threads)) else {
             println!(
@@ -109,6 +123,7 @@ fn main() -> ExitCode {
             continue;
         }
         compared += 1;
+        compared_names.insert(name);
         let ratio = fresh_tps / base_tps;
         let verdict = if ratio < min_ratio {
             failed = true;
@@ -153,6 +168,18 @@ fn main() -> ExitCode {
              (bench_report missing --threads?)"
         );
         return ExitCode::FAILURE;
+    }
+    // Required suites must have been genuinely compared — their quiet
+    // disappearance from either report (or a params drift that skips them)
+    // must not let the gate pass.
+    for name in &required {
+        if !compared_names.contains(name.as_str()) {
+            println!(
+                "\nbench gate FAILED: required suite `{name}` was not compared \
+                 (missing from a report, or params out of date?)"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     if failed {
         println!("\nbench gate FAILED: a suite regressed below {min_ratio:.2}x of baseline");

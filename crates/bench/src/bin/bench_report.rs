@@ -23,20 +23,57 @@
 //! entries on `(name, params, threads)`, so single- and multi-thread
 //! baselines never get compared against each other. Engines without a
 //! parallel path (naive iteration, grounding) are measured only at
-//! `threads = 1`.
+//! `threads = 1`, as are the point-query suites (`query_*` and their
+//! `full_filter_*` baselines — goal-directed evaluation vs full fixpoint
+//! plus filter on identical inputs).
+//!
+//! Every entry is stamped with the git commit it ran on (`commit` field,
+//! short hash, `-dirty` when the tree had uncommitted changes), so the
+//! perf trajectory in the committed baselines stays reconstructable PR
+//! over PR. Convention: a committed baseline is regenerated *just before*
+//! the commit that ships it, so its stamp reads `<parent-commit>-dirty` —
+//! i.e. "the state that grew out of `<parent-commit>`"; the child commit
+//! is the one whose tree contains the baseline. CI-fresh reports (clean
+//! checkouts) stamp the exact commit under test.
 
 use inflog::core::graphs::DiGraph;
 use inflog::eval::{
-    inflationary_with, least_fixpoint_naive, least_fixpoint_seminaive_with, stratified_eval_with,
-    well_founded_with, EvalOptions,
+    inflationary_with, least_fixpoint_naive, least_fixpoint_seminaive_with, query,
+    stratified_eval_with, well_founded_with, CompiledProgram, EvalOptions, QueryOpts,
 };
 use inflog::fixpoint::GroundProgram;
 use inflog::reductions::programs::{distance_program, pi3_tc};
-use inflog::syntax::parse_program;
+use inflog::syntax::{parse_atom, parse_program};
 use inflog_bench::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+/// The git commit the workload ran on (short hash, `-dirty` when the tree
+/// has uncommitted changes, `unknown` outside a repository) — stamped into
+/// every report entry so the performance trajectory stays reconstructable
+/// across PRs. Committed baselines are generated pre-commit and therefore
+/// read `<parent-commit>-dirty` (see the module docs); clean CI checkouts
+/// stamp the commit under test exactly.
+fn git_commit() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+    };
+    let hash = run(&["rev-parse", "--short", "HEAD"])
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .filter(|h| !h.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    let dirty = run(&["status", "--porcelain"]).is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        format!("{hash}-dirty")
+    } else {
+        hash
+    }
+}
 
 /// One suite's measurement: derived tuple throughput over `iters` runs.
 struct BenchResult {
@@ -107,6 +144,9 @@ fn main() {
         } else {
             (400, 120, 120, 11, 7, 160, 96, 72, 96, 5)
         };
+    // Point-query workloads: goal-directed evaluation vs full-fixpoint-then-
+    // filter on the same inputs (the `query_*` / `full_filter_*` suite pairs).
+    let (q_reach_n, q_win_n) = if quick { (120, 192) } else { (160, 256) };
 
     let tc = pi3_tc();
     let dist = distance_program();
@@ -153,6 +193,27 @@ fn main() {
         DiGraph::random_gnp(infneg_n, 0.05, &mut rng).to_database("E")
     };
     let strat_db = DiGraph::path(strat_n).to_database("E");
+    // Left-linear transitive closure: with the left-to-right binding
+    // strategy, the recursive occurrence S(x, z) keeps the *source* bound,
+    // so the magic rewrite of `S('v0', y)` demands exactly {v0} and derives
+    // single-source reachability — the demand-friendly formulation from the
+    // magic-sets literature. (Right-linear TC would re-demand every reached
+    // vertex and degenerate to the reachable subgraph's full closure.)
+    let tc_left =
+        parse_program("S(x, y) :- E(x, y). S(x, y) :- S(x, z), E(z, y).").expect("valid program");
+    let q_reach_db = {
+        let mut rng = StdRng::seed_from_u64(19);
+        DiGraph::random_gnp(q_reach_n, 0.03, &mut rng).to_database("E")
+    };
+    let q_win_db = DiGraph::path(q_win_n).to_database("Move");
+    let reach_goal = parse_atom("S('v0', y)").expect("valid goal");
+    // Point query against the win/move bench program (`win_reach`: Win plus
+    // the quadratic Safe closure). Demand for a Win goal never reaches
+    // Safe, and the goal sits 16 vertices from the sink, so the query's
+    // cone is the 16-vertex path tail (odd distance to the sink — a
+    // winning position) while full evaluation also materializes the
+    // O(n^2) Safe relation the goal does not depend on.
+    let win_goal = parse_atom(&format!("Win('v{}')", q_win_n - 16)).expect("valid goal");
 
     let mut results = Vec::new();
     for &threads in &thread_counts {
@@ -204,6 +265,66 @@ fn main() {
                     GroundProgram::build(&dist, &ground_db)
                         .expect("compiles")
                         .num_bodies()
+                },
+            ));
+            // Goal-directed point queries and their full-fixpoint-then-
+            // filter baselines, on identical inputs. Measured single-thread
+            // (the demand cones are far below the parallel threshold).
+            let qopts = QueryOpts {
+                eval: opts.clone(),
+                ..QueryOpts::default()
+            };
+            results.push(bench(
+                "query_reachable_src",
+                format!("n={q_reach_n},p=0.03,seed=19,goal=v0"),
+                threads,
+                iters,
+                || {
+                    query(&tc_left, &reach_goal, &q_reach_db, &qopts)
+                        .expect("stratified query")
+                        .tuples
+                        .len()
+                },
+            ));
+            results.push(bench(
+                "full_filter_reachable_src",
+                format!("n={q_reach_n},p=0.03,seed=19,goal=v0"),
+                threads,
+                iters,
+                || {
+                    let cp = CompiledProgram::compile(&tc_left, &q_reach_db).expect("compiles");
+                    let (m, _) =
+                        stratified_eval_with(&tc_left, &q_reach_db, &opts).expect("stratified");
+                    let sid = cp.idb_id("S").expect("S is IDB");
+                    let v0 = q_reach_db.universe().lookup("v0").expect("interned");
+                    m.get(sid).iter().filter(|t| t[0] == v0).count()
+                },
+            ));
+            results.push(bench(
+                "query_win_point",
+                format!("n={q_win_n},goal=v{}", q_win_n - 16),
+                threads,
+                iters,
+                || {
+                    let a = query(&win_reach, &win_goal, &q_win_db, &qopts).expect("cone query");
+                    a.tuples.len() + a.undefined.len()
+                },
+            ));
+            results.push(bench(
+                "full_filter_win_point",
+                format!("n={q_win_n},goal=v{}", q_win_n - 16),
+                threads,
+                iters,
+                || {
+                    let cp = CompiledProgram::compile(&win_reach, &q_win_db).expect("compiles");
+                    let m = well_founded_with(&win_reach, &q_win_db, &opts).expect("total");
+                    let wid = cp.idb_id("Win").expect("Win is IDB");
+                    let vk = q_win_db
+                        .universe()
+                        .lookup(&format!("v{}", q_win_n - 16))
+                        .expect("interned");
+                    m.true_facts.get(wid).iter().filter(|t| t[0] == vk).count()
+                        + m.undefined.get(wid).iter().filter(|t| t[0] == vk).count()
                 },
             ));
         }
@@ -288,13 +409,35 @@ fn main() {
     }
     table.print();
 
-    let json = render_json(&results, quick);
+    // Point-query speedups over full-fixpoint-then-filter (same inputs):
+    // the goal-directed acceptance bar is ≥ 5× wall time.
+    for (q, full) in [
+        ("query_reachable_src", "full_filter_reachable_src"),
+        ("query_win_point", "full_filter_win_point"),
+    ] {
+        let wall = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.wall_ns as f64 / f64::from(r.iters))
+        };
+        if let (Some(qw), Some(fw)) = (wall(q), wall(full)) {
+            println!(
+                "{q}: {:.1}x faster than {full} ({:.3} ms vs {:.3} ms per query)",
+                fw / qw,
+                qw / 1e6,
+                fw / 1e6
+            );
+        }
+    }
+
+    let json = render_json(&results, quick, &git_commit());
     std::fs::write(&out_path, json).expect("write BENCH_eval.json");
     println!("\nwrote {out_path}");
 }
 
 /// Renders the report as JSON by hand (the workspace is dependency-free).
-fn render_json(results: &[BenchResult], quick: bool) -> String {
+fn render_json(results: &[BenchResult], quick: bool, commit: &str) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": 1,\n");
     out.push_str(&format!(
@@ -304,7 +447,7 @@ fn render_json(results: &[BenchResult], quick: bool) -> String {
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"params\": \"{}\", \"threads\": {}, \"ops\": {}, \"wall_ns\": {}, \"tuples\": {}, \"tuples_per_sec\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"params\": \"{}\", \"threads\": {}, \"commit\": \"{commit}\", \"ops\": {}, \"wall_ns\": {}, \"tuples\": {}, \"tuples_per_sec\": {:.1}}}{}\n",
             r.name,
             r.params,
             r.threads,

@@ -40,8 +40,10 @@
 use crate::interp::Interp;
 use crate::operator::{apply_general_into, EvalContext, PlanKind};
 use crate::options::EvalOptions;
-use crate::resolve::CompiledProgram;
+use crate::plan::CardSnapshot;
+use crate::resolve::{CompiledProgram, CompiledRule, RulePlans};
 use crate::trace::EvalTrace;
+use inflog_core::Relation;
 
 /// Reusable round driver: scratch buffers plus the shared semi-naive loop.
 ///
@@ -57,6 +59,19 @@ pub struct DeltaDriver {
     /// Parallel-executor knobs forwarded to every Θ application this driver
     /// issues; rounds below the threshold stay sequential automatically.
     opts: EvalOptions,
+    /// Live plans, rebuilt before every application from a fresh
+    /// [`CardSnapshot`] of the EDB and the growing interpretation — so the
+    /// planner's cardinality tie-break tracks the relations as they exist
+    /// *this round*, not as they were at compile time. The cardinality
+    /// snapshot of the previous replan; replanning is skipped while the
+    /// sizes that drive scan ordering are unchanged.
+    plans: Vec<RulePlans>,
+    cards: CardSnapshot,
+    /// Whether any rule's scan order can react to cardinalities at all
+    /// (some rule has ≥ 2 positive body atoms). Computed on first use; when
+    /// `false`, replanning is skipped and the compile-time plans run —
+    /// single-join programs pay zero replanning overhead.
+    order_sensitive: Option<bool>,
 }
 
 impl DeltaDriver {
@@ -73,7 +88,40 @@ impl DeltaDriver {
             derived: cp.empty_interp(),
             delta: cp.empty_interp(),
             opts,
+            plans: Vec::new(),
+            cards: CardSnapshot::unknown(),
+            order_sensitive: None,
         }
+    }
+
+    /// Re-plans every rule against the live relation cardinalities (the
+    /// materialized EDB plus the current `s`). Cheap — rule bodies are a
+    /// handful of literals — and skipped entirely when no rule's order can
+    /// depend on cardinalities or when no size changed since the previous
+    /// snapshot.
+    fn replan(&mut self, cp: &CompiledProgram, ctx: &EvalContext, s: &Interp) {
+        let sensitive = *self
+            .order_sensitive
+            .get_or_insert_with(|| cp.rules.iter().any(CompiledRule::order_sensitive));
+        if !sensitive {
+            return;
+        }
+        let cards = CardSnapshot::new(
+            ctx.edb.iter().map(Relation::len).collect(),
+            s.relations().iter().map(Relation::len).collect(),
+        );
+        if self.plans.len() == cp.rules.len() && cards == self.cards {
+            return;
+        }
+        self.plans = cp.rules.iter().map(|r| r.replan(&cards)).collect();
+        self.cards = cards;
+    }
+
+    /// The live plan overrides to execute with — `None` until a replan has
+    /// produced any (order-insensitive programs run their compile-time
+    /// plans forever).
+    fn overrides(plans: &[RulePlans]) -> Option<&[RulePlans]> {
+        (!plans.is_empty()).then_some(plans)
     }
 
     /// Extends `s` in place to the least fixpoint of the (effective)
@@ -101,6 +149,7 @@ impl DeltaDriver {
         frozen_neg: Option<&Interp>,
         trace: Option<&mut EvalTrace>,
     ) -> usize {
+        self.replan(cp, ctx, s);
         apply_general_into(
             cp,
             ctx,
@@ -109,6 +158,7 @@ impl DeltaDriver {
             PlanKind::Full,
             None,
             frozen_neg,
+            Self::overrides(&self.plans),
             &mut self.derived,
             &self.opts,
         );
@@ -139,6 +189,7 @@ impl DeltaDriver {
         frozen_neg: &Interp,
         trace: Option<&mut EvalTrace>,
     ) -> usize {
+        self.replan(cp, ctx, s);
         apply_general_into(
             cp,
             ctx,
@@ -147,6 +198,7 @@ impl DeltaDriver {
             PlanKind::NegDelta,
             Some(removed),
             Some(frozen_neg),
+            Self::overrides(&self.plans),
             &mut self.derived,
             &self.opts,
         );
@@ -173,6 +225,7 @@ impl DeltaDriver {
             if let Some(tr) = trace.as_deref_mut() {
                 tr.record_round(added);
             }
+            self.replan(cp, ctx, s);
             apply_general_into(
                 cp,
                 ctx,
@@ -181,6 +234,7 @@ impl DeltaDriver {
                 PlanKind::PosDelta,
                 Some(&self.delta),
                 frozen_neg,
+                Self::overrides(&self.plans),
                 &mut self.derived,
                 &self.opts,
             );
@@ -213,6 +267,7 @@ impl DeltaDriver {
             PlanKind::Full,
             None,
             frozen_neg,
+            None,
             &mut full,
             &EvalOptions::sequential(),
         );

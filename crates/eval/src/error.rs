@@ -42,6 +42,13 @@ pub enum EvalError {
         /// The cap that was hit.
         limit: usize,
     },
+    /// A goal-directed query was refused under the caller's policy (e.g. a
+    /// non-stratifiable program queried with
+    /// [`NonStratifiedPolicy::Error`](crate::query::NonStratifiedPolicy)).
+    UnsupportedQuery {
+        /// Why the query could not be answered as requested.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -70,6 +77,9 @@ impl fmt::Display for EvalError {
             EvalError::IterationLimit { limit } => {
                 write!(f, "iteration limit {limit} exceeded")
             }
+            EvalError::UnsupportedQuery { reason } => {
+                write!(f, "query not supported: {reason}")
+            }
         }
     }
 }
@@ -93,6 +103,11 @@ mod tests {
         assert!(EvalError::IterationLimit { limit: 10 }
             .to_string()
             .contains("10"));
+        assert!(EvalError::UnsupportedQuery {
+            reason: "not stratified".into()
+        }
+        .to_string()
+        .contains("not stratified"));
         assert!(EvalError::NotPositive {
             offending: "!T(y)".into()
         }

@@ -25,9 +25,16 @@
 //! * [`wellfounded`] — Van Gelder's alternating-fixpoint semantics
 //!   (3-valued), an extension point for comparing negation semantics;
 //! * [`plan`] / [`resolve`] — the rule compiler: name resolution against a
-//!   database and join planning. Because the paper's semantics is
-//!   domain-grounded, plans may contain `Domain` steps that range a variable
-//!   over the whole universe — unsafe rules evaluate correctly.
+//!   database and join planning (greedy bound-position ordering with a
+//!   live-cardinality tie-break; the round driver re-plans every round).
+//!   Because the paper's semantics is domain-grounded, plans may contain
+//!   `Domain` steps that range a variable over the whole universe — unsafe
+//!   rules evaluate correctly;
+//! * [`query`] — goal-directed evaluation: the demand rewrites of
+//!   `inflog-rewrite` (adorned magic sets for stratified programs, the
+//!   demand-cone restriction for well-founded ones) plus an explicit
+//!   capability check, answering point queries without computing the full
+//!   fixpoint — set-identical to full-fixpoint-then-filter.
 //!
 //! The different engines share plans and state types, so cross-engine
 //! agreement (naive ≡ semi-naive; inflationary ≡ least fixpoint on positive
@@ -42,6 +49,7 @@ pub mod naive;
 pub mod operator;
 pub mod options;
 pub mod plan;
+pub mod query;
 pub mod resolve;
 pub mod seminaive;
 pub mod stratified;
@@ -59,7 +67,11 @@ pub use operator::{
     EvalContext,
 };
 pub use options::EvalOptions;
-pub use resolve::{ensure_program_constants, CompiledProgram};
+pub use query::{
+    demand_support, query, DemandSupport, NonStratifiedPolicy, QueryAnswer, QueryOpts,
+    QueryStrategy,
+};
+pub use resolve::{ensure_program_constants, CompiledProgram, RulePlans};
 pub use seminaive::{least_fixpoint_seminaive, least_fixpoint_seminaive_with};
 pub use stratified::{stratified_eval, stratified_eval_with, stratify, Stratification};
 pub use trace::EvalTrace;

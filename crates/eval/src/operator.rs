@@ -50,7 +50,7 @@ use crate::index::IndexSet;
 use crate::interp::Interp;
 use crate::options::EvalOptions;
 use crate::plan::{CTerm, Plan, PredRef, Source, Step};
-use crate::resolve::CompiledProgram;
+use crate::resolve::{CompiledProgram, RulePlans};
 use crate::Result;
 use inflog_core::{Const, Database, Relation, Tuple};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -187,6 +187,10 @@ struct ApplyOpts<'a> {
     delta: Option<&'a Interp>,
     /// If set, negative IDB literals read this interpretation instead of `s`.
     neg: Option<&'a Interp>,
+    /// Replanned plan sets indexed by source rule, overriding the compiled
+    /// program's plans — the round driver re-plans per round against live
+    /// relation cardinalities and executes through this.
+    overrides: Option<&'a [RulePlans]>,
 }
 
 /// `Θ(S)`.
@@ -200,6 +204,7 @@ pub fn apply(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp) -> Interp {
             plans: PlanKind::Full,
             delta: None,
             neg: None,
+            overrides: None,
         },
     )
 }
@@ -220,6 +225,7 @@ pub fn apply_subset(
             plans: PlanKind::Full,
             delta: None,
             neg: None,
+            overrides: None,
         },
     )
 }
@@ -243,6 +249,7 @@ pub fn apply_delta(
             plans: PlanKind::PosDelta,
             delta: Some(delta),
             neg: None,
+            overrides: None,
         },
     )
 }
@@ -259,6 +266,7 @@ pub fn apply_with_neg(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, neg: 
             plans: PlanKind::Full,
             delta: None,
             neg: Some(neg),
+            overrides: None,
         },
     )
 }
@@ -290,6 +298,7 @@ pub fn apply_delta_with_neg(
             plans: PlanKind::PosDelta,
             delta: Some(delta),
             neg: Some(neg),
+            overrides: None,
         },
     )
 }
@@ -315,6 +324,7 @@ pub(crate) fn apply_general_into(
     plans: PlanKind,
     delta: Option<&Interp>,
     neg: Option<&Interp>,
+    overrides: Option<&[RulePlans]>,
     out: &mut Interp,
     par: &EvalOptions,
 ) {
@@ -322,6 +332,10 @@ pub(crate) fn apply_general_into(
         plans == PlanKind::Full,
         delta.is_none(),
         "delta interpretations accompany exactly the delta plan kinds"
+    );
+    debug_assert!(
+        overrides.is_none_or(|o| o.len() == cp.rules.len()),
+        "plan overrides must cover every rule"
     );
     run_into(
         cp,
@@ -332,6 +346,7 @@ pub(crate) fn apply_general_into(
             plans,
             delta,
             neg,
+            overrides,
         },
         out,
         par,
@@ -591,7 +606,7 @@ fn run_into(
         let mut indexes = ctx.write_indexes();
         indexes.begin_application();
         for &ri in selected {
-            for plan in plans_of(&cp.rules[ri], opts.plans) {
+            for plan in plans_of(cp, ri, opts.overrides, opts.plans) {
                 prepare_plan(&mut indexes, plan, ctx, s, opts.delta);
             }
         }
@@ -615,7 +630,7 @@ fn run_into(
         let mut estimate = 0usize;
         for &ri in selected {
             let rule = &cp.rules[ri];
-            for plan in plans_of(rule, opts.plans) {
+            for plan in plans_of(cp, ri, opts.overrides, opts.plans) {
                 let extent = outer_extent(ctx, s, opts.delta, plan);
                 estimate += match extent {
                     Outer::Dense(n) | Outer::Domain(n) => n,
@@ -639,7 +654,7 @@ fn run_into(
 
     for &ri in selected {
         let rule = &cp.rules[ri];
-        for plan in plans_of(rule, opts.plans) {
+        for plan in plans_of(cp, ri, opts.overrides, opts.plans) {
             exec.run_plan(plan, out.get_mut(rule.head_pred));
         }
     }
@@ -732,12 +747,22 @@ fn run_tasks_parallel(exec: &Executor<'_>, tasks: &[Task<'_>], workers: usize, o
     }
 }
 
-/// The plan set of `rule` that a [`PlanKind`] application executes.
-fn plans_of(rule: &crate::resolve::CompiledRule, kind: PlanKind) -> &[Plan] {
-    match kind {
-        PlanKind::Full => std::slice::from_ref(&rule.full_plan),
-        PlanKind::PosDelta => &rule.delta_plans,
-        PlanKind::NegDelta => &rule.neg_delta_plans,
+/// The plan set of rule `ri` that a [`PlanKind`] application executes —
+/// from the per-round overrides when the caller replanned, otherwise the
+/// compiled program's compile-time plans.
+fn plans_of<'a>(
+    cp: &'a CompiledProgram,
+    ri: usize,
+    overrides: Option<&'a [RulePlans]>,
+    kind: PlanKind,
+) -> &'a [Plan] {
+    match (overrides, kind) {
+        (Some(o), PlanKind::Full) => std::slice::from_ref(&o[ri].full),
+        (Some(o), PlanKind::PosDelta) => &o[ri].delta,
+        (Some(o), PlanKind::NegDelta) => &o[ri].neg_delta,
+        (None, PlanKind::Full) => std::slice::from_ref(&cp.rules[ri].full_plan),
+        (None, PlanKind::PosDelta) => &cp.rules[ri].delta_plans,
+        (None, PlanKind::NegDelta) => &cp.rules[ri].neg_delta_plans,
     }
 }
 
@@ -1349,6 +1374,7 @@ mod tests {
             PlanKind::Full,
             None,
             None,
+            None,
             &mut seq,
             &EvalOptions::sequential(),
         );
@@ -1360,6 +1386,7 @@ mod tests {
                 &seed,
                 None,
                 PlanKind::Full,
+                None,
                 None,
                 None,
                 &mut par,
@@ -1390,6 +1417,7 @@ mod tests {
             &cp.empty_interp(),
             None,
             PlanKind::Full,
+            None,
             None,
             None,
             &mut out,

@@ -6,6 +6,14 @@
 //! * positive atoms become [`Step::Scan`]s, greedily ordered so that atoms
 //!   with the most already-bound argument positions run first (those
 //!   positions become hash-index keys);
+//! * **cardinality tie-break**: when two candidate atoms have the same
+//!   bound-position and constant counts, the one whose relation is
+//!   currently *smaller* — per the [`CardSnapshot`] the caller supplies —
+//!   is scanned first, since its candidate set is the smaller outer loop;
+//!   only a genuine size tie falls back to source order. Compile-time plans
+//!   snapshot the live EDB cardinalities (IDB relations are unknown and
+//!   assumed large); the round driver re-plans each semi-naive round with
+//!   the live IDB sizes, so scan order tracks the growing interpretation;
 //! * equalities bind variables ([`Step::BindEq`]) or filter
 //!   ([`Step::FilterEq`]);
 //! * negated atoms and inequalities are pushed down to the earliest point at
@@ -47,6 +55,42 @@ pub enum PredRef {
     Edb(usize),
     /// Non-database relation id.
     Idb(usize),
+}
+
+/// A snapshot of relation cardinalities the planner's scan-order tie-break
+/// consults: equal bound-position counts prefer the smaller relation.
+///
+/// Relations without a recorded size count as *unknown* and are treated as
+/// maximally large, so an [`unknown`](Self::unknown) snapshot degenerates to
+/// the historical pure source-order tie-break. The compiler records live
+/// EDB sizes with unknown IDBs; the round driver snapshots both sides every
+/// round (see `DeltaDriver`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CardSnapshot {
+    edb: Vec<usize>,
+    idb: Vec<usize>,
+}
+
+impl CardSnapshot {
+    /// Builds a snapshot from per-id sizes (EDB and IDB dense ids).
+    pub fn new(edb: Vec<usize>, idb: Vec<usize>) -> Self {
+        CardSnapshot { edb, idb }
+    }
+
+    /// The empty snapshot: every relation size unknown (assumed large), so
+    /// ties fall back to source order.
+    pub fn unknown() -> Self {
+        CardSnapshot::default()
+    }
+
+    /// Estimated cardinality of `pred` (`usize::MAX` when unknown).
+    pub fn size(&self, pred: PredRef) -> usize {
+        let (sizes, i) = match pred {
+            PredRef::Edb(i) => (&self.edb, i),
+            PredRef::Idb(i) => (&self.idb, i),
+        };
+        sizes.get(i).copied().unwrap_or(usize::MAX)
+    }
 }
 
 /// Which version of an IDB relation a scan reads (semi-naive evaluation).
@@ -175,7 +219,12 @@ pub struct Plan {
 /// Builds a plan for a rule body.
 ///
 /// `delta_lit` optionally names a body literal index that must be a positive
-/// IDB atom; it is scanned first from the [`Source::Delta`] relation.
+/// IDB atom; it is scanned first from the [`Source::Delta`] relation
+/// (the delta-first invariant: the delta is always the smallest input, so
+/// cardinality estimates never reorder it away from the front).
+///
+/// `cards` supplies the relation-cardinality estimates for the scan-order
+/// tie-break; [`CardSnapshot::unknown`] reproduces pure source order.
 ///
 /// # Panics
 /// Panics if `delta_lit` does not refer to a positive IDB atom (an internal
@@ -185,8 +234,9 @@ pub fn plan_rule(
     body: &[RLit],
     num_vars: usize,
     delta_lit: Option<usize>,
+    cards: &CardSnapshot,
 ) -> Plan {
-    plan_rule_inner(head, body, num_vars, delta_lit, false, &[])
+    plan_rule_inner(head, body, num_vars, delta_lit, false, &[], cards)
 }
 
 /// Builds a plan whose leading scan reads the [`Source::Delta`] relation for
@@ -207,8 +257,9 @@ pub fn plan_rule_neg_delta(
     body: &[RLit],
     num_vars: usize,
     neg_lit: usize,
+    cards: &CardSnapshot,
 ) -> Plan {
-    plan_rule_inner(head, body, num_vars, Some(neg_lit), true, &[])
+    plan_rule_inner(head, body, num_vars, Some(neg_lit), true, &[], cards)
 }
 
 /// Builds a plan with the given variable slots already bound by the caller
@@ -223,10 +274,12 @@ pub fn plan_rule_prebound(
     body: &[RLit],
     num_vars: usize,
     pre_bound: &[usize],
+    cards: &CardSnapshot,
 ) -> Plan {
-    plan_rule_inner(head, body, num_vars, None, false, pre_bound)
+    plan_rule_inner(head, body, num_vars, None, false, pre_bound, cards)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn plan_rule_inner(
     head: Vec<CTerm>,
     body: &[RLit],
@@ -234,6 +287,7 @@ fn plan_rule_inner(
     delta_lit: Option<usize>,
     delta_is_neg: bool,
     pre_bound: &[usize],
+    cards: &CardSnapshot,
 ) -> Plan {
     let mut steps = Vec::new();
     let mut bound = vec![false; num_vars];
@@ -325,7 +379,9 @@ fn plan_rule_inner(
         }
 
         // Phase 2: scan the positive atom with the most bound columns
-        // (ties: more constants, then source order).
+        // (ties: more constants, then the smaller relation per the
+        // cardinality snapshot — the smaller estimated candidate set is the
+        // cheaper outer loop — then source order).
         let best = remaining
             .iter()
             .enumerate()
@@ -340,7 +396,14 @@ fn plan_rule_inner(
                 }
                 _ => None,
             })
-            .max_by_key(|&(_, idx, _, _, bc, cc)| (bc, cc, std::cmp::Reverse(idx)));
+            .max_by_key(|&(_, idx, pred, _, bc, cc)| {
+                (
+                    bc,
+                    cc,
+                    std::cmp::Reverse(cards.size(pred)),
+                    std::cmp::Reverse(idx),
+                )
+            });
 
         if let Some((slot, _, pred, terms, _, _)) = best {
             let key_cols: Vec<usize> = terms
@@ -418,7 +481,7 @@ mod tests {
                 terms: vec![v(1)],
             },
         ];
-        let p = plan_rule(vec![v(0)], &body, 2, None);
+        let p = plan_rule(vec![v(0)], &body, 2, None, &CardSnapshot::unknown());
         assert_eq!(p.steps.len(), 2);
         assert!(matches!(
             p.steps[0],
@@ -444,7 +507,7 @@ mod tests {
                 terms: vec![v(2)],
             },
         ];
-        let p = plan_rule(vec![v(0)], &body, 3, None);
+        let p = plan_rule(vec![v(0)], &body, 3, None, &CardSnapshot::unknown());
         let domains = p
             .steps
             .iter()
@@ -471,7 +534,7 @@ mod tests {
             },
             RLit::Eq(v(0), v(1)),
         ];
-        let p = plan_rule(vec![v(1)], &body, 2, None);
+        let p = plan_rule(vec![v(1)], &body, 2, None, &CardSnapshot::unknown());
         assert!(p
             .steps
             .iter()
@@ -493,7 +556,7 @@ mod tests {
                 terms: vec![v(2), v(1)],
             },
         ];
-        let p = plan_rule(vec![v(0), v(1)], &body, 3, None);
+        let p = plan_rule(vec![v(0), v(1)], &body, 3, None, &CardSnapshot::unknown());
         match &p.steps[1] {
             Step::Scan { key_cols, .. } => assert_eq!(key_cols, &vec![0]),
             other => panic!("expected scan, got {other:?}"),
@@ -513,7 +576,13 @@ mod tests {
                 terms: vec![v(2), v(1)],
             },
         ];
-        let p = plan_rule(vec![v(0), v(1)], &body, 3, Some(1));
+        let p = plan_rule(
+            vec![v(0), v(1)],
+            &body,
+            3,
+            Some(1),
+            &CardSnapshot::unknown(),
+        );
         match &p.steps[0] {
             Step::Scan { source, pred, .. } => {
                 assert_eq!(*source, Source::Delta);
@@ -543,7 +612,7 @@ mod tests {
                 terms: vec![v(1)],
             },
         ];
-        let p = plan_rule_neg_delta(vec![v(0)], &body, 2, 1);
+        let p = plan_rule_neg_delta(vec![v(0)], &body, 2, 1, &CardSnapshot::unknown());
         match &p.steps[0] {
             Step::Scan { pred, source, .. } => {
                 assert_eq!(*pred, T);
@@ -578,7 +647,7 @@ mod tests {
                 terms: vec![v(0)],
             },
         ];
-        let p = plan_rule_neg_delta(vec![v(0)], &body, 2, 1);
+        let p = plan_rule_neg_delta(vec![v(0)], &body, 2, 1, &CardSnapshot::unknown());
         let neg_filters = p
             .steps
             .iter()
@@ -601,7 +670,7 @@ mod tests {
                 terms: vec![v(1)],
             },
         ];
-        let p = plan_rule_prebound(vec![v(0)], &body, 2, &[0]);
+        let p = plan_rule_prebound(vec![v(0)], &body, 2, &[0], &CardSnapshot::unknown());
         match &p.steps[0] {
             Step::Scan { key_cols, .. } => assert_eq!(key_cols, &vec![0]),
             other => panic!("expected keyed scan, got {other:?}"),
@@ -618,6 +687,7 @@ mod tests {
             &[],
             1,
             None,
+            &CardSnapshot::unknown(),
         );
         assert_eq!(p.steps.len(), 1);
         assert!(matches!(p.steps[0], Step::Domain { var: 0 }));
@@ -627,7 +697,7 @@ mod tests {
     fn var_var_equality_with_no_bindings() {
         // P(x) <- x = y (both unbound): Domain then BindEq.
         let body = vec![RLit::Eq(v(0), v(1))];
-        let p = plan_rule(vec![v(0)], &body, 2, None);
+        let p = plan_rule(vec![v(0)], &body, 2, None, &CardSnapshot::unknown());
         assert!(matches!(p.steps[0], Step::Domain { .. }));
         assert!(matches!(p.steps[1], Step::BindEq { .. }));
     }
@@ -645,7 +715,7 @@ mod tests {
                 terms: vec![v(0), v(0)],
             },
         ];
-        let p = plan_rule(vec![v(0)], &body, 1, None);
+        let p = plan_rule(vec![v(0)], &body, 1, None, &CardSnapshot::unknown());
         let scans = p
             .steps
             .iter()
@@ -660,6 +730,70 @@ mod tests {
     }
 
     #[test]
+    fn cardinality_breaks_bound_count_ties() {
+        // P(x, y) :- E(x, z), F(z, y): both atoms start with zero bound
+        // columns. With F smaller than E, F must be scanned first (smaller
+        // outer loop) and E keyed on its now-bound z column — the reverse of
+        // source order.
+        let f = PredRef::Edb(1);
+        let body = vec![
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(0), v(2)],
+            },
+            RLit::Pos {
+                pred: f,
+                terms: vec![v(2), v(1)],
+            },
+        ];
+        let cards = CardSnapshot::new(vec![100, 3], Vec::new());
+        let p = plan_rule(vec![v(0), v(1)], &body, 3, None, &cards);
+        match &p.steps[0] {
+            Step::Scan { pred, key_cols, .. } => {
+                assert_eq!(*pred, f, "smaller relation scans first");
+                assert!(key_cols.is_empty());
+            }
+            other => panic!("expected scan, got {other:?}"),
+        }
+        match &p.steps[1] {
+            Step::Scan { pred, key_cols, .. } => {
+                assert_eq!(*pred, E);
+                assert_eq!(key_cols, &vec![1], "E keyed on z bound by F");
+            }
+            other => panic!("expected scan, got {other:?}"),
+        }
+
+        // Equal sizes: the tie falls back to source order (E first).
+        let tied = CardSnapshot::new(vec![5, 5], Vec::new());
+        let p = plan_rule(vec![v(0), v(1)], &body, 3, None, &tied);
+        match &p.steps[0] {
+            Step::Scan { pred, .. } => assert_eq!(*pred, E, "size ties keep source order"),
+            other => panic!("expected scan, got {other:?}"),
+        }
+
+        // Bound columns still dominate cardinality: a keyed E beats a
+        // smaller unkeyed F.
+        let body_keyed = vec![
+            RLit::Pos {
+                pred: E,
+                terms: vec![v(0), v(2)],
+            },
+            RLit::Pos {
+                pred: f,
+                terms: vec![v(3), v(1)],
+            },
+        ];
+        let p = plan_rule_prebound(vec![v(0), v(1)], &body_keyed, 4, &[0], &cards);
+        match &p.steps[0] {
+            Step::Scan { pred, key_cols, .. } => {
+                assert_eq!(*pred, E, "bound columns outrank cardinality");
+                assert_eq!(key_cols, &vec![0]);
+            }
+            other => panic!("expected scan, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn neq_filter_after_binding() {
         let body = vec![
             RLit::Neq(v(0), v(1)),
@@ -668,7 +802,7 @@ mod tests {
                 terms: vec![v(0), v(1)],
             },
         ];
-        let p = plan_rule(vec![v(0)], &body, 2, None);
+        let p = plan_rule(vec![v(0)], &body, 2, None, &CardSnapshot::unknown());
         assert!(matches!(p.steps[0], Step::Scan { .. }));
         assert!(matches!(p.steps[1], Step::FilterNeq { .. }));
     }

@@ -3,11 +3,31 @@
 
 use crate::error::EvalError;
 use crate::interp::Interp;
-use crate::plan::{plan_rule, plan_rule_neg_delta, plan_rule_prebound, CTerm, Plan, PredRef, RLit};
+use crate::plan::{
+    plan_rule, plan_rule_neg_delta, plan_rule_prebound, CTerm, CardSnapshot, Plan, PredRef, RLit,
+};
 use crate::Result;
 use inflog_core::{Database, Relation};
 use inflog_syntax::{Atom, Literal, Program, Term};
 use std::collections::HashMap;
+
+/// The re-plannable plan set of one rule: everything the round driver
+/// executes (the head-prebound check plan is planned once at compile time —
+/// its scans are keyed by the pre-bound head, so cardinality ordering has
+/// nothing to reorder).
+///
+/// [`CompiledRule::replan`] rebuilds one of these against a fresh
+/// [`CardSnapshot`], which is how scan order tracks live IDB sizes round
+/// over round.
+#[derive(Debug, Clone)]
+pub struct RulePlans {
+    /// Plan evaluating the whole body.
+    pub full: Plan,
+    /// Delta plans, one per positive IDB atom occurrence.
+    pub delta: Vec<Plan>,
+    /// Neg-delta plans, one per negated IDB atom occurrence.
+    pub neg_delta: Vec<Plan>,
+}
 
 /// One compiled rule: the full plan plus one delta plan per positive IDB
 /// atom occurrence (for semi-naive evaluation).
@@ -41,6 +61,66 @@ pub struct CompiledRule {
     pub has_pos_idb: bool,
     /// Index of the source rule in the original program.
     pub src_index: usize,
+}
+
+impl CompiledRule {
+    /// Rebuilds this rule's full/delta/neg-delta plans against a fresh
+    /// cardinality snapshot — scan order follows the live relation sizes,
+    /// while the delta-first invariant and the step semantics are untouched.
+    pub fn replan(&self, cards: &CardSnapshot) -> RulePlans {
+        build_plans(&self.head_terms, &self.body, self.num_vars, cards)
+    }
+
+    /// Whether cardinalities can affect this rule's scan order at all: the
+    /// planner only ever chooses between *positive* atoms, so a body with
+    /// fewer than two of them plans identically under every snapshot — the
+    /// round driver skips replanning for programs made of such rules.
+    pub fn order_sensitive(&self) -> bool {
+        self.body
+            .iter()
+            .filter(|l| matches!(l, RLit::Pos { .. }))
+            .count()
+            >= 2
+    }
+}
+
+/// Plans a rule's full, per-positive-occurrence delta, and
+/// per-negative-occurrence neg-delta plans under one cardinality snapshot.
+fn build_plans(head: &[CTerm], body: &[RLit], num_vars: usize, cards: &CardSnapshot) -> RulePlans {
+    let full = plan_rule(head.to_vec(), body, num_vars, None, cards);
+    let delta = body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            matches!(
+                l,
+                RLit::Pos {
+                    pred: PredRef::Idb(_),
+                    ..
+                }
+            )
+        })
+        .map(|(i, _)| plan_rule(head.to_vec(), body, num_vars, Some(i), cards))
+        .collect();
+    let neg_delta = body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            matches!(
+                l,
+                RLit::Neg {
+                    pred: PredRef::Idb(_),
+                    ..
+                }
+            )
+        })
+        .map(|(i, _)| plan_rule_neg_delta(head.to_vec(), body, num_vars, i, cards))
+        .collect();
+    RulePlans {
+        full,
+        delta,
+        neg_delta,
+    }
 }
 
 /// A program compiled against a database universe: dense IDB/EDB ids,
@@ -102,6 +182,19 @@ impl CompiledProgram {
             }
         }
 
+        // Compile-time cardinality snapshot: EDB sizes are live (the
+        // database is fixed for the evaluation), IDB sizes are unknown —
+        // assumed large, so compile-time ties prefer scanning EDB relations
+        // and otherwise keep source order. The round driver re-snapshots
+        // with live IDB sizes every round.
+        let compile_cards = CardSnapshot::new(
+            edb_names
+                .iter()
+                .map(|n| db.relation(n).map_or(0, Relation::len))
+                .collect(),
+            vec![usize::MAX; idb_names.len()],
+        );
+
         // Per-rule compilation.
         let mut rules = Vec::with_capacity(program.rules.len());
         for (src_index, rule) in program.rules.iter().enumerate() {
@@ -152,39 +245,7 @@ impl CompiledProgram {
                 });
             }
 
-            let full_plan = plan_rule(head_terms.clone(), &body, num_vars, None);
-            let pos_idb_lits: Vec<usize> = body
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| {
-                    matches!(
-                        l,
-                        RLit::Pos {
-                            pred: PredRef::Idb(_),
-                            ..
-                        }
-                    )
-                })
-                .map(|(i, _)| i)
-                .collect();
-            let delta_plans: Vec<Plan> = pos_idb_lits
-                .iter()
-                .map(|&i| plan_rule(head_terms.clone(), &body, num_vars, Some(i)))
-                .collect();
-            let neg_delta_plans: Vec<Plan> = body
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| {
-                    matches!(
-                        l,
-                        RLit::Neg {
-                            pred: PredRef::Idb(_),
-                            ..
-                        }
-                    )
-                })
-                .map(|(i, _)| plan_rule_neg_delta(head_terms.clone(), &body, num_vars, i))
-                .collect();
+            let plans = build_plans(&head_terms, &body, num_vars, &compile_cards);
             let head_vars: Vec<usize> = head_terms
                 .iter()
                 .filter_map(|t| match t {
@@ -192,16 +253,22 @@ impl CompiledProgram {
                     CTerm::Const(_) => None,
                 })
                 .collect();
-            let check_plan = plan_rule_prebound(head_terms.clone(), &body, num_vars, &head_vars);
+            let check_plan = plan_rule_prebound(
+                head_terms.clone(),
+                &body,
+                num_vars,
+                &head_vars,
+                &compile_cards,
+            );
 
             rules.push(CompiledRule {
                 head_pred,
                 head_terms,
                 num_vars,
-                full_plan,
-                has_pos_idb: !pos_idb_lits.is_empty(),
-                delta_plans,
-                neg_delta_plans,
+                has_pos_idb: !plans.delta.is_empty(),
+                full_plan: plans.full,
+                delta_plans: plans.delta,
+                neg_delta_plans: plans.neg_delta,
                 check_plan,
                 src_index,
                 body,

@@ -191,6 +191,7 @@ pub fn well_founded_compiled_with(
             operator::PlanKind::NegDelta,
             Some(&delta_t),
             Some(&empty_neg),
+            None,
             &mut heads,
             opts,
         );
@@ -221,6 +222,7 @@ pub fn well_founded_compiled_with(
                 operator::PlanKind::PosDelta,
                 Some(&frontier),
                 Some(&empty_neg),
+                None,
                 &mut heads,
                 opts,
             );

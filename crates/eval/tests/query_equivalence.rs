@@ -1,0 +1,298 @@
+//! Randomized (fixed-seed) equivalence tests: `query(P, goal)` must be
+//! set-identical to full-fixpoint-then-filter, for stratified programs
+//! under the perfect model and non-stratifiable programs under the
+//! well-founded model — over paths, cycles and `gnp` random graphs,
+//! including goals with zero answers and fully-bound goals.
+//!
+//! (Debug builds additionally re-verify the identity *inside* `query` on
+//! every call; these tests assert it independently so release builds are
+//! covered too.)
+
+use inflog_core::graphs::DiGraph;
+use inflog_core::{Database, Tuple};
+use inflog_eval::{
+    query, stratified_eval, well_founded, CompiledProgram, NonStratifiedPolicy, QueryOpts,
+    QueryStrategy,
+};
+use inflog_syntax::{parse_atom, parse_program, Atom, Program, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Full-fixpoint-then-filter reference for a stratified program.
+fn perfect_filtered(p: &Program, db: &Database, goal: &Atom) -> Vec<Tuple> {
+    let (m, _) = stratified_eval(p, db).expect("stratified reference");
+    filtered(p, db, goal, &m)
+}
+
+/// Filters an interpretation's goal relation by the goal atom.
+fn filtered(p: &Program, db: &Database, goal: &Atom, m: &inflog_eval::Interp) -> Vec<Tuple> {
+    let cp = CompiledProgram::compile(p, db).expect("reference compiles");
+    let gid = cp.idb_id(&goal.predicate).expect("goal is IDB");
+    let resolved: Vec<Option<inflog_core::Const>> = goal
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(db.universe().lookup(c).expect("goal constant interned")),
+            Term::Var(_) => None,
+        })
+        .collect();
+    // Repeated goal variables: positions that must be pairwise equal.
+    let var_groups: Vec<Option<usize>> = goal
+        .terms
+        .iter()
+        .enumerate()
+        .map(|(i, t)| match t {
+            Term::Var(v) => goal
+                .terms
+                .iter()
+                .position(|u| u.as_var() == Some(v))
+                .filter(|&j| j < i),
+            Term::Const(_) => None,
+        })
+        .collect();
+    m.get(gid)
+        .sorted()
+        .into_iter()
+        .filter(|t| {
+            resolved
+                .iter()
+                .enumerate()
+                .all(|(i, c)| c.is_none_or(|c| t[i] == c))
+                && var_groups
+                    .iter()
+                    .enumerate()
+                    .all(|(i, g)| g.is_none_or(|j| t[i] == t[j]))
+        })
+        .collect()
+}
+
+fn graphs(seed: u64) -> Vec<DiGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gs = vec![
+        DiGraph::path(7),
+        DiGraph::cycle(6),
+        DiGraph::cycle(5),
+        DiGraph::binary_tree(15),
+        DiGraph::grid(3, 4),
+    ];
+    for _ in 0..6 {
+        gs.push(DiGraph::random_gnp(9, 0.18, &mut rng));
+    }
+    gs
+}
+
+#[test]
+fn tc_queries_match_filter_across_graphs() {
+    let p = parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).").unwrap();
+    let mut rng = StdRng::seed_from_u64(101);
+    for g in graphs(7) {
+        let db = g.to_database("E");
+        let n = g.num_vertices();
+        let src = rng.gen_range(0..n as u32);
+        let dst = rng.gen_range(0..n as u32);
+        let goals = [
+            format!("S('v{src}', y)"),
+            format!("S(x, 'v{dst}')"),
+            format!("S('v{src}', 'v{dst}')"), // fully bound (0 or 1 answers)
+            "S(x, y)".to_string(),
+            "S(x, x)".to_string(),
+        ];
+        for gsrc in goals {
+            let goal = parse_atom(&gsrc).unwrap();
+            let a = query(&p, &goal, &db, &QueryOpts::default()).unwrap();
+            assert_eq!(a.strategy, QueryStrategy::MagicStratified);
+            assert_eq!(
+                a.tuples,
+                perfect_filtered(&p, &db, &goal),
+                "goal {gsrc} on {g}"
+            );
+            assert!(a.undefined.is_empty());
+        }
+    }
+}
+
+#[test]
+fn stratified_negation_queries_match_filter() {
+    // Two strata, plus an unsafe-ish complement through negation.
+    let p = parse_program(
+        "S(x, y) :- E(x, y).
+         S(x, y) :- E(x, z), S(z, y).
+         C(x, y) :- !S(x, y).
+         D(x) :- E(x, y), !S(y, x).",
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(202);
+    for g in graphs(8) {
+        let db = g.to_database("E");
+        let n = g.num_vertices();
+        let v = rng.gen_range(0..n as u32);
+        for gsrc in [
+            format!("C('v{v}', y)"),
+            format!("C('v{v}', 'v{}')", (v + 1) % n as u32),
+            format!("D('v{v}')"),
+            "D(x)".to_string(),
+        ] {
+            let goal = parse_atom(&gsrc).unwrap();
+            let a = query(&p, &goal, &db, &QueryOpts::default()).unwrap();
+            assert_eq!(
+                a.tuples,
+                perfect_filtered(&p, &db, &goal),
+                "goal {gsrc} on {g}"
+            );
+        }
+    }
+}
+
+#[test]
+fn three_strata_chain_queries() {
+    let p = parse_program(
+        "A(x) :- V(x), E(x, y).
+         B(x) :- V(x), !A(x).
+         C(x) :- V(x), !B(x).",
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(303);
+    for _ in 0..5 {
+        let g = DiGraph::random_gnp(8, 0.2, &mut rng);
+        let mut db = g.to_database("E");
+        for v in 0..8u32 {
+            db.insert_named_fact("V", &[&DiGraph::vertex_name(v)])
+                .unwrap();
+        }
+        for gsrc in ["C('v3')", "C(x)", "B('v0')", "A('v5')"] {
+            let goal = parse_atom(gsrc).unwrap();
+            let a = query(&p, &goal, &db, &QueryOpts::default()).unwrap();
+            assert_eq!(a.tuples, perfect_filtered(&p, &db, &goal), "goal {gsrc}");
+        }
+    }
+}
+
+#[test]
+fn win_move_queries_match_wellfounded_filter() {
+    let p = parse_program("Win(x) :- Move(x, y), !Win(y).").unwrap();
+    let mut rng = StdRng::seed_from_u64(404);
+    for g in graphs(9) {
+        let db = g.to_database("Move");
+        let n = g.num_vertices() as u32;
+        let wf = well_founded(&p, &db).unwrap();
+        for _ in 0..3 {
+            let v = rng.gen_range(0..n);
+            let goal = parse_atom(&format!("Win('v{v}')")).unwrap();
+            let a = query(&p, &goal, &db, &QueryOpts::default()).unwrap();
+            assert_eq!(a.strategy, QueryStrategy::MagicWellFounded);
+            assert_eq!(
+                a.tuples,
+                filtered(&p, &db, &goal, &wf.true_facts),
+                "true answers for Win('v{v}') on {g}"
+            );
+            assert_eq!(
+                a.undefined,
+                filtered(&p, &db, &goal, &wf.undefined),
+                "undefined answers for Win('v{v}') on {g}"
+            );
+        }
+        // All-free goal through the cone path: full demand, same model.
+        let goal = parse_atom("Win(x)").unwrap();
+        let a = query(&p, &goal, &db, &QueryOpts::default()).unwrap();
+        assert_eq!(a.tuples, filtered(&p, &db, &goal, &wf.true_facts));
+        assert_eq!(a.undefined, filtered(&p, &db, &goal, &wf.undefined));
+    }
+}
+
+#[test]
+fn nonstratified_mixed_recursion_queries() {
+    // Win/move plus positive recursion guarded by the non-stratified
+    // predicate — the same shape as the wellfounded_win_move_gnp bench.
+    let p = parse_program(
+        "Win(x) :- Move(x, y), !Win(y).
+         Safe(x, y) :- Move(x, y), !Win(x).
+         Safe(x, y) :- Safe(x, z), Move(z, y), !Win(y).",
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(505);
+    for _ in 0..6 {
+        let g = DiGraph::random_gnp(8, 0.2, &mut rng);
+        let db = g.to_database("Move");
+        let wf = well_founded(&p, &db).unwrap();
+        let v = rng.gen_range(0..8u32);
+        for gsrc in [
+            format!("Safe('v{v}', y)"),
+            format!("Safe('v{v}', 'v{}')", (v + 3) % 8),
+            format!("Win('v{v}')"),
+        ] {
+            let goal = parse_atom(&gsrc).unwrap();
+            let a = query(&p, &goal, &db, &QueryOpts::default()).unwrap();
+            assert_eq!(
+                a.tuples,
+                filtered(&p, &db, &goal, &wf.true_facts),
+                "goal {gsrc} on {g}"
+            );
+            assert_eq!(
+                a.undefined,
+                filtered(&p, &db, &goal, &wf.undefined),
+                "undefined for {gsrc} on {g}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cone_and_full_policies_agree() {
+    let p = parse_program("T(x) :- E(y, x), !T(y).").unwrap();
+    let mut rng = StdRng::seed_from_u64(606);
+    for _ in 0..5 {
+        let g = DiGraph::random_gnp(7, 0.25, &mut rng);
+        let db = g.to_database("E");
+        let v = rng.gen_range(0..7u32);
+        let goal = parse_atom(&format!("T('v{v}')")).unwrap();
+        let cone = query(&p, &goal, &db, &QueryOpts::default()).unwrap();
+        let full = query(
+            &p,
+            &goal,
+            &db,
+            &QueryOpts {
+                non_stratified: NonStratifiedPolicy::FullEvaluation,
+                ..QueryOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(cone.tuples, full.tuples, "T('v{v}') on {g}");
+        assert_eq!(cone.undefined, full.undefined, "T('v{v}') on {g}");
+    }
+}
+
+#[test]
+fn zero_answer_goals() {
+    let p = parse_program("S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).").unwrap();
+    // Two disjoint paths: nothing reaches across components.
+    let g = DiGraph::path(4).disjoint_union(&DiGraph::path(3));
+    let db = g.to_database("E");
+    for gsrc in ["S('v3', y)", "S('v0', 'v5')", "S('v6', y)"] {
+        let goal = parse_atom(gsrc).unwrap();
+        let a = query(&p, &goal, &db, &QueryOpts::default()).unwrap();
+        assert!(a.tuples.is_empty(), "{gsrc} must have no answers");
+        assert_eq!(a.tuples, perfect_filtered(&p, &db, &goal));
+    }
+}
+
+#[test]
+fn unsafe_rules_under_demand() {
+    // Head variable never bound by the body: domain-grounded semantics
+    // ranges it over the whole universe; the guard restricts it to demand.
+    let p = parse_program(
+        "P(x, y) :- E(x, z).
+         Q(x) :- P(x, x), !R(x).
+         R(x) :- E(x, x).",
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(707);
+    for _ in 0..4 {
+        let g = DiGraph::random_gnp(6, 0.3, &mut rng);
+        let db = g.to_database("E");
+        for gsrc in ["Q('v2')", "Q(x)", "P('v1', y)"] {
+            let goal = parse_atom(gsrc).unwrap();
+            let a = query(&p, &goal, &db, &QueryOpts::default()).unwrap();
+            assert_eq!(a.tuples, perfect_filtered(&p, &db, &goal), "goal {gsrc}");
+        }
+    }
+}

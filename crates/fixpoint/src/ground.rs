@@ -22,7 +22,7 @@
 
 use crate::Result;
 use inflog_core::{Database, Tuple};
-use inflog_eval::plan::{plan_rule, CTerm, PredRef, RLit};
+use inflog_eval::plan::{plan_rule, CTerm, CardSnapshot, PredRef, RLit};
 use inflog_eval::{enumerate_bindings, CompiledProgram, EvalContext, Interp};
 use inflog_syntax::Program;
 use std::collections::HashSet;
@@ -115,7 +115,13 @@ impl GroundProgram {
             // planner Domain-grounds every variable the extensional part
             // does not bind.
             let identity: Vec<CTerm> = (0..rule.num_vars).map(CTerm::Var).collect();
-            let gplan = plan_rule(identity, &ext, rule.num_vars, None);
+            let gplan = plan_rule(
+                identity,
+                &ext,
+                rule.num_vars,
+                None,
+                &CardSnapshot::unknown(),
+            );
             let bindings = enumerate_bindings(&gplan, ctx);
 
             let mut seen: HashSet<(usize, GroundBody)> = HashSet::new();

@@ -1,0 +1,176 @@
+//! Adornments: per-argument binding patterns (`b` = bound, `f` = free).
+//!
+//! An adornment records, for one use of a predicate, which argument
+//! positions carry a value already known at that point of the evaluation —
+//! from the goal's constants, or from variables bound earlier in a rule
+//! body under the left-to-right sideways-information-passing strategy.
+//! `S` queried as `S('v0', y)` gets the adornment `bf`; the recursive call
+//! it demands inherits a pattern from the bindings available where the
+//! recursive atom occurs.
+
+use inflog_syntax::{Atom, Term};
+use std::collections::BTreeSet;
+
+/// A binding pattern: `true` = bound, `false` = free, one entry per
+/// argument position.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Adornment(Vec<bool>);
+
+impl Adornment {
+    /// Builds an adornment from explicit flags.
+    pub fn new(bound: Vec<bool>) -> Self {
+        Adornment(bound)
+    }
+
+    /// The adornment a **goal atom** induces: constant positions are bound,
+    /// variable positions free (repeated goal variables are equality
+    /// filters on the answer, not bindings — the rewrite stays sound either
+    /// way, this is just the conservative choice).
+    pub fn of_goal(goal: &Atom) -> Self {
+        Adornment(goal.terms.iter().map(|t| !t.is_var()).collect())
+    }
+
+    /// The adornment of a body occurrence, given the variables bound before
+    /// it: constants and already-bound variables are bound positions.
+    pub fn of_occurrence(atom: &Atom, bound_vars: &BTreeSet<String>) -> Self {
+        Adornment(
+            atom.terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound_vars.contains(v),
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of argument positions.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Number of bound positions (the arity of the magic predicate).
+    pub fn bound_count(&self) -> usize {
+        self.0.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether position `i` is bound.
+    pub fn is_bound(&self, i: usize) -> bool {
+        self.0[i]
+    }
+
+    /// Whether every position is free (the degenerate full-demand pattern).
+    pub fn all_free(&self) -> bool {
+        !self.0.iter().any(|&b| b)
+    }
+
+    /// The classic string form: `bf`, `bb`, … (empty for 0-ary predicates).
+    pub fn suffix(&self) -> String {
+        self.0.iter().map(|&b| if b { 'b' } else { 'f' }).collect()
+    }
+
+    /// The terms of `atom` at this adornment's bound positions, in position
+    /// order — the argument list of the corresponding magic atom.
+    pub fn bound_terms(&self, atom: &Atom) -> Vec<Term> {
+        debug_assert_eq!(atom.arity(), self.arity());
+        atom.terms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.0[*i])
+            .map(|(_, t)| t.clone())
+            .collect()
+    }
+
+    /// The variables of `atom` at this adornment's bound positions.
+    pub fn bound_vars(&self, atom: &Atom) -> BTreeSet<String> {
+        atom.terms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.0[*i])
+            .filter_map(|(_, t)| t.as_var().map(str::to_owned))
+            .collect()
+    }
+}
+
+/// Name of the adorned copy of `pred` under adornment `a`: `pred#bf`.
+///
+/// `#` cannot appear in a parsed predicate name, so adorned predicates never
+/// collide with user predicates.
+pub fn adorned_name(pred: &str, a: &Adornment) -> String {
+    format!("{pred}#{}", a.suffix())
+}
+
+/// Name of the magic (demand) predicate for `pred` under `a`: `M#pred#bf`.
+/// Its arity is [`Adornment::bound_count`].
+pub fn magic_name(pred: &str, a: &Adornment) -> String {
+    format!("M#{pred}#{}", a.suffix())
+}
+
+/// Name of the positivized over-approximation of `pred#a` used by the
+/// demand phase of the cone rewrite: `P#pred#bf`. Full arity.
+pub fn pot_name(pred: &str, a: &Adornment) -> String {
+    format!("P#{pred}#{}", a.suffix())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_syntax::Term;
+
+    fn v(s: &str) -> Term {
+        Term::Var(s.into())
+    }
+
+    fn c(s: &str) -> Term {
+        Term::Const(s.into())
+    }
+
+    #[test]
+    fn goal_adornment_marks_constants() {
+        let a = Adornment::of_goal(&Atom::new("S", vec![c("v0"), v("y")]));
+        assert_eq!(a.suffix(), "bf");
+        assert_eq!(a.bound_count(), 1);
+        assert!(a.is_bound(0) && !a.is_bound(1));
+        assert!(!a.all_free());
+        let free = Adornment::of_goal(&Atom::new("S", vec![v("x"), v("y")]));
+        assert_eq!(free.suffix(), "ff");
+        assert!(free.all_free());
+    }
+
+    #[test]
+    fn occurrence_adornment_uses_bound_vars() {
+        let mut bound = BTreeSet::new();
+        bound.insert("x".to_owned());
+        let a = Adornment::of_occurrence(&Atom::new("S", vec![v("x"), v("y")]), &bound);
+        assert_eq!(a.suffix(), "bf");
+        let b = Adornment::of_occurrence(&Atom::new("S", vec![c("1"), v("y")]), &bound);
+        assert_eq!(b.suffix(), "bf");
+    }
+
+    #[test]
+    fn bound_terms_projects_in_position_order() {
+        let a = Adornment::new(vec![true, false, true]);
+        let atom = Atom::new("Q", vec![v("x"), v("y"), c("1")]);
+        assert_eq!(a.bound_terms(&atom), vec![v("x"), c("1")]);
+        assert_eq!(
+            a.bound_vars(&atom).into_iter().collect::<Vec<_>>(),
+            vec!["x".to_owned()]
+        );
+    }
+
+    #[test]
+    fn zero_ary_adornment() {
+        let a = Adornment::of_goal(&Atom::new("Win", Vec::<Term>::new()));
+        assert_eq!(a.suffix(), "");
+        assert_eq!(a.bound_count(), 0);
+        assert_eq!(magic_name("Win", &a), "M#Win#");
+    }
+
+    #[test]
+    fn generated_names_are_distinct() {
+        let a = Adornment::new(vec![true, false]);
+        assert_eq!(adorned_name("S", &a), "S#bf");
+        assert_eq!(magic_name("S", &a), "M#S#bf");
+        assert_eq!(pot_name("S", &a), "P#S#bf");
+    }
+}

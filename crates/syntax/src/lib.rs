@@ -45,5 +45,5 @@ pub mod validate;
 
 pub use ast::{Atom, Literal, Program, Rule, Term};
 pub use builder::{atom, cst, fact, neg, pos, rule, var, ProgramBuilder};
-pub use parser::{parse_program, ParseError};
+pub use parser::{parse_atom, parse_program, ParseError};
 pub use validate::{validate, SafetyWarning, ValidationError};

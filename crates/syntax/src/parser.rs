@@ -63,6 +63,26 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     Ok(Program::new(rules))
 }
 
+/// Parses a single atom, e.g. a query goal like `S('v0', y)` or `Win('v3')`.
+///
+/// Uses the same grammar as rule atoms; trailing input (other than an
+/// optional `.`) is an error.
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_atom(src: &str) -> Result<Atom, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let atom = p.pred_atom()?;
+    if p.peek() == &Tok::Period {
+        p.bump();
+    }
+    if p.peek() != &Tok::Eof {
+        return p.err(format!("unexpected input after atom: {}", p.peek()));
+    }
+    Ok(atom)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -312,6 +332,23 @@ mod tests {
             let p2 = parse_program(&printed).unwrap();
             assert_eq!(p1, p2, "round-trip failed for `{src}` -> `{printed}`");
         }
+    }
+
+    #[test]
+    fn parse_atom_goal() {
+        let a = parse_atom("S('v0', y)").unwrap();
+        assert_eq!(a.predicate, "S");
+        assert_eq!(
+            a.terms,
+            vec![Term::Const("v0".into()), Term::Var("y".into())]
+        );
+        // Optional trailing period; 0-ary goals.
+        assert_eq!(parse_atom("S('v0', y).").unwrap(), a);
+        assert_eq!(parse_atom("Win").unwrap().arity(), 0);
+        // Malformed goals.
+        assert!(parse_atom("s(x)").is_err());
+        assert!(parse_atom("S(x), T(y)").is_err());
+        assert!(parse_atom("").is_err());
     }
 
     #[test]

@@ -13,5 +13,6 @@ pub use inflog_eval as eval;
 pub use inflog_fixpoint as fixpoint;
 pub use inflog_logic as logic;
 pub use inflog_reductions as reductions;
+pub use inflog_rewrite as rewrite;
 pub use inflog_sat as sat;
 pub use inflog_syntax as syntax;
