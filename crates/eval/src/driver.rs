@@ -207,6 +207,37 @@ impl DeltaDriver {
         self.drain_rounds(cp, ctx, s, None, Some(frozen_neg), trace)
     }
 
+    /// Like [`extend`](Self::extend), but the first round's derivations are
+    /// supplied directly as `seed` (IDB-shaped) instead of computed by a
+    /// full application — the caller has already enumerated exactly the
+    /// instances enabled by whatever changed.
+    ///
+    /// The materialized-view repair path builds the seed from the EDB-delta
+    /// plan families (plus the cross-engine `PosDelta`/`NegDelta` damage
+    /// accumulators) and drains it here; soundness of the subsequent delta
+    /// rounds is the caller's obligation, discharged in `materialize.rs`,
+    /// and the debug cross-check inside [`drain_rounds`](Self::drain_rounds)
+    /// verifies each round against a full naive application.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn extend_seeded(
+        &mut self,
+        cp: &CompiledProgram,
+        ctx: &EvalContext,
+        s: &mut Interp,
+        rules: Option<&[usize]>,
+        frozen_neg: Option<&Interp>,
+        seed: &Interp,
+        trace: Option<&mut EvalTrace>,
+    ) -> usize {
+        self.replan(cp, ctx, s);
+        for i in 0..self.derived.len() {
+            let out = self.derived.get_mut(i);
+            out.clear();
+            out.union_with(seed.get(i));
+        }
+        self.drain_rounds(cp, ctx, s, rules, frozen_neg, trace)
+    }
+
     /// Shared tail of both entry points: absorb the first round already
     /// sitting in `self.derived`, then run delta rounds until stable.
     fn drain_rounds(

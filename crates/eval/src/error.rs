@@ -15,6 +15,13 @@ pub enum EvalError {
         /// The constant's name as written in the program.
         name: String,
     },
+    /// An incremental update named a relation the program does not read as
+    /// an extensional predicate — the materialization could never observe
+    /// the change, so the update is almost certainly a mistake.
+    UnknownRelation {
+        /// The relation name as given to the update.
+        name: String,
+    },
     /// A predicate is used with inconsistent arities (program-internal or
     /// against the database).
     ArityMismatch {
@@ -59,6 +66,10 @@ impl fmt::Display for EvalError {
                 "program constant `{name}` is not in the database universe \
                  (intern it first with ensure_program_constants)"
             ),
+            EvalError::UnknownRelation { name } => write!(
+                f,
+                "relation `{name}` is not an extensional predicate of the program"
+            ),
             EvalError::ArityMismatch {
                 predicate,
                 expected,
@@ -95,6 +106,9 @@ mod tests {
         assert!(EvalError::UnknownConstant { name: "a".into() }
             .to_string()
             .contains("`a`"));
+        assert!(EvalError::UnknownRelation { name: "R".into() }
+            .to_string()
+            .contains("`R`"));
         assert!(EvalError::NotStratified {
             witness: "T -!-> T".into()
         }

@@ -30,6 +30,11 @@
 //!   Because the paper's semantics is domain-grounded, plans may contain
 //!   `Domain` steps that range a variable over the whole universe — unsafe
 //!   rules evaluate correctly;
+//! * [`materialize`] — live incremental view maintenance: a long-lived
+//!   [`Materialized`] handle whose `insert`/`retract` repair the fixpoint
+//!   (delete–rederive per stratum; a documented restart fallback for the
+//!   non-change-monotone inflationary and non-stratifiable well-founded
+//!   fixpoints) instead of recomputing it;
 //! * [`query`] — goal-directed evaluation: the demand rewrites of
 //!   `inflog-rewrite` (adorned magic sets for stratified programs, the
 //!   demand-cone restriction for well-founded ones) plus an explicit
@@ -45,6 +50,7 @@ pub mod error;
 pub mod index;
 pub mod inflationary;
 pub mod interp;
+pub mod materialize;
 pub mod naive;
 pub mod operator;
 pub mod options;
@@ -61,6 +67,7 @@ pub use error::EvalError;
 pub use index::IndexSet;
 pub use inflationary::{inflationary, inflationary_naive, inflationary_with};
 pub use interp::Interp;
+pub use materialize::{Engine, MaterializeOpts, Materialized, RepairStrategy};
 pub use naive::least_fixpoint_naive;
 pub use operator::{
     apply, apply_delta, apply_delta_with_neg, apply_subset, apply_with_neg, enumerate_bindings,

@@ -1,0 +1,902 @@
+//! Live incremental view maintenance: a long-lived materialized fixpoint
+//! that *repairs* itself under EDB inserts and retracts instead of
+//! recomputing.
+//!
+//! The paper defines every negation semantics — least fixpoint, stratified,
+//! inflationary, well-founded — over a *fixed* database. [`Materialized`]
+//! lifts each of them to a changing one: [`Materialized::new`] runs the
+//! chosen engine once, and [`Materialized::insert`] /
+//! [`Materialized::retract`] bring the model back to what a from-scratch
+//! evaluation over the mutated database would produce, doing work
+//! proportional to the *change* wherever the semantics allows it.
+//!
+//! # Repair strategies
+//!
+//! * **Delete–rederive (DRed)** — for the semi-naive least fixpoint,
+//!   stratified evaluation, and the well-founded model of stratifiable
+//!   programs (where it coincides with the perfect model). Per stratum,
+//!   bottom up:
+//!
+//!   1. *Damage*: before the EDB mutates, enumerate exactly the rule
+//!      instances the change kills — positive occurrences of retracted
+//!      facts through the `EdbDelta` plans, negated occurrences of inserted
+//!      facts through the `EdbNegDelta` plans — with every other literal
+//!      still reading the old state, so the enumeration is exact.
+//!   2. *Overdelete*: close the damage cone through positive IDB
+//!      dependencies (the same frontier sweep as the incremental
+//!      well-founded engine), removing cone members with
+//!      [`IndexSet::patch_swap_remove`](crate::IndexSet) so the persistent
+//!      indexes stay warm. Heads landing in higher strata are parked until
+//!      their stratum's turn.
+//!   3. *Rederive*: confirm cone members that still have an alternative
+//!      one-step derivation via the index-backed `derivable` check plans,
+//!      to closure.
+//!   4. *Top-up*: seed one semi-naive extension with the instances the
+//!      change *enables* — inserted facts through positive EDB occurrences,
+//!      retracted facts through negated ones, plus lower-strata additions
+//!      (`PosDelta`) and genuine removals (`NegDelta`) — and drain it with
+//!      the shared [`DeltaDriver`].
+//!
+//!   A batch is one-sided (an insert adds facts only; a retract removes
+//!   only), which is what makes step 1 exact rather than approximate.
+//!
+//! * **Restart** — for the inflationary fixpoint, whose Θ̃-iteration is not
+//!   change-monotone (an inserted fact can invalidate an inference the old
+//!   run made early, and a retracted one can resurrect it — there is no
+//!   sound local repair), and for the well-founded model of
+//!   non-stratifiable programs, whose alternating fixpoint interleaves
+//!   growth and shrinkage the same way. These engines re-run from the
+//!   mutated EDB over the *warm* [`EvalContext`], so the persistent indexes
+//!   and scratch buffers are reused even though the fixpoint is not.
+//!
+//! In debug builds every update re-evaluates from scratch and asserts the
+//! repaired state — true facts and undefined sets — is identical, and
+//! validates the index postings of every live relation.
+
+use crate::driver::DeltaDriver;
+use crate::error::EvalError;
+use crate::inflationary::inflationary_compiled_with;
+use crate::interp::Interp;
+use crate::naive::require_positive;
+use crate::operator::{self, EvalContext, PlanKind};
+use crate::options::EvalOptions;
+use crate::query::{self, QueryAnswer, QueryOpts};
+use crate::resolve::CompiledProgram;
+use crate::stratified::{stratify, Stratification};
+use crate::wellfounded::well_founded_compiled_with;
+use crate::Result;
+use inflog_core::{Const, Database, Tuple};
+use inflog_syntax::{Atom, Program};
+
+/// Which semantics a [`Materialized`] handle maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Semi-naive least fixpoint of a positive program.
+    Seminaive,
+    /// Inflationary fixpoint (§4) — defined for every program.
+    Inflationary,
+    /// Stratified (perfect-model) semantics; requires stratifiability.
+    #[default]
+    Stratified,
+    /// Well-founded (3-valued) semantics — defined for every program.
+    WellFounded,
+}
+
+/// How a handle brings its state back in line after an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStrategy {
+    /// Delete–rederive repair: overdelete the change's cone, rederive
+    /// survivors, top up insertions — work proportional to the change.
+    DeleteRederive,
+    /// Full re-evaluation from the mutated EDB over the warm context. Used
+    /// where the fixpoint is not change-monotone (inflationary always;
+    /// well-founded when the program is not stratifiable).
+    Restart,
+}
+
+/// Options for [`Materialized::new`].
+#[derive(Debug, Clone, Default)]
+pub struct MaterializeOpts {
+    /// The semantics to maintain.
+    pub engine: Engine,
+    /// Engine options (worker threads etc.), used by the initial evaluation
+    /// and by every repair.
+    pub eval: EvalOptions,
+}
+
+/// A live materialized model: the fixpoint of one program over a database
+/// that changes underneath it.
+///
+/// The handle owns its program, database snapshot, compiled plans and
+/// evaluation context; [`insert`](Materialized::insert) and
+/// [`retract`](Materialized::retract) mutate the database *and* repair the
+/// model in one step. After any sequence of updates the state is identical
+/// to evaluating the program from scratch over the current database —
+/// debug builds assert exactly that after every update.
+#[derive(Debug)]
+pub struct Materialized {
+    program: Program,
+    db: Database,
+    cp: CompiledProgram,
+    ctx: EvalContext,
+    driver: DeltaDriver,
+    engine: Engine,
+    strategy: RepairStrategy,
+    /// Stratification, when the program has one (always for `Seminaive` and
+    /// `Stratified`; opportunistically for `WellFounded`).
+    strat: Option<Stratification>,
+    /// Rule indices grouped by head stratum (source order within each).
+    rules_by_stratum: Vec<Vec<usize>>,
+    /// Stratum of each IDB predicate, by IDB id.
+    strata_of_idb: Vec<usize>,
+    opts: EvalOptions,
+    /// True facts of the maintained model.
+    s: Interp,
+    /// Undefined facts (non-empty only for non-stratifiable well-founded).
+    undefined: Interp,
+}
+
+impl Materialized {
+    /// Evaluates `program` over `db` once with the chosen engine and
+    /// returns the live handle.
+    ///
+    /// # Errors
+    /// Compilation errors; [`EvalError::NotPositive`] for
+    /// [`Engine::Seminaive`] on programs with negation;
+    /// [`EvalError::NotStratified`] for [`Engine::Stratified`] on
+    /// non-stratifiable programs.
+    pub fn new(program: &Program, db: &Database, opts: &MaterializeOpts) -> Result<Materialized> {
+        let cp = CompiledProgram::compile(program, db)?;
+        let strat = match opts.engine {
+            Engine::Seminaive => {
+                require_positive(program)?;
+                // Positive programs have no negative dependency edges.
+                Some(stratify(program).expect("positive programs stratify"))
+            }
+            Engine::Stratified => Some(stratify(program)?),
+            Engine::WellFounded => stratify(program).ok(),
+            Engine::Inflationary => None,
+        };
+        let strategy = if matches!(opts.engine, Engine::Inflationary) || strat.is_none() {
+            RepairStrategy::Restart
+        } else {
+            RepairStrategy::DeleteRederive
+        };
+        let (rules_by_stratum, strata_of_idb) = match &strat {
+            Some(st) => {
+                let mut by_stratum: Vec<Vec<usize>> = vec![Vec::new(); st.num_strata];
+                for (i, rule) in program.rules.iter().enumerate() {
+                    by_stratum[st.stratum(&rule.head.predicate)].push(i);
+                }
+                let of_idb = cp.idb_names.iter().map(|n| st.stratum(n)).collect();
+                (by_stratum, of_idb)
+            }
+            None => (Vec::new(), vec![0; cp.num_idb()]),
+        };
+        let ctx = EvalContext::new(&cp, db)?;
+        let driver = DeltaDriver::with_options(&cp, opts.eval.clone());
+        let s = cp.empty_interp();
+        let undefined = cp.empty_interp();
+        let mut m = Materialized {
+            program: program.clone(),
+            db: db.clone(),
+            cp,
+            ctx,
+            driver,
+            engine: opts.engine,
+            strategy,
+            strat,
+            rules_by_stratum,
+            strata_of_idb,
+            opts: opts.eval.clone(),
+            s,
+            undefined,
+        };
+        match m.strategy {
+            RepairStrategy::DeleteRederive => {
+                for rules in &m.rules_by_stratum {
+                    if !rules.is_empty() {
+                        m.driver
+                            .extend(&m.cp, &m.ctx, &mut m.s, Some(rules), None, None);
+                    }
+                }
+            }
+            RepairStrategy::Restart => m.reevaluate(),
+        }
+        #[cfg(debug_assertions)]
+        m.debug_check();
+        Ok(m)
+    }
+
+    /// Inserts `facts` (relation name, tuple) into the database and repairs
+    /// the materialization. Facts already present are ignored; the whole
+    /// batch is validated before anything mutates. Returns the number of
+    /// facts actually added.
+    ///
+    /// # Errors
+    /// [`EvalError::UnknownRelation`] for a relation the program does not
+    /// read, [`EvalError::ArityMismatch`] on a wrong-width tuple,
+    /// [`EvalError::UnknownConstant`] for a constant outside the database
+    /// universe (the universe is fixed at construction).
+    pub fn insert(&mut self, facts: &[(&str, Tuple)]) -> Result<usize> {
+        self.update(facts, true)
+    }
+
+    /// Removes `facts` from the database and repairs the materialization.
+    /// Facts not present are ignored (retracting a never-inserted fact is a
+    /// no-op); the whole batch is validated before anything mutates.
+    /// Returns the number of facts actually removed.
+    ///
+    /// # Errors
+    /// Same conditions as [`Materialized::insert`].
+    pub fn retract(&mut self, facts: &[(&str, Tuple)]) -> Result<usize> {
+        self.update(facts, false)
+    }
+
+    /// Single-fact [`Materialized::insert`] with named constants.
+    ///
+    /// # Errors
+    /// Same conditions as [`Materialized::insert`].
+    pub fn insert_named(&mut self, pred: &str, consts: &[&str]) -> Result<usize> {
+        let t = self.named_tuple(consts)?;
+        self.insert(&[(pred, t)])
+    }
+
+    /// Single-fact [`Materialized::retract`] with named constants.
+    ///
+    /// # Errors
+    /// Same conditions as [`Materialized::insert`].
+    pub fn retract_named(&mut self, pred: &str, consts: &[&str]) -> Result<usize> {
+        let t = self.named_tuple(consts)?;
+        self.retract(&[(pred, t)])
+    }
+
+    /// The true facts of the maintained model (IDB relations by IDB id —
+    /// see [`Materialized::compiled`] for the id mapping).
+    pub fn interp(&self) -> &Interp {
+        &self.s
+    }
+
+    /// Facts undefined in the maintained model. Empty except for the
+    /// well-founded engine on non-stratifiable programs.
+    pub fn undefined(&self) -> &Interp {
+        &self.undefined
+    }
+
+    /// The engine this handle maintains.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// How updates are repaired ([`RepairStrategy::DeleteRederive`] or the
+    /// documented [`RepairStrategy::Restart`] fallback).
+    pub fn repair_strategy(&self) -> RepairStrategy {
+        self.strategy
+    }
+
+    /// The stratification the per-stratum repair follows, when the program
+    /// is stratifiable (`None` exactly when the strategy is
+    /// [`RepairStrategy::Restart`] for the well-founded engine, or always
+    /// for the inflationary one).
+    pub fn stratification(&self) -> Option<&Stratification> {
+        self.strat.as_ref()
+    }
+
+    /// The database as of the last update.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The compiled program (predicate-id mappings, arities).
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.cp
+    }
+
+    /// Whether `t` is true for predicate `pred` (IDB: in the model; EDB: in
+    /// the database). Unknown predicates are simply false.
+    pub fn contains(&self, pred: &str, t: &Tuple) -> bool {
+        if let Some(i) = self.cp.idb_id(pred) {
+            return self.s.get(i).contains(t);
+        }
+        if let Some(i) = self.cp.edb_id(pred) {
+            return self.ctx.edb[i].contains(t);
+        }
+        false
+    }
+
+    /// Answers a goal-directed [`query`](crate::query::query) against the
+    /// handle's current database — after an update, answers agree with the
+    /// maintained model.
+    ///
+    /// # Errors
+    /// Same conditions as [`query`](crate::query::query).
+    pub fn query(&self, goal: &Atom, opts: &QueryOpts) -> Result<QueryAnswer> {
+        query::query(&self.program, goal, &self.db, opts)
+    }
+
+    /// Resolves named constants against the (fixed) universe.
+    fn named_tuple(&self, consts: &[&str]) -> Result<Tuple> {
+        let ids: Result<Vec<Const>> = consts
+            .iter()
+            .map(|c| {
+                self.db
+                    .universe()
+                    .lookup(c)
+                    .ok_or_else(|| EvalError::UnknownConstant {
+                        name: (*c).to_owned(),
+                    })
+            })
+            .collect();
+        Ok(Tuple::new(ids?))
+    }
+
+    /// Shared insert/retract entry: validate, dedupe, repair.
+    fn update(&mut self, facts: &[(&str, Tuple)], inserting: bool) -> Result<usize> {
+        let staged = self.stage(facts, inserting)?;
+        let n = staged.total_tuples();
+        if n == 0 {
+            return Ok(0);
+        }
+        match self.strategy {
+            RepairStrategy::DeleteRederive => self.repair(&staged, inserting),
+            RepairStrategy::Restart => {
+                self.mutate_edb(&staged, inserting);
+                self.reevaluate();
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check();
+        Ok(n)
+    }
+
+    /// Validates a batch and reduces it to the facts that actually change
+    /// the EDB (new facts for an insert, present facts for a retract),
+    /// shaped as an EDB-indexed interpretation. Nothing mutates on error.
+    fn stage(&self, facts: &[(&str, Tuple)], inserting: bool) -> Result<Interp> {
+        let mut staged = Interp::empty(&self.cp.edb_arities);
+        for (name, t) in facts {
+            let Some(id) = self.cp.edb_id(name) else {
+                return Err(EvalError::UnknownRelation {
+                    name: (*name).to_owned(),
+                });
+            };
+            if t.arity() != self.cp.edb_arities[id] {
+                return Err(EvalError::ArityMismatch {
+                    predicate: (*name).to_owned(),
+                    expected: self.cp.edb_arities[id],
+                    found: t.arity(),
+                });
+            }
+            for &c in t.items() {
+                if !self.db.universe().contains(c) {
+                    return Err(EvalError::UnknownConstant {
+                        name: format!("#{}", c.id()),
+                    });
+                }
+            }
+            if self.ctx.edb[id].contains(t) != inserting {
+                staged.insert(id, t.clone());
+            }
+        }
+        Ok(staged)
+    }
+
+    /// Applies the staged facts to both the evaluation context's EDB (with
+    /// index patching on removal) and the handle's database snapshot.
+    fn mutate_edb(&mut self, staged: &Interp, inserting: bool) {
+        for id in 0..staged.len() {
+            let name = self.cp.edb_names[id].clone();
+            for t in staged.get(id).dense().to_vec() {
+                if inserting {
+                    self.ctx.edb[id].insert(t.clone());
+                    self.db
+                        .insert_fact(&name, t)
+                        .expect("staged facts are validated");
+                } else {
+                    self.ctx.remove_edb_patched(id, &t);
+                    if let Some(r) = self.db.relation_mut(&name) {
+                        r.remove(&t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full re-evaluation over the warm context (the [`RepairStrategy::
+    /// Restart`] engines).
+    fn reevaluate(&mut self) {
+        match self.engine {
+            Engine::Inflationary => {
+                let (s, _) = inflationary_compiled_with(&self.cp, &self.ctx, &self.opts);
+                self.s = s;
+            }
+            Engine::WellFounded => {
+                let model = well_founded_compiled_with(&self.cp, &self.ctx, &self.opts);
+                self.s = model.true_facts;
+                self.undefined = model.undefined;
+            }
+            Engine::Seminaive | Engine::Stratified => {
+                unreachable!("delete\u{2013}rederive engines repair in place")
+            }
+        }
+    }
+
+    /// Delete–rederive repair of a one-sided batch, stratum by stratum.
+    fn repair(&mut self, staged: &Interp, inserting: bool) {
+        let num_idb = self.cp.num_idb();
+
+        // ---- Damage: rule instances the change kills, enumerated *before*
+        // the EDB mutates so every other literal reads the old state — an
+        // insert kills through negated EDB occurrences, a retract through
+        // positive ones. Exact, because the batch is one-sided.
+        let mut pending = self.cp.empty_interp();
+        let damage_kind = if inserting {
+            PlanKind::EdbNegDelta
+        } else {
+            PlanKind::EdbDelta
+        };
+        operator::apply_general_into(
+            &self.cp,
+            &self.ctx,
+            &self.s,
+            None,
+            damage_kind,
+            Some(staged),
+            None,
+            None,
+            &mut pending,
+            &self.opts,
+        );
+
+        self.mutate_edb(staged, inserting);
+
+        // ---- Per-stratum overdelete / rederive / top-up. Accumulators
+        // carry the net IDB change of lower strata into higher ones.
+        let mut added_acc = self.cp.empty_interp();
+        let mut removed_acc = self.cp.empty_interp();
+        let mut heads = self.cp.empty_interp();
+        let mut frontier = self.cp.empty_interp();
+        let mut seed = self.cp.empty_interp();
+        let mut scratch = self.cp.empty_interp();
+        let empty_neg = self.cp.empty_interp();
+
+        for (k, rules) in self.rules_by_stratum.iter().enumerate() {
+            // Damage from lower-strata *additions* appearing under this
+            // stratum's negations (permissive IDB negation: the cone is an
+            // over-approximation that rederivation trims back).
+            if added_acc.total_tuples() > 0 && !rules.is_empty() {
+                operator::apply_general_into(
+                    &self.cp,
+                    &self.ctx,
+                    &self.s,
+                    Some(rules),
+                    PlanKind::NegDelta,
+                    Some(&added_acc),
+                    Some(&empty_neg),
+                    None,
+                    &mut heads,
+                    &self.opts,
+                );
+                for i in 0..num_idb {
+                    pending.get_mut(i).union_with(heads.get(i));
+                }
+            }
+
+            // Overdeletion cone, closed through positive dependencies. Each
+            // frontier is enumerated from `s` before removal, so dependents
+            // are seen at the first frontier touching them; dependent heads
+            // of higher strata park in `pending` until their stratum.
+            let mut cone: Vec<Vec<Tuple>> = vec![Vec::new(); num_idb];
+            loop {
+                let mut any = false;
+                for i in 0..num_idb {
+                    let fr = frontier.get_mut(i);
+                    fr.clear();
+                    if self.strata_of_idb[i] != k {
+                        continue;
+                    }
+                    for t in pending.get(i).dense() {
+                        if self.s.get(i).contains(t) {
+                            fr.insert(t.clone());
+                            any = true;
+                        }
+                    }
+                    pending.get_mut(i).clear();
+                }
+                if !any {
+                    break;
+                }
+                operator::apply_general_into(
+                    &self.cp,
+                    &self.ctx,
+                    &self.s,
+                    None,
+                    PlanKind::PosDelta,
+                    Some(&frontier),
+                    Some(&empty_neg),
+                    None,
+                    &mut heads,
+                    &self.opts,
+                );
+                for (i, list) in cone.iter_mut().enumerate() {
+                    for t in frontier.get(i).dense() {
+                        self.ctx.remove_patched(self.s.get_mut(i), t);
+                        list.push(t.clone());
+                    }
+                }
+                for i in 0..num_idb {
+                    pending.get_mut(i).union_with(heads.get(i));
+                }
+            }
+
+            // Rederive: cone members with a surviving alternative
+            // derivation go back, to closure (a rederived tuple can be the
+            // witness for another one).
+            if cone.iter().any(|l| !l.is_empty()) {
+                loop {
+                    operator::sync_check_indexes(&self.cp, &self.ctx, &self.s);
+                    let mut confirmed = false;
+                    for (i, list) in cone.iter_mut().enumerate() {
+                        let mut j = 0;
+                        while j < list.len() {
+                            if operator::derivable(
+                                &self.cp, &self.ctx, i, &list[j], &self.s, &self.s,
+                            ) {
+                                self.s.insert(i, list.swap_remove(j));
+                                confirmed = true;
+                            } else {
+                                j += 1;
+                            }
+                        }
+                    }
+                    if !confirmed {
+                        break;
+                    }
+                }
+            }
+            for (i, list) in cone.into_iter().enumerate() {
+                for t in list {
+                    removed_acc.insert(i, t);
+                }
+            }
+
+            // ---- Top-up: seed a semi-naive extension with exactly the
+            // instances the change enables for this stratum — through EDB
+            // occurrences of the batch and IDB occurrences of lower-strata
+            // changes — then drain it. `marks` snapshots the dense lengths
+            // so the drained suffix is precisely what the top-up added
+            // (rederivation above is not an addition).
+            let marks: Vec<usize> = (0..num_idb).map(|i| self.s.get(i).len()).collect();
+            if !rules.is_empty() {
+                for i in 0..num_idb {
+                    seed.get_mut(i).clear();
+                }
+                let topup_kind = if inserting {
+                    PlanKind::EdbDelta
+                } else {
+                    PlanKind::EdbNegDelta
+                };
+                operator::apply_general_into(
+                    &self.cp,
+                    &self.ctx,
+                    &self.s,
+                    Some(rules),
+                    topup_kind,
+                    Some(staged),
+                    None,
+                    None,
+                    &mut scratch,
+                    &self.opts,
+                );
+                for i in 0..num_idb {
+                    seed.get_mut(i).union_with(scratch.get(i));
+                }
+                if added_acc.total_tuples() > 0 {
+                    operator::apply_general_into(
+                        &self.cp,
+                        &self.ctx,
+                        &self.s,
+                        Some(rules),
+                        PlanKind::PosDelta,
+                        Some(&added_acc),
+                        None,
+                        None,
+                        &mut scratch,
+                        &self.opts,
+                    );
+                    for i in 0..num_idb {
+                        seed.get_mut(i).union_with(scratch.get(i));
+                    }
+                }
+                if removed_acc.total_tuples() > 0 {
+                    // Consume semantics requires the driven tuples to be
+                    // genuinely absent — `removed_acc` is pruned below to
+                    // exactly the tuples that stayed out.
+                    operator::apply_general_into(
+                        &self.cp,
+                        &self.ctx,
+                        &self.s,
+                        Some(rules),
+                        PlanKind::NegDelta,
+                        Some(&removed_acc),
+                        None,
+                        None,
+                        &mut scratch,
+                        &self.opts,
+                    );
+                    for i in 0..num_idb {
+                        seed.get_mut(i).union_with(scratch.get(i));
+                    }
+                }
+                self.driver.extend_seeded(
+                    &self.cp,
+                    &self.ctx,
+                    &mut self.s,
+                    Some(rules),
+                    None,
+                    &seed,
+                    None,
+                );
+            }
+
+            // Net change bookkeeping for the strata above: everything past
+            // the marks was added; a removal that came back (via rederive
+            // into a later top-up round) is no removal at all.
+            for (i, &mark) in marks.iter().enumerate() {
+                for t in self.s.get(i).dense()[mark..].iter().cloned() {
+                    added_acc.insert(i, t);
+                }
+                let keep: Vec<Tuple> = removed_acc
+                    .get(i)
+                    .iter()
+                    .filter(|t| !self.s.get(i).contains(t))
+                    .cloned()
+                    .collect();
+                let rrel = removed_acc.get_mut(i);
+                if keep.len() != rrel.len() {
+                    rrel.clear();
+                    for t in keep {
+                        rrel.insert(t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Debug invariant: the handle's state is identical to a from-scratch
+    /// evaluation over the current database, and every live relation's
+    /// index postings are sorted and complete.
+    #[cfg(debug_assertions)]
+    fn debug_check(&self) {
+        for i in 0..self.cp.num_idb() {
+            self.ctx.debug_validate_indexes(self.s.get(i));
+        }
+        for rel in &self.ctx.edb {
+            self.ctx.debug_validate_indexes(rel);
+        }
+        let fresh = EvalContext::new(&self.cp, &self.db).expect("handle state recompiles");
+        let empty = self.cp.empty_interp();
+        let (s, undefined) = match self.engine {
+            Engine::Seminaive => (
+                crate::seminaive::least_fixpoint_seminaive_compiled_with(
+                    &self.cp, &fresh, &self.opts,
+                )
+                .0,
+                empty,
+            ),
+            Engine::Inflationary => (
+                inflationary_compiled_with(&self.cp, &fresh, &self.opts).0,
+                empty,
+            ),
+            Engine::Stratified => (
+                crate::stratified::stratified_eval_compiled_with(
+                    &self.cp,
+                    &fresh,
+                    self.strat.as_ref().expect("stratified engine stratifies"),
+                    &self.program,
+                    &self.opts,
+                )
+                .0,
+                empty,
+            ),
+            Engine::WellFounded => {
+                let model = well_founded_compiled_with(&self.cp, &fresh, &self.opts);
+                (model.true_facts, model.undefined)
+            }
+        };
+        debug_assert_eq!(
+            self.s, s,
+            "materialized state diverged from a from-scratch evaluation"
+        );
+        debug_assert_eq!(
+            self.undefined, undefined,
+            "undefined set diverged from a from-scratch evaluation"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inflog_core::graphs::DiGraph;
+    use inflog_syntax::parse_program;
+
+    const TC: &str = "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).";
+    const WIN: &str = "Win(x) :- Move(x, y), !Win(y).";
+
+    fn handle(src: &str, db: &Database, engine: Engine) -> Materialized {
+        let opts = MaterializeOpts {
+            engine,
+            ..MaterializeOpts::default()
+        };
+        Materialized::new(&parse_program(src).unwrap(), db, &opts).unwrap()
+    }
+
+    #[test]
+    fn initial_state_matches_engine() {
+        let db = DiGraph::path(5).to_database("E");
+        let m = handle(TC, &db, Engine::Seminaive);
+        let (lfp, _) = crate::least_fixpoint_seminaive(&parse_program(TC).unwrap(), &db).unwrap();
+        assert_eq!(*m.interp(), lfp);
+        assert_eq!(m.repair_strategy(), RepairStrategy::DeleteRederive);
+    }
+
+    #[test]
+    fn insert_extends_transitive_closure() {
+        // Path 0→1→2, 3→4; bridging 2→3 adds all crossing pairs.
+        let mut db = DiGraph::path(5).to_database("E");
+        let e23 = Tuple::from_ids(&[2, 3]);
+        db.relation_mut("E").unwrap().remove(&e23);
+        let mut m = handle(TC, &db, Engine::Seminaive);
+        let sid = m.compiled().idb_id("S").unwrap();
+        assert_eq!(m.interp().get(sid).len(), 3 + 1);
+        assert_eq!(m.insert(&[("E", e23.clone())]).unwrap(), 1);
+        assert_eq!(m.interp().get(sid).len(), 10);
+        // Re-inserting is a no-op.
+        assert_eq!(m.insert(&[("E", e23)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn retract_shrinks_transitive_closure() {
+        let db = DiGraph::path(5).to_database("E");
+        let mut m = handle(TC, &db, Engine::Seminaive);
+        let sid = m.compiled().idb_id("S").unwrap();
+        assert_eq!(m.interp().get(sid).len(), 10);
+        assert_eq!(m.retract(&[("E", Tuple::from_ids(&[2, 3]))]).unwrap(), 1);
+        assert_eq!(m.interp().get(sid).len(), 4);
+        // Retracting a never-present fact is a no-op.
+        assert_eq!(m.retract(&[("E", Tuple::from_ids(&[0, 4]))]).unwrap(), 0);
+        assert_eq!(m.interp().get(sid).len(), 4);
+    }
+
+    #[test]
+    fn stratified_negation_repairs_both_directions() {
+        // Unreach(x) flips as edges appear/disappear — negation damage from
+        // lower-stratum additions and re-enabling from removals.
+        let src = "
+            Reach(y) :- Start(x), E(x, y).
+            Reach(y) :- Reach(x), E(x, y).
+            Unreach(x) :- V(x), !Reach(x).
+        ";
+        let mut db = DiGraph::path(4).to_database("E");
+        for v in ["v0", "v1", "v2", "v3"] {
+            db.insert_named_fact("V", &[v]).unwrap();
+        }
+        db.insert_named_fact("Start", &["v0"]).unwrap();
+        let mut m = handle(src, &db, Engine::Stratified);
+        let uid = m.compiled().idb_id("Unreach").unwrap();
+        assert_eq!(m.interp().get(uid).len(), 1); // only v0 unreached
+        m.retract_named("E", &["v1", "v2"]).unwrap();
+        assert_eq!(m.interp().get(uid).len(), 3); // v0, v2, v3
+        m.insert_named("E", &["v1", "v2"]).unwrap();
+        assert_eq!(m.interp().get(uid).len(), 1);
+    }
+
+    #[test]
+    fn wellfounded_nonstratified_restarts() {
+        let db = DiGraph::path(4).to_database("Move");
+        let mut m = handle(WIN, &db, Engine::WellFounded);
+        assert_eq!(m.repair_strategy(), RepairStrategy::Restart);
+        let wid = m.compiled().idb_id("Win").unwrap();
+        // Path v0→v1→v2→v3: v3 loses, so v2 wins, v1 loses, v0 wins.
+        assert_eq!(m.interp().get(wid).len(), 2);
+        assert!(m.undefined().all_empty());
+        // A self-loop at the end makes the tail undefined.
+        m.insert_named("Move", &["v3", "v3"]).unwrap();
+        assert!(!m.undefined().get(wid).is_empty());
+        m.retract_named("Move", &["v3", "v3"]).unwrap();
+        assert!(m.undefined().all_empty());
+        assert_eq!(m.interp().get(wid).len(), 2);
+    }
+
+    #[test]
+    fn inflationary_restart_fallback() {
+        let db = DiGraph::path(4).to_database("Move");
+        let mut m = handle(WIN, &db, Engine::Inflationary);
+        assert_eq!(m.repair_strategy(), RepairStrategy::Restart);
+        m.insert_named("Move", &["v3", "v0"]).unwrap();
+        let (expect, _) = crate::inflationary(&parse_program(WIN).unwrap(), m.database()).unwrap();
+        assert_eq!(*m.interp(), expect);
+    }
+
+    #[test]
+    fn batch_updates_and_emptying_a_relation() {
+        let db = DiGraph::path(4).to_database("E");
+        let mut m = handle(TC, &db, Engine::Seminaive);
+        let all: Vec<(&str, Tuple)> = (0..3)
+            .map(|i| ("E", Tuple::from_ids(&[i, i + 1])))
+            .collect();
+        assert_eq!(m.retract(&all).unwrap(), 3);
+        assert!(m.interp().all_empty());
+        assert_eq!(m.insert(&all).unwrap(), 3);
+        let sid = m.compiled().idb_id("S").unwrap();
+        assert_eq!(m.interp().get(sid).len(), 6);
+    }
+
+    #[test]
+    fn update_validation_is_atomic() {
+        let db = DiGraph::path(3).to_database("E");
+        let mut m = handle(TC, &db, Engine::Seminaive);
+        let before = m.interp().clone();
+        // Second fact is bad: nothing may change.
+        let batch = [
+            ("E", Tuple::from_ids(&[0, 2])),
+            ("F", Tuple::from_ids(&[0, 1])),
+        ];
+        assert!(matches!(
+            m.insert(&batch),
+            Err(EvalError::UnknownRelation { .. })
+        ));
+        assert_eq!(*m.interp(), before);
+        assert!(matches!(
+            m.insert(&[("E", Tuple::from_ids(&[0]))]),
+            Err(EvalError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            m.insert(&[("E", Tuple::from_ids(&[0, 99]))]),
+            Err(EvalError::UnknownConstant { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_prerequisites_are_enforced() {
+        let db = DiGraph::path(3).to_database("Move");
+        let p = parse_program(WIN).unwrap();
+        let err = Materialized::new(
+            &p,
+            &db,
+            &MaterializeOpts {
+                engine: Engine::Seminaive,
+                ..MaterializeOpts::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::NotPositive { .. }));
+    }
+
+    #[test]
+    fn query_after_update_agrees() {
+        let db = DiGraph::path(4).to_database("E");
+        let mut m = handle(TC, &db, Engine::Stratified);
+        m.retract_named("E", &["v1", "v2"]).unwrap();
+        let goal = Atom {
+            predicate: "S".into(),
+            terms: vec![
+                inflog_syntax::Term::Const("v0".into()),
+                inflog_syntax::Term::Var("y".into()),
+            ],
+        };
+        let ans = m.query(&goal, &QueryOpts::default()).unwrap();
+        let sid = m.compiled().idb_id("S").unwrap();
+        let v0 = m.database().universe().lookup("v0").unwrap();
+        let expect: Vec<Tuple> = m
+            .interp()
+            .get(sid)
+            .sorted()
+            .iter()
+            .filter(|t| t.items()[0] == v0)
+            .cloned()
+            .collect();
+        assert_eq!(ans.tuples, expect);
+    }
+}

@@ -146,6 +146,23 @@ impl EvalContext {
             .patch_swap_remove(rel, t, removed_pos, moved_from, old_len);
         true
     }
+
+    /// Removes `t` from the EDB relation `edb_id` while keeping the indexes
+    /// over it consistent, like [`EvalContext::remove_patched`] but for the
+    /// context's own relations. The materialized-view repair path retracts
+    /// base facts through this so the warm EDB indexes survive the update.
+    pub(crate) fn remove_edb_patched(&mut self, edb_id: usize, t: &Tuple) -> bool {
+        let rel = &mut self.edb[edb_id];
+        let old_len = rel.len();
+        let Some((removed_pos, moved_from)) = rel.remove_tracked(t) else {
+            return false;
+        };
+        self.indexes
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .patch_swap_remove(rel, t, removed_pos, moved_from, old_len);
+        true
+    }
 }
 
 impl Clone for EvalContext {
@@ -174,6 +191,15 @@ pub(crate) enum PlanKind {
     /// alternating fixpoint's restart round); the delta interpretation holds
     /// the tuples that just *left* the frozen negation context.
     NegDelta,
+    /// One delta plan per positive **EDB** atom occurrence (materialized
+    /// view repair); the delta is **EDB-shaped** — indexed by EDB id — and
+    /// holds the facts just inserted into the extensional database.
+    EdbDelta,
+    /// One delta plan per negated **EDB** atom occurrence (materialized view
+    /// repair); the EDB-shaped delta holds retracted facts (damage
+    /// enumeration) or inserted facts (top-up seeding), with the driven
+    /// occurrence consumed exactly like [`PlanKind::NegDelta`].
+    EdbNegDelta,
 }
 
 /// Options threading through one Θ application.
@@ -362,9 +388,13 @@ fn resolve_relation<'a>(
     source: Source,
 ) -> &'a Relation {
     match (pred, source) {
-        (PredRef::Edb(i), _) => &ctx.edb[i],
+        (PredRef::Edb(i), Source::Full) => &ctx.edb[i],
         (PredRef::Idb(i), Source::Full) => s.get(i),
-        (PredRef::Idb(i), Source::Delta) => delta
+        // The delta interpretation is shaped for the plan kind being run:
+        // IDB-indexed for Pos/NegDelta plans, EDB-indexed for Edb*Delta
+        // plans. One application only ever resolves one of the two shapes,
+        // since each plan kind drives deltas through one predicate class.
+        (PredRef::Edb(i) | PredRef::Idb(i), Source::Delta) => delta
             .expect("delta scan outside a delta application")
             .get(i),
     }
@@ -760,9 +790,13 @@ fn plans_of<'a>(
         (Some(o), PlanKind::Full) => std::slice::from_ref(&o[ri].full),
         (Some(o), PlanKind::PosDelta) => &o[ri].delta,
         (Some(o), PlanKind::NegDelta) => &o[ri].neg_delta,
+        (Some(o), PlanKind::EdbDelta) => &o[ri].edb_delta,
+        (Some(o), PlanKind::EdbNegDelta) => &o[ri].edb_neg_delta,
         (None, PlanKind::Full) => std::slice::from_ref(&cp.rules[ri].full_plan),
         (None, PlanKind::PosDelta) => &cp.rules[ri].delta_plans,
         (None, PlanKind::NegDelta) => &cp.rules[ri].neg_delta_plans,
+        (None, PlanKind::EdbDelta) => &cp.rules[ri].edb_delta_plans,
+        (None, PlanKind::EdbNegDelta) => &cp.rules[ri].edb_neg_delta_plans,
     }
 }
 

@@ -38,15 +38,14 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     /// Sequential unless overridden by the environment: `INFLOG_THREADS`
-    /// sets the thread count (`0` = auto) and `INFLOG_PARALLEL_THRESHOLD`
+    /// sets the thread count (`0` = auto, resolved through
+    /// [`EvalOptions::effective_threads`]) and `INFLOG_PARALLEL_THRESHOLD`
     /// the fork floor. CI uses these to run the whole suite with the
-    /// parallel driver forced on.
+    /// parallel driver forced on. A value that does not parse as an integer
+    /// is **loudly ignored** (warning on stderr) rather than silently
+    /// falling back to sequential.
     fn default() -> Self {
-        EvalOptions {
-            threads: env_usize("INFLOG_THREADS").unwrap_or(1),
-            parallel_threshold: env_usize("INFLOG_PARALLEL_THRESHOLD")
-                .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
-        }
+        EvalOptions::from_env_with(|key| std::env::var(key).ok())
     }
 }
 
@@ -76,10 +75,38 @@ impl EvalOptions {
             n => n,
         }
     }
+
+    /// [`EvalOptions::default`] with an explicit environment accessor, so
+    /// the parsing rules are testable without mutating the process
+    /// environment. `INFLOG_THREADS=0` means auto (all hardware threads),
+    /// exactly as `bench_report --threads 0` documents.
+    fn from_env_with(get: impl Fn(&str) -> Option<String>) -> Self {
+        EvalOptions {
+            threads: env_usize("INFLOG_THREADS", &get).unwrap_or(1),
+            parallel_threshold: env_usize("INFLOG_PARALLEL_THRESHOLD", &get)
+                .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
+        }
+    }
 }
 
-fn env_usize(key: &str) -> Option<usize> {
-    std::env::var(key).ok()?.trim().parse().ok()
+/// Reads one `usize` knob from the environment. Unset and empty (or
+/// whitespace-only) values mean "use the default"; a set-but-malformed value
+/// — `INFLOG_THREADS=four` — is a configuration mistake that used to run
+/// sequentially with no signal, so it now warns on stderr before falling
+/// back.
+fn env_usize(key: &str, get: impl Fn(&str) -> Option<String>) -> Option<usize> {
+    let raw = get(key)?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("warning: ignoring {key}={raw:?}: not a non-negative integer");
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +126,53 @@ mod tests {
         assert!(o.effective_threads() >= 1);
         let o = EvalOptions::with_threads(3);
         assert_eq!(o.effective_threads(), 3);
+    }
+
+    /// Simulated environments, keyed off `INFLOG_THREADS` only.
+    fn env_of(value: Option<&str>) -> impl Fn(&str) -> Option<String> + '_ {
+        move |key| {
+            if key == "INFLOG_THREADS" {
+                value.map(str::to_owned)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn default_reads_well_formed_env() {
+        let o = EvalOptions::from_env_with(env_of(Some("4")));
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.parallel_threshold, DEFAULT_PARALLEL_THRESHOLD);
+        // Surrounding whitespace is tolerated.
+        assert_eq!(EvalOptions::from_env_with(env_of(Some(" 2\n"))).threads, 2);
+    }
+
+    #[test]
+    fn threads_zero_in_env_means_auto() {
+        // `INFLOG_THREADS=0` must flow into the auto resolution path, not
+        // be clamped or treated as unset.
+        let o = EvalOptions::from_env_with(env_of(Some("0")));
+        assert_eq!(o.threads, 0);
+        assert!(o.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn malformed_env_values_fall_back_loudly() {
+        // `INFLOG_THREADS=four` used to silently run sequentially; the
+        // parse failure now warns (stderr) and falls back to the default.
+        for bad in ["four", "-1", "1.5", "0x2", "2 threads"] {
+            let o = EvalOptions::from_env_with(env_of(Some(bad)));
+            assert_eq!(o.threads, 1, "INFLOG_THREADS={bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_unset_env_values_mean_default() {
+        for empty in [None, Some(""), Some("   "), Some("\t\n")] {
+            let o = EvalOptions::from_env_with(env_of(empty));
+            assert_eq!(o.threads, 1, "INFLOG_THREADS={empty:?}");
+            assert_eq!(o.parallel_threshold, DEFAULT_PARALLEL_THRESHOLD);
+        }
     }
 }

@@ -110,7 +110,9 @@ pub enum Step {
     Scan {
         /// Relation to scan.
         pred: PredRef,
-        /// Full or delta version (deltas exist for IDB only).
+        /// Full or delta version. Delta scans resolve against the delta
+        /// interpretation of the application: IDB-shaped for semi-naive
+        /// rounds, EDB-shaped for the view-maintenance repair seeds.
         source: Source,
         /// Argument terms of the atom.
         terms: Vec<CTerm>,
@@ -219,15 +221,17 @@ pub struct Plan {
 /// Builds a plan for a rule body.
 ///
 /// `delta_lit` optionally names a body literal index that must be a positive
-/// IDB atom; it is scanned first from the [`Source::Delta`] relation
-/// (the delta-first invariant: the delta is always the smallest input, so
-/// cardinality estimates never reorder it away from the front).
+/// atom (IDB for semi-naive rounds; EDB for the view-maintenance plans that
+/// seed a repair from an EDB delta); it is scanned first from the
+/// [`Source::Delta`] relation (the delta-first invariant: the delta is
+/// always the smallest input, so cardinality estimates never reorder it away
+/// from the front).
 ///
 /// `cards` supplies the relation-cardinality estimates for the scan-order
 /// tie-break; [`CardSnapshot::unknown`] reproduces pure source order.
 ///
 /// # Panics
-/// Panics if `delta_lit` does not refer to a positive IDB atom (an internal
+/// Panics if `delta_lit` does not refer to a positive atom (an internal
 /// compiler invariant).
 pub fn plan_rule(
     head: Vec<CTerm>,
@@ -240,18 +244,22 @@ pub fn plan_rule(
 }
 
 /// Builds a plan whose leading scan reads the [`Source::Delta`] relation for
-/// the **negated** IDB atom at body index `neg_lit` — the atom's tuples are
-/// drawn from a *removed set* (tuples that just left the frozen negation
-/// context), its variables bound by unification like any positive scan.
+/// the **negated** atom at body index `neg_lit` — the atom's tuples are
+/// drawn from a *removed set* (tuples that just left the negation context:
+/// the frozen IDB context for the well-founded engine, the extensional
+/// database for view-maintenance repairs), its variables bound by
+/// unification like any positive scan.
 ///
 /// The driven occurrence itself is consumed: a removed tuple is by
 /// definition absent from the negation context, so re-filtering it is a
 /// tautology (other negated occurrences still filter normally). The
 /// incremental well-founded engine uses these plans to run the first round
-/// of `Γ` restricted to derivations that a shrinking `J` newly enables.
+/// of `Γ` restricted to derivations that a shrinking `J` newly enables;
+/// the materialized-view repair path drives the EDB variants with the
+/// retracted (for damage) or inserted (for top-up) fact sets.
 ///
 /// # Panics
-/// Panics if `neg_lit` does not refer to a negated IDB atom.
+/// Panics if `neg_lit` does not refer to a negated atom.
 pub fn plan_rule_neg_delta(
     head: Vec<CTerm>,
     body: &[RLit],
@@ -308,10 +316,6 @@ fn plan_rule_inner(
             (RLit::Pos { pred, terms }, false) | (RLit::Neg { pred, terms }, true) => (pred, terms),
             _ => panic!("delta literal polarity does not match the requested plan"),
         };
-        assert!(
-            matches!(pred, PredRef::Idb(_)),
-            "delta literal must be an IDB atom"
-        );
         steps.push(Step::Scan {
             pred: *pred,
             source: Source::Delta,

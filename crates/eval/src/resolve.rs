@@ -27,6 +27,15 @@ pub struct RulePlans {
     pub delta: Vec<Plan>,
     /// Neg-delta plans, one per negated IDB atom occurrence.
     pub neg_delta: Vec<Plan>,
+    /// EDB delta plans, one per positive EDB atom occurrence: that
+    /// occurrence scans an EDB-shaped delta (the inserted facts), seeding
+    /// view-maintenance repairs after an EDB insertion.
+    pub edb_delta: Vec<Plan>,
+    /// EDB neg-delta plans, one per negated EDB atom occurrence: that
+    /// occurrence scans an EDB-shaped removed/inserted set with consume
+    /// semantics (see `plan_rule_neg_delta`), enumerating instances an EDB
+    /// change enables or disables through a negated extensional literal.
+    pub edb_neg_delta: Vec<Plan>,
 }
 
 /// One compiled rule: the full plan plus one delta plan per positive IDB
@@ -51,6 +60,15 @@ pub struct CompiledRule {
     /// negation context) instead of filtering. The incremental well-founded
     /// engine drives `Γ`'s restart rounds with these.
     pub neg_delta_plans: Vec<Plan>,
+    /// EDB delta plans, one per positive **EDB** atom occurrence: the
+    /// occurrence scans an EDB-shaped delta interpretation. The materialized
+    /// view repair path seeds its insertion top-up with these.
+    pub edb_delta_plans: Vec<Plan>,
+    /// EDB neg-delta plans, one per negated **EDB** atom occurrence, with
+    /// the same consume semantics as `neg_delta_plans`. The repair path
+    /// enumerates damage from retractions and new derivations enabled by
+    /// insertions through negated extensional literals with these.
+    pub edb_neg_delta_plans: Vec<Plan>,
     /// Plan deciding one-step derivability of a given head tuple: the head
     /// variables are pre-bound, so body atoms probe the persistent indexes.
     pub check_plan: Plan,
@@ -116,10 +134,40 @@ fn build_plans(head: &[CTerm], body: &[RLit], num_vars: usize, cards: &CardSnaps
         })
         .map(|(i, _)| plan_rule_neg_delta(head.to_vec(), body, num_vars, i, cards))
         .collect();
+    let edb_delta = body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            matches!(
+                l,
+                RLit::Pos {
+                    pred: PredRef::Edb(_),
+                    ..
+                }
+            )
+        })
+        .map(|(i, _)| plan_rule(head.to_vec(), body, num_vars, Some(i), cards))
+        .collect();
+    let edb_neg_delta = body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            matches!(
+                l,
+                RLit::Neg {
+                    pred: PredRef::Edb(_),
+                    ..
+                }
+            )
+        })
+        .map(|(i, _)| plan_rule_neg_delta(head.to_vec(), body, num_vars, i, cards))
+        .collect();
     RulePlans {
         full,
         delta,
         neg_delta,
+        edb_delta,
+        edb_neg_delta,
     }
 }
 
@@ -138,6 +186,7 @@ pub struct CompiledProgram {
     /// Compiled rules in source order.
     pub rules: Vec<CompiledRule>,
     idb_index: HashMap<String, usize>,
+    edb_index: HashMap<String, usize>,
 }
 
 impl CompiledProgram {
@@ -269,6 +318,8 @@ impl CompiledProgram {
                 full_plan: plans.full,
                 delta_plans: plans.delta,
                 neg_delta_plans: plans.neg_delta,
+                edb_delta_plans: plans.edb_delta,
+                edb_neg_delta_plans: plans.edb_neg_delta,
                 check_plan,
                 src_index,
                 body,
@@ -282,6 +333,7 @@ impl CompiledProgram {
             edb_arities,
             rules,
             idb_index,
+            edb_index,
         })
     }
 
@@ -293,6 +345,11 @@ impl CompiledProgram {
     /// IDB id of a predicate name.
     pub fn idb_id(&self, name: &str) -> Option<usize> {
         self.idb_index.get(name).copied()
+    }
+
+    /// EDB id of a predicate name.
+    pub fn edb_id(&self, name: &str) -> Option<usize> {
+        self.edb_index.get(name).copied()
     }
 
     /// The all-empty interpretation (the iteration start Θ⁰ = Θ(∅) begins

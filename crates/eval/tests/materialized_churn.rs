@@ -1,0 +1,241 @@
+//! Randomized insert/retract churn over [`Materialized`] handles.
+//!
+//! The non-negotiable invariant of incremental view maintenance: after
+//! *any* sequence of single-fact and batch updates, the handle's state —
+//! true facts and undefined sets — is identical to evaluating the program
+//! from scratch over the current database, for every engine. Debug builds
+//! additionally assert this inside the handle after every update; these
+//! tests pin it explicitly (so release runs check it too), across fixed
+//! seeds, graph families (paths, cycles, G(n,p)), engines, and the edge
+//! cases the issue calls out: deletions that empty a relation,
+//! re-insertion of retracted facts, and retracting facts that were never
+//! present.
+
+use inflog_core::graphs::DiGraph;
+use inflog_core::{Database, Tuple};
+use inflog_eval::materialize::{Engine, MaterializeOpts, Materialized};
+use inflog_eval::{
+    inflationary, least_fixpoint_seminaive, stratified_eval, well_founded, QueryOpts,
+};
+use inflog_syntax::{parse_program, Atom, Program, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TC: &str = "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).";
+const WIN: &str = "Win(x) :- Move(x, y), !Win(y).";
+const REACH_UNREACH: &str = "
+    Reach(y) :- Start(x), E(x, y).
+    Reach(y) :- Reach(x), E(x, y).
+    Unreach(x) :- V(x), !Reach(x).
+";
+
+fn handle(program: &Program, db: &Database, engine: Engine) -> Materialized {
+    let opts = MaterializeOpts {
+        engine,
+        ..MaterializeOpts::default()
+    };
+    Materialized::new(program, db, &opts).unwrap()
+}
+
+/// Asserts the handle equals a from-scratch evaluation of its engine over
+/// its current database.
+fn assert_matches_recompute(m: &Materialized, program: &Program, ctx: &str) {
+    let db = m.database();
+    match m.engine() {
+        Engine::Seminaive => {
+            let (s, _) = least_fixpoint_seminaive(program, db).unwrap();
+            assert_eq!(*m.interp(), s, "{ctx}: seminaive diverged");
+            assert!(m.undefined().all_empty(), "{ctx}");
+        }
+        Engine::Stratified => {
+            let (s, _) = stratified_eval(program, db).unwrap();
+            assert_eq!(*m.interp(), s, "{ctx}: stratified diverged");
+            assert!(m.undefined().all_empty(), "{ctx}");
+        }
+        Engine::Inflationary => {
+            let (s, _) = inflationary(program, db).unwrap();
+            assert_eq!(*m.interp(), s, "{ctx}: inflationary diverged");
+            assert!(m.undefined().all_empty(), "{ctx}");
+        }
+        Engine::WellFounded => {
+            let model = well_founded(program, db).unwrap();
+            assert_eq!(*m.interp(), model.true_facts, "{ctx}: wf diverged");
+            assert_eq!(*m.undefined(), model.undefined, "{ctx}: wf undefined");
+        }
+    }
+}
+
+/// Flips random edges of `edge_rel` for `steps` rounds — retract when
+/// present, insert when absent, occasionally as a no-op in the opposite
+/// direction — checking the handle against a recompute at every step.
+fn churn(src: &str, edge_rel: &str, db: &Database, engine: Engine, seed: u64, steps: usize) {
+    let program = parse_program(src).unwrap();
+    let mut m = handle(&program, db, engine);
+    let n = db.universe_size() as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for step in 0..steps {
+        let t = Tuple::from_ids(&[rng.gen_range(0..n), rng.gen_range(0..n)]);
+        let present = m.contains(edge_rel, &t);
+        if rng.gen_range(0u32..8) == 0 {
+            // Deliberate no-op: insert a present fact / retract an absent
+            // one must change nothing.
+            let changed = if present {
+                m.insert(&[(edge_rel, t)]).unwrap()
+            } else {
+                m.retract(&[(edge_rel, t)]).unwrap()
+            };
+            assert_eq!(changed, 0, "{src} step {step}");
+        } else if present {
+            assert_eq!(m.retract(&[(edge_rel, t)]).unwrap(), 1);
+        } else {
+            assert_eq!(m.insert(&[(edge_rel, t)]).unwrap(), 1);
+        }
+        assert_matches_recompute(&m, &program, &format!("engine {engine:?} step {step}"));
+    }
+}
+
+#[test]
+fn tc_churn_every_engine_on_paths_cycles_and_gnp() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dbs = [
+        DiGraph::path(6).to_database("E"),
+        DiGraph::cycle(5).to_database("E"),
+        DiGraph::random_gnp(7, 0.2, &mut rng).to_database("E"),
+    ];
+    for (g, db) in dbs.iter().enumerate() {
+        for engine in [
+            Engine::Seminaive,
+            Engine::Stratified,
+            Engine::Inflationary,
+            Engine::WellFounded,
+        ] {
+            churn(TC, "E", db, engine, 100 + g as u64, 12);
+        }
+    }
+}
+
+#[test]
+fn stratified_negation_churn_across_capable_engines() {
+    // Reach/Unreach exercises both repair directions through negation:
+    // lower-stratum additions kill Unreach facts, removals resurrect them.
+    let mut db = DiGraph::path(6).to_database("E");
+    for v in 0..6 {
+        db.insert_named_fact("V", &[&format!("v{v}")]).unwrap();
+    }
+    db.insert_named_fact("Start", &["v0"]).unwrap();
+    for engine in [
+        Engine::Stratified,
+        Engine::Inflationary,
+        Engine::WellFounded,
+    ] {
+        churn(REACH_UNREACH, "E", &db, engine, 11, 12);
+    }
+}
+
+#[test]
+fn win_move_churn_on_nonstratified_engines() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for db in [
+        DiGraph::path(5).to_database("Move"),
+        DiGraph::random_gnp(6, 0.25, &mut rng).to_database("Move"),
+    ] {
+        for engine in [Engine::Inflationary, Engine::WellFounded] {
+            churn(WIN, "Move", &db, engine, 29, 10);
+        }
+    }
+}
+
+#[test]
+fn emptying_a_relation_and_reinserting_roundtrips() {
+    let program = parse_program(TC).unwrap();
+    let db = DiGraph::cycle(5).to_database("E");
+    let edges: Vec<Tuple> = db.relation("E").unwrap().sorted();
+    for engine in [
+        Engine::Seminaive,
+        Engine::Stratified,
+        Engine::Inflationary,
+        Engine::WellFounded,
+    ] {
+        let mut m = handle(&program, &db, engine);
+        // Drain the relation one fact at a time, checking at every step
+        // (the last retraction leaves the IDB empty).
+        for (i, e) in edges.iter().enumerate() {
+            assert_eq!(m.retract(&[("E", e.clone())]).unwrap(), 1);
+            assert_matches_recompute(&m, &program, &format!("{engine:?} drain {i}"));
+        }
+        assert!(m.interp().all_empty());
+        assert!(m.database().relation("E").unwrap().is_empty());
+        // Re-insert everything as one batch: back to the original model.
+        let batch: Vec<(&str, Tuple)> = edges.iter().map(|e| ("E", e.clone())).collect();
+        assert_eq!(m.insert(&batch).unwrap(), edges.len());
+        assert_matches_recompute(&m, &program, &format!("{engine:?} reinsert"));
+        let fresh = handle(&program, &db, engine);
+        assert_eq!(m.interp(), fresh.interp());
+    }
+}
+
+#[test]
+fn query_after_update_agrees_with_the_maintained_model() {
+    let program = parse_program(TC).unwrap();
+    let db = DiGraph::path(6).to_database("E");
+    let mut m = handle(&program, &db, Engine::Stratified);
+    let sid = m.compiled().idb_id("S").unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..8 {
+        let t = Tuple::from_ids(&[rng.gen_range(0..6), rng.gen_range(0..6)]);
+        let present = m.contains("E", &t);
+        if present {
+            m.retract(&[("E", t)]).unwrap();
+        } else {
+            m.insert(&[("E", t)]).unwrap();
+        }
+        // Goal S('vK', y) for a random source: the goal-directed answer
+        // must match filtering the maintained relation.
+        let k = rng.gen_range(0..6);
+        let goal = Atom {
+            predicate: "S".into(),
+            terms: vec![Term::Const(format!("v{k}")), Term::Var("y".into())],
+        };
+        let ans = m.query(&goal, &QueryOpts::default()).unwrap();
+        let src = m.database().universe().lookup(&format!("v{k}")).unwrap();
+        let expect: Vec<Tuple> = m
+            .interp()
+            .get(sid)
+            .sorted()
+            .iter()
+            .filter(|t| t.items()[0] == src)
+            .cloned()
+            .collect();
+        assert_eq!(ans.tuples, expect);
+    }
+}
+
+#[test]
+fn mixed_fact_arities_and_auxiliary_relations_churn() {
+    // Churn the *unary* relations of the stratified program too — Start
+    // flips who is reachable wholesale, V changes the complement domain.
+    let program = parse_program(REACH_UNREACH).unwrap();
+    let mut db = DiGraph::path(5).to_database("E");
+    for v in 0..5 {
+        db.insert_named_fact("V", &[&format!("v{v}")]).unwrap();
+    }
+    db.insert_named_fact("Start", &["v0"]).unwrap();
+    let mut m = handle(&program, &db, Engine::Stratified);
+    let mut rng = StdRng::seed_from_u64(41);
+    for step in 0..16 {
+        let (rel, t) = match rng.gen_range(0u32..3) {
+            0 => (
+                "E",
+                Tuple::from_ids(&[rng.gen_range(0..5), rng.gen_range(0..5)]),
+            ),
+            1 => ("Start", Tuple::from_ids(&[rng.gen_range(0..5)])),
+            _ => ("V", Tuple::from_ids(&[rng.gen_range(0..5)])),
+        };
+        if m.contains(rel, &t) {
+            m.retract(&[(rel, t)]).unwrap();
+        } else {
+            m.insert(&[(rel, t)]).unwrap();
+        }
+        assert_matches_recompute(&m, &program, &format!("aux churn step {step}"));
+    }
+}
