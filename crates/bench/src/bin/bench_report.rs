@@ -12,6 +12,7 @@
 //! cargo run --release -p inflog-bench --bin bench_report -- --quick # CI-sized grid
 //! cargo run --release -p inflog-bench --bin bench_report -- --out path.json
 //! cargo run --release -p inflog-bench --bin bench_report -- --threads 1,4
+//! cargo run --release -p inflog-bench --bin bench_report -- --filter seminaive
 //! ```
 //!
 //! Every suite derives its inputs from fixed seeds, so two runs on the same
@@ -29,6 +30,16 @@
 //! (`incr_*` vs their `full_reeval_*` baselines — single-fact updates on a
 //! warm `Materialized` handle vs re-running the fixpoint from scratch).
 //!
+//! `--filter <substr>` runs only the suites whose name contains the given
+//! substring (e.g. `--filter wellfounded`) — handy when iterating on one
+//! hot path. A filtered report is partial by construction: don't commit it
+//! as the baseline, and expect `bench_gate` to report the missing suites.
+//!
+//! The report also records which Θ-application executor produced it (`exec`
+//! field, top level): `vm` for the flat register-machine IR (the default)
+//! or `tree` when `INFLOG_EXEC=tree` forces the oracle walker — so a
+//! baseline measured on one executor is never mistaken for the other.
+//!
 //! Every entry is stamped with the git commit it ran on (`commit` field,
 //! short hash, `-dirty` when the tree had uncommitted changes), so the
 //! perf trajectory in the committed baselines stays reconstructable PR
@@ -40,6 +51,7 @@
 
 use inflog::core::graphs::DiGraph;
 use inflog::core::Tuple;
+use inflog::eval::ExecKind;
 use inflog::eval::{
     inflationary_with, least_fixpoint_naive, least_fixpoint_seminaive_with, query,
     stratified_eval_with, well_founded_with, CompiledProgram, Engine, EvalOptions, MaterializeOpts,
@@ -97,28 +109,34 @@ impl BenchResult {
 }
 
 /// Times `iters` runs of `f` (after one warm-up); `f` returns the number of
-/// tuples its engine derived, the throughput numerator.
+/// tuples its engine derived, the throughput numerator. A suite whose name
+/// does not contain the `--filter` substring is skipped entirely — not even
+/// warmed up — and contributes no entry.
 fn bench(
+    filter: Option<&str>,
     name: &'static str,
     params: String,
     threads: usize,
     iters: u32,
     mut f: impl FnMut() -> usize,
-) -> BenchResult {
+) -> Option<BenchResult> {
+    if filter.is_some_and(|pat| !name.contains(pat)) {
+        return None;
+    }
     let tuples = f(); // warm-up, untimed
     let start = Instant::now();
     for _ in 0..iters {
         std::hint::black_box(f());
     }
     let wall_ns = start.elapsed().as_nanos();
-    BenchResult {
+    Some(BenchResult {
         name,
         params,
         threads,
         iters,
         wall_ns,
         tuples,
-    }
+    })
 }
 
 fn main() {
@@ -130,6 +148,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json").into());
+    let filter: Option<String> = args.iter().position(|a| a == "--filter").map(|i| {
+        args.get(i + 1)
+            .expect("--filter requires a substring, e.g. --filter seminaive")
+            .clone()
+    });
     let thread_counts: Vec<usize> = match args.iter().position(|a| a == "--threads") {
         None => vec![1],
         // A dangling flag must fail loudly: silently falling back to the
@@ -260,7 +283,8 @@ fn main() {
     let mut results = Vec::new();
     for &threads in &thread_counts {
         let opts = EvalOptions::with_threads(threads);
-        results.push(bench(
+        results.extend(bench(
+            filter.as_deref(),
             "seminaive_tc_path",
             format!("n={tc_n}"),
             threads,
@@ -272,7 +296,8 @@ fn main() {
                     .final_tuples
             },
         ));
-        results.push(bench(
+        results.extend(bench(
+            filter.as_deref(),
             "seminaive_tc_gnp",
             format!("n={tc_gnp_n},p=0.08,seed=7"),
             threads,
@@ -286,7 +311,8 @@ fn main() {
         ));
         if threads == 1 {
             // The naive engine and the grounder have no parallel path.
-            results.push(bench(
+            results.extend(bench(
+                filter.as_deref(),
                 "naive_tc_path",
                 format!("n={naive_n}"),
                 threads,
@@ -298,7 +324,8 @@ fn main() {
                         .final_tuples
                 },
             ));
-            results.push(bench(
+            results.extend(bench(
+                filter.as_deref(),
                 "grounding_distance",
                 format!("n={ground_n}"),
                 threads,
@@ -316,7 +343,8 @@ fn main() {
                 eval: opts.clone(),
                 ..QueryOpts::default()
             };
-            results.push(bench(
+            results.extend(bench(
+                filter.as_deref(),
                 "query_reachable_src",
                 format!("n={q_reach_n},p=0.03,seed=19,goal=v0"),
                 threads,
@@ -328,7 +356,8 @@ fn main() {
                         .len()
                 },
             ));
-            results.push(bench(
+            results.extend(bench(
+                filter.as_deref(),
                 "full_filter_reachable_src",
                 format!("n={q_reach_n},p=0.03,seed=19,goal=v0"),
                 threads,
@@ -342,7 +371,8 @@ fn main() {
                     m.get(sid).iter().filter(|t| t[0] == v0).count()
                 },
             ));
-            results.push(bench(
+            results.extend(bench(
+                filter.as_deref(),
                 "query_win_point",
                 format!("n={q_win_n},goal=v{}", q_win_n - 16),
                 threads,
@@ -352,7 +382,8 @@ fn main() {
                     a.tuples.len() + a.undefined.len()
                 },
             ));
-            results.push(bench(
+            results.extend(bench(
+                filter.as_deref(),
                 "full_filter_win_point",
                 format!("n={q_win_n},goal=v{}", q_win_n - 16),
                 threads,
@@ -371,7 +402,8 @@ fn main() {
             ));
             // Incremental maintenance vs full re-evaluation, single-thread
             // (a single-fact repair cone is far below the fork threshold).
-            results.push(bench(
+            results.extend(bench(
+                filter.as_deref(),
                 "full_reeval_tc_gnp",
                 format!("n={incr_n},p=0.08,seed=23"),
                 threads,
@@ -389,7 +421,8 @@ fn main() {
             };
             let mut m_tc = Materialized::new(&tc, &incr_gnp_db, &mopts).expect("positive program");
             let mut next_edge = 0usize;
-            results.push(bench(
+            results.extend(bench(
+                filter.as_deref(),
                 "incr_insert_tc_gnp",
                 format!("n={incr_n},p=0.08,seed=23"),
                 threads,
@@ -406,7 +439,8 @@ fn main() {
                     m_tc.interp().total_tuples()
                 },
             ));
-            results.push(bench(
+            results.extend(bench(
+                filter.as_deref(),
                 "full_reeval_win_move",
                 format!("n={incr_wf_n}"),
                 threads,
@@ -422,7 +456,8 @@ fn main() {
             };
             let mut m_wf =
                 Materialized::new(&win, &incr_wf_db, &wf_mopts).expect("well-founded is total");
-            results.push(bench(
+            results.extend(bench(
+                filter.as_deref(),
                 "incr_retract_win_move",
                 format!("n={incr_wf_n}"),
                 threads,
@@ -440,7 +475,8 @@ fn main() {
                 },
             ));
         }
-        results.push(bench(
+        results.extend(bench(
+            filter.as_deref(),
             "inflationary_distance",
             format!("n={dist_n}"),
             threads,
@@ -452,7 +488,8 @@ fn main() {
                     .final_tuples
             },
         ));
-        results.push(bench(
+        results.extend(bench(
+            filter.as_deref(),
             "wellfounded_win_move",
             format!("n={wf_n}"),
             threads,
@@ -462,7 +499,8 @@ fn main() {
                 m.true_facts.total_tuples() + m.undefined.total_tuples()
             },
         ));
-        results.push(bench(
+        results.extend(bench(
+            filter.as_deref(),
             "wellfounded_win_move_gnp",
             format!("n={wf_gnp_n},p=0.04,seed=11"),
             threads,
@@ -473,7 +511,8 @@ fn main() {
                 m.true_facts.total_tuples() + m.undefined.total_tuples()
             },
         ));
-        results.push(bench(
+        results.extend(bench(
+            filter.as_deref(),
             "inflationary_negation_gnp",
             format!("n={infneg_n},p=0.05,seed=13"),
             threads,
@@ -485,7 +524,8 @@ fn main() {
                     .final_tuples
             },
         ));
-        results.push(bench(
+        results.extend(bench(
+            filter.as_deref(),
             "stratified_tc_complement",
             format!("n={strat_n}"),
             threads,
@@ -548,19 +588,34 @@ fn main() {
         }
     }
 
-    let json = render_json(&results, quick, &git_commit());
+    // Which executor actually ran the suites: every suite builds its options
+    // with `exec: None`, so the per-process `INFLOG_EXEC` resolution that
+    // `exec_kind` performs is exactly what the measurements saw.
+    let exec = match EvalOptions::sequential().exec_kind() {
+        ExecKind::Vm => "vm",
+        ExecKind::Tree => "tree",
+    };
+    if exec != "vm" {
+        println!("note: measured with the {exec} executor (INFLOG_EXEC)");
+    }
+
+    let json = render_json(&results, quick, exec, &git_commit());
     std::fs::write(&out_path, json).expect("write BENCH_eval.json");
     println!("\nwrote {out_path}");
 }
 
 /// Renders the report as JSON by hand (the workspace is dependency-free).
-fn render_json(results: &[BenchResult], quick: bool, commit: &str) -> String {
+/// The `exec` stamp is a **top-level** field, not part of each entry's
+/// params, so `bench_gate`'s `(name, params, threads)` matching is
+/// unaffected — the stamp is for humans auditing a committed baseline.
+fn render_json(results: &[BenchResult], quick: bool, exec: &str, commit: &str) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": 1,\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "standard" }
     ));
+    out.push_str(&format!("  \"exec\": \"{exec}\",\n"));
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(

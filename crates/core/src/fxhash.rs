@@ -1,0 +1,135 @@
+//! A multiply-mix [`BuildHasher`] for the evaluator's hot hash maps.
+//!
+//! [`Relation`](crate::Relation)'s open-addressing table already hashes
+//! tuples with a multiply-mix function instead of the standard library's
+//! SipHash — on 1–4-word keys the SipHash rounds dominate the lookup. The
+//! join *indexes* (key projection ↦ postings) sit on exactly the same hot
+//! path: one probe per outer candidate of every keyed scan. [`FxBuildHasher`]
+//! gives those `HashMap`s the same treatment — the FxHash construction
+//! (rotate, xor, multiply per word) used throughout rustc, implemented here
+//! because the workspace is dependency-free.
+//!
+//! Not DoS-resistant, exactly like the relation table: evaluation inputs
+//! are programs and databases the caller already controls, not untrusted
+//! network data.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplier from the FxHash construction (a large prime close to the
+/// golden ratio times 2^64).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One multiply-mix hash state. Word-sized writes fold directly; byte
+/// slices fold a word at a time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// Plugs [`FxHasher`] into `HashMap`/`HashSet` via the `S` type parameter:
+/// `HashMap<K, V, FxBuildHasher>`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn distinct_inputs_hash_distinctly() {
+        let h = |f: &dyn Fn(&mut FxHasher)| {
+            let mut s = FxHasher::default();
+            f(&mut s);
+            s.finish()
+        };
+        assert_ne!(h(&|s| s.write_u32(1)), h(&|s| s.write_u32(2)));
+        assert_ne!(
+            h(&|s| {
+                s.write_u32(1);
+                s.write_u32(2);
+            }),
+            h(&|s| {
+                s.write_u32(2);
+                s.write_u32(1);
+            }),
+            "hash must be order-sensitive"
+        );
+        // Byte-slice folding agrees with itself across chunk boundaries.
+        assert_ne!(h(&|s| s.write(&[1u8; 9])), h(&|s| s.write(&[1u8; 10])));
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut m: HashMap<crate::Tuple, u32, FxBuildHasher> = HashMap::default();
+        for i in 0..100u32 {
+            m.insert(crate::Tuple::from_ids(&[i, i + 1]), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(m.get(&crate::Tuple::from_ids(&[i, i + 1])), Some(&i));
+        }
+    }
+}

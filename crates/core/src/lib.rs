@@ -21,6 +21,7 @@
 
 pub mod database;
 pub mod error;
+pub mod fxhash;
 pub mod graphs;
 pub mod relation;
 pub mod tuple;
@@ -28,6 +29,7 @@ pub mod universe;
 
 pub use database::{Database, Schema};
 pub use error::CoreError;
+pub use fxhash::{FxBuildHasher, FxHasher};
 pub use relation::Relation;
 pub use tuple::{Const, Tuple};
 pub use universe::Universe;

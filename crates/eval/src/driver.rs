@@ -14,10 +14,12 @@
 //! round over round (and across calls — a warm-started fixpoint that reuses
 //! `s` also reuses the index work of the previous call).
 //!
-//! The driver owns two scratch interpretations (`derived` and `delta`) that
-//! are cleared and refilled each round instead of reallocated, and the delta
-//! is read back off `s`'s dense suffix after the union — the set-difference
-//! pass the per-engine loops used to run every round is gone entirely.
+//! The driver owns one scratch interpretation (`derived`) that is cleared
+//! and refilled each round instead of reallocated, and the round's delta is
+//! `s`'s own dense suffix past a per-relation watermark — never a separate
+//! interpretation, so the set-difference pass the per-engine loops used to
+//! run every round is gone, and so is the per-tuple clone + hash insert of
+//! a materialized delta.
 //!
 //! Soundness of the delta restriction requires the effective operator to be
 //! monotone in `s` over the rounds of one `extend` call. Each caller
@@ -38,7 +40,7 @@
 //! round by round.
 
 use crate::interp::Interp;
-use crate::operator::{apply_general_into, EvalContext, PlanKind};
+use crate::operator::{apply_general_into, DeltaSource, EvalContext, PlanKind};
 use crate::options::EvalOptions;
 use crate::plan::CardSnapshot;
 use crate::resolve::{CompiledProgram, CompiledRule, RulePlans};
@@ -54,8 +56,13 @@ use inflog_core::Relation;
 pub struct DeltaDriver {
     /// Output buffer for Θ applications (cleared, not reallocated).
     derived: Interp,
-    /// Per-round delta read back off `s`'s dense suffix.
-    delta: Interp,
+    /// Per-IDB dense-storage watermarks: `s.get(i).dense()[delta_marks[i]..]`
+    /// *is* the round's delta. The delta is never materialized as its own
+    /// interpretation — delta scans are always unkeyed and leading (the
+    /// delta-first invariant), so a borrowed slice of `s`'s live storage
+    /// serves directly, eliminating a clone and a hash insert per derived
+    /// tuple per round.
+    delta_marks: Vec<usize>,
     /// Parallel-executor knobs forwarded to every Θ application this driver
     /// issues; rounds below the threshold stay sequential automatically.
     opts: EvalOptions,
@@ -84,9 +91,10 @@ impl DeltaDriver {
 
     /// Builds a driver with explicit evaluation options.
     pub fn with_options(cp: &CompiledProgram, opts: EvalOptions) -> Self {
+        let derived = cp.empty_interp();
         DeltaDriver {
-            derived: cp.empty_interp(),
-            delta: cp.empty_interp(),
+            delta_marks: vec![0; derived.len()],
+            derived,
             opts,
             plans: Vec::new(),
             cards: CardSnapshot::unknown(),
@@ -95,10 +103,12 @@ impl DeltaDriver {
     }
 
     /// Re-plans every rule against the live relation cardinalities (the
-    /// materialized EDB plus the current `s`). Cheap — rule bodies are a
-    /// handful of literals — and skipped entirely when no rule's order can
-    /// depend on cardinalities or when no size changed since the previous
-    /// snapshot.
+    /// materialized EDB plus the current `s`). Skipped entirely when no
+    /// rule's order can depend on cardinalities, and skipped whenever every
+    /// size stayed within the same power-of-two bucket as the previous
+    /// replan — a fixpoint that grows a relation by a few tuples per round
+    /// would otherwise rebuild and re-lower every plan family every round
+    /// for plans that come out identical anyway.
     fn replan(&mut self, cp: &CompiledProgram, ctx: &EvalContext, s: &Interp) {
         let sensitive = *self
             .order_sensitive
@@ -110,7 +120,7 @@ impl DeltaDriver {
             ctx.edb.iter().map(Relation::len).collect(),
             s.relations().iter().map(Relation::len).collect(),
         );
-        if self.plans.len() == cp.rules.len() && cards == self.cards {
+        if self.plans.len() == cp.rules.len() && cards.same_magnitude(&self.cards) {
             return;
         }
         self.plans = cp.rules.iter().map(|r| r.replan(&cards)).collect();
@@ -196,7 +206,7 @@ impl DeltaDriver {
             s,
             None,
             PlanKind::NegDelta,
-            Some(removed),
+            Some(DeltaSource::Interp(removed)),
             Some(frozen_neg),
             Self::overrides(&self.plans),
             &mut self.derived,
@@ -250,7 +260,7 @@ impl DeltaDriver {
         mut trace: Option<&mut EvalTrace>,
     ) -> usize {
         let mut total = 0;
-        let mut added = absorb(s, &self.derived, &mut self.delta);
+        let mut added = absorb(s, &self.derived, &mut self.delta_marks);
         while added > 0 {
             total += added;
             if let Some(tr) = trace.as_deref_mut() {
@@ -263,7 +273,7 @@ impl DeltaDriver {
                 s,
                 rules,
                 PlanKind::PosDelta,
-                Some(&self.delta),
+                Some(DeltaSource::Suffix(&self.delta_marks)),
                 frozen_neg,
                 Self::overrides(&self.plans),
                 &mut self.derived,
@@ -271,7 +281,7 @@ impl DeltaDriver {
             );
             #[cfg(debug_assertions)]
             self.cross_check_against_naive_round(cp, ctx, s, rules, frozen_neg);
-            added = absorb(s, &self.derived, &mut self.delta);
+            added = absorb(s, &self.derived, &mut self.delta_marks);
         }
         total
     }
@@ -310,21 +320,17 @@ impl DeltaDriver {
     }
 }
 
-/// Unions `derived` into `s` and rebuilds `delta` from `s`'s dense suffix —
-/// the tuples the union actually added, with no set-difference pass.
-/// Returns the number of tuples added.
-fn absorb(s: &mut Interp, derived: &Interp, delta: &mut Interp) -> usize {
+/// Unions `derived` into `s` and records the pre-union dense lengths in
+/// `marks` — the next round's delta is exactly `s`'s dense suffix past each
+/// mark, read in place with no set-difference pass and no delta
+/// materialization. Returns the number of tuples added.
+fn absorb(s: &mut Interp, derived: &Interp, marks: &mut [usize]) -> usize {
     let mut added = 0;
-    for i in 0..s.len() {
+    for (i, mark) in marks.iter_mut().enumerate() {
         let before = s.get(i).len();
+        *mark = before;
         s.get_mut(i).union_with(derived.get(i));
-        let drel = delta.get_mut(i);
-        drel.clear();
-        let srel = s.get(i);
-        for t in &srel.dense()[before..] {
-            drel.insert(t.clone());
-        }
-        added += srel.len() - before;
+        added += s.get(i).len() - before;
     }
     added
 }
@@ -428,6 +434,7 @@ mod tests {
             EvalOptions {
                 threads: 4,
                 parallel_threshold: 0,
+                ..EvalOptions::sequential()
             },
         );
         let mut s = cp.empty_interp();

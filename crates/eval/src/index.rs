@@ -30,7 +30,7 @@
 //! grows past a watermark, bounding memory across long iterations that
 //! allocate fresh relations each round.
 
-use inflog_core::{Relation, Tuple};
+use inflog_core::{FxBuildHasher, Relation, Tuple};
 use std::collections::HashMap;
 
 /// Key-column set encoded as a bitmask (positions are small: they index
@@ -58,9 +58,12 @@ pub fn col_mask(cols: &[usize]) -> Option<u128> {
 }
 
 /// One persistent index: key projection ↦ dense positions, plus the
-/// watermark of how much of the relation it has consumed.
+/// watermark of how much of the relation it has consumed. The projection
+/// map hashes with [`FxBuildHasher`] — the probe sits in every keyed
+/// scan's inner loop, where SipHash rounds on a 1–4-word key would
+/// dominate the lookup.
 #[derive(Debug, Clone)]
-struct Index {
+pub(crate) struct Index {
     cols: Vec<usize>,
     /// `relation.dense()[..upto]` is indexed.
     upto: usize,
@@ -69,12 +72,22 @@ struct Index {
     /// its `last_truncate_len` are dropped and the prefix survives. Further
     /// behind than one epoch, the index rebuilds from scratch.
     epoch: u64,
-    map: HashMap<Tuple, Vec<u32>>,
+    map: HashMap<Tuple, Vec<u32>, FxBuildHasher>,
     /// Tick of the last application that touched this index.
     last_used: u64,
 }
 
 impl Index {
+    /// The postings filed under `key`: positions into the relation's dense
+    /// storage, in insertion order; empty when the key has no matches. The
+    /// register-machine executor resolves the index once per program run
+    /// and probes it directly, skipping [`IndexSet::probe`]'s per-call
+    /// registry lookup.
+    #[inline]
+    pub(crate) fn postings(&self, key: &Tuple) -> &[u32] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
     /// Brings the index up to date with `rel`, resynchronizing across
     /// truncations (see [`Relation::truncate`]) before consuming the dense
     /// suffix added since the last call.
@@ -124,7 +137,7 @@ const EVICT_WATERMARK: usize = 128;
 /// The set of persistent indexes owned by an evaluation context.
 #[derive(Debug, Clone, Default)]
 pub struct IndexSet {
-    indexes: HashMap<(u64, u128), Index>,
+    indexes: HashMap<(u64, u128), Index, FxBuildHasher>,
     /// Monotone Θ-application counter (drives eviction).
     tick: u64,
 }
@@ -153,7 +166,7 @@ impl IndexSet {
                 cols: cols.to_vec(),
                 upto: 0,
                 epoch: rel.shrink_epoch(),
-                map: HashMap::new(),
+                map: HashMap::default(),
                 last_used: tick,
             });
         ix.last_used = tick;
@@ -291,9 +304,16 @@ impl IndexSet {
     /// Returns `None` when no index is registered (the executor falls back
     /// to a filtered scan) and `Some(&[])` when the key has no matches.
     pub fn probe(&self, rel_id: u64, cols: &[usize], key: &Tuple) -> Option<&[u32]> {
-        let mask = col_mask(cols)?;
-        let ix = self.indexes.get(&(rel_id, mask))?;
-        Some(ix.map.get(key).map_or(&[][..], Vec::as_slice))
+        Some(self.resolve(rel_id, cols)?.postings(key))
+    }
+
+    /// Looks up the index registered for `(rel_id, cols)` once, so a
+    /// program run can probe [`Index::postings`] directly per outer
+    /// candidate instead of re-hashing the registry key on every probe.
+    /// `None` means no index is registered (unprepared plan): callers fall
+    /// back to a filtered linear scan.
+    pub(crate) fn resolve(&self, rel_id: u64, cols: &[usize]) -> Option<&Index> {
+        self.indexes.get(&(rel_id, col_mask(cols)?))
     }
 
     /// Number of live indexes (observability / tests).

@@ -47,6 +47,7 @@
 
 pub mod driver;
 pub mod error;
+pub mod exec;
 pub mod index;
 pub mod inflationary;
 pub mod interp;
@@ -60,10 +61,12 @@ pub mod resolve;
 pub mod seminaive;
 pub mod stratified;
 pub mod trace;
+pub(crate) mod tree;
 pub mod wellfounded;
 
 pub use driver::DeltaDriver;
 pub use error::EvalError;
+pub use exec::{ColAction, Op, RuleProgram, ValSrc};
 pub use index::IndexSet;
 pub use inflationary::{inflationary, inflationary_naive, inflationary_with};
 pub use interp::Interp;
@@ -73,7 +76,8 @@ pub use operator::{
     apply, apply_delta, apply_delta_with_neg, apply_subset, apply_with_neg, enumerate_bindings,
     EvalContext,
 };
-pub use options::EvalOptions;
+pub use options::{EvalOptions, ExecKind};
+pub use plan::lower;
 pub use query::{
     demand_support, query, DemandSupport, NonStratifiedPolicy, QueryAnswer, QueryOpts,
     QueryStrategy,

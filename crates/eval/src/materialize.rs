@@ -441,7 +441,7 @@ impl Materialized {
             &self.s,
             None,
             damage_kind,
-            Some(staged),
+            Some(operator::DeltaSource::Interp(staged)),
             None,
             None,
             &mut pending,
@@ -471,7 +471,7 @@ impl Materialized {
                     &self.s,
                     Some(rules),
                     PlanKind::NegDelta,
-                    Some(&added_acc),
+                    Some(operator::DeltaSource::Interp(&added_acc)),
                     Some(&empty_neg),
                     None,
                     &mut heads,
@@ -512,7 +512,7 @@ impl Materialized {
                     &self.s,
                     None,
                     PlanKind::PosDelta,
-                    Some(&frontier),
+                    Some(operator::DeltaSource::Interp(&frontier)),
                     Some(&empty_neg),
                     None,
                     &mut heads,
@@ -540,7 +540,13 @@ impl Materialized {
                         let mut j = 0;
                         while j < list.len() {
                             if operator::derivable(
-                                &self.cp, &self.ctx, i, &list[j], &self.s, &self.s,
+                                &self.cp,
+                                &self.ctx,
+                                i,
+                                &list[j],
+                                &self.s,
+                                &self.s,
+                                self.opts.exec_kind(),
                             ) {
                                 self.s.insert(i, list.swap_remove(j));
                                 confirmed = true;
@@ -582,7 +588,7 @@ impl Materialized {
                     &self.s,
                     Some(rules),
                     topup_kind,
-                    Some(staged),
+                    Some(operator::DeltaSource::Interp(staged)),
                     None,
                     None,
                     &mut scratch,
@@ -598,7 +604,7 @@ impl Materialized {
                         &self.s,
                         Some(rules),
                         PlanKind::PosDelta,
-                        Some(&added_acc),
+                        Some(operator::DeltaSource::Interp(&added_acc)),
                         None,
                         None,
                         &mut scratch,
@@ -618,7 +624,7 @@ impl Materialized {
                         &self.s,
                         Some(rules),
                         PlanKind::NegDelta,
-                        Some(&removed_acc),
+                        Some(operator::DeltaSource::Interp(&removed_acc)),
                         None,
                         None,
                         &mut scratch,

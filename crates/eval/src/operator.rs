@@ -45,12 +45,24 @@
 //!
 //! The engines do not drive rounds themselves; the shared round loop lives
 //! in [`driver`](crate::driver).
+//!
+//! # Executors
+//!
+//! Plan execution itself lives elsewhere: the default flat register-machine
+//! VM in [`exec`](crate::exec) (every [`Plan`] embeds its lowered
+//! [`RuleProgram`](crate::exec::RuleProgram)), and the recursive tree
+//! walker in [`tree`](crate::tree), kept as the oracle. This module only
+//! selects between them per application ([`EvalOptions::exec_kind`], i.e.
+//! the `INFLOG_EXEC` switch) — and, in debug builds, replays every VM
+//! application on the tree executor and asserts dense-storage equality.
 
+use crate::exec::{self, ExecEnv};
 use crate::index::IndexSet;
 use crate::interp::Interp;
-use crate::options::EvalOptions;
+use crate::options::{EvalOptions, ExecKind};
 use crate::plan::{CTerm, Plan, PredRef, Source, Step};
-use crate::resolve::{CompiledProgram, RulePlans};
+use crate::resolve::{CompiledProgram, CompiledRule, RulePlans};
+use crate::tree;
 use crate::Result;
 use inflog_core::{Const, Database, Relation, Tuple};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -202,6 +214,46 @@ pub(crate) enum PlanKind {
     EdbNegDelta,
 }
 
+/// Where [`Source::Delta`] scans read their tuples.
+///
+/// The delta-first invariant makes every delta occurrence an **unkeyed
+/// leading scan** — deltas are never probed, never membership-checked and
+/// never indexed — so a delta only has to be a tuple slice, not a relation.
+/// That lets semi-naive round drivers skip materializing Δ entirely: the
+/// tuples a round adds are exactly the dense suffix `s` grew by, and
+/// [`DeltaSource::Suffix`] points straight at it (no per-tuple clone, no
+/// hash insert, no dedup — the suffix is new by construction).
+#[derive(Clone, Copy)]
+pub(crate) enum DeltaSource<'a> {
+    /// A materialized delta interpretation (IDB-shaped for
+    /// [`PlanKind::PosDelta`]/[`PlanKind::NegDelta`], EDB-shaped for the
+    /// view-maintenance plan kinds).
+    Interp(&'a Interp),
+    /// The delta is the dense suffix of the live interpretation `s`,
+    /// starting at these per-IDB-relation marks.
+    Suffix(&'a [usize]),
+}
+
+/// Resolves the tuples a [`Source::Delta`] scan iterates.
+pub(crate) fn delta_scan_tuples<'a>(
+    s: &'a Interp,
+    delta: Option<DeltaSource<'a>>,
+    pred: PredRef,
+) -> &'a [Tuple] {
+    let delta = delta.expect("delta scan outside a delta application");
+    match (delta, pred) {
+        // The materialized delta is shaped for the plan kind being run:
+        // IDB-indexed for Pos/NegDelta plans, EDB-indexed for Edb*Delta
+        // plans. One application only ever resolves one of the two shapes,
+        // since each plan kind drives deltas through one predicate class.
+        (DeltaSource::Interp(d), PredRef::Edb(i) | PredRef::Idb(i)) => d.get(i).dense(),
+        (DeltaSource::Suffix(marks), PredRef::Idb(i)) => &s.get(i).dense()[marks[i]..],
+        (DeltaSource::Suffix(_), PredRef::Edb(_)) => {
+            unreachable!("suffix deltas are IDB-shaped (semi-naive rounds)")
+        }
+    }
+}
+
 /// Options threading through one Θ application.
 struct ApplyOpts<'a> {
     /// Restrict to these rule indices (source order); `None` = all rules.
@@ -210,7 +262,7 @@ struct ApplyOpts<'a> {
     plans: PlanKind,
     /// Resolves [`Source::Delta`] scans (the per-round delta for
     /// [`PlanKind::PosDelta`], the removed set for [`PlanKind::NegDelta`]).
-    delta: Option<&'a Interp>,
+    delta: Option<DeltaSource<'a>>,
     /// If set, negative IDB literals read this interpretation instead of `s`.
     neg: Option<&'a Interp>,
     /// Replanned plan sets indexed by source rule, overriding the compiled
@@ -273,7 +325,7 @@ pub fn apply_delta(
         &ApplyOpts {
             rules,
             plans: PlanKind::PosDelta,
-            delta: Some(delta),
+            delta: Some(DeltaSource::Interp(delta)),
             neg: None,
             overrides: None,
         },
@@ -322,7 +374,7 @@ pub fn apply_delta_with_neg(
         &ApplyOpts {
             rules,
             plans: PlanKind::PosDelta,
-            delta: Some(delta),
+            delta: Some(DeltaSource::Interp(delta)),
             neg: Some(neg),
             overrides: None,
         },
@@ -348,7 +400,7 @@ pub(crate) fn apply_general_into(
     s: &Interp,
     rules: Option<&[usize]>,
     plans: PlanKind,
-    delta: Option<&Interp>,
+    delta: Option<DeltaSource<'_>>,
     neg: Option<&Interp>,
     overrides: Option<&[RulePlans]>,
     out: &mut Interp,
@@ -379,37 +431,31 @@ pub(crate) fn apply_general_into(
     );
 }
 
-/// Resolves a plan's relation reference against the evaluation state.
-fn resolve_relation<'a>(
+/// Resolves a plan's **full-source** relation reference against the
+/// evaluation state. [`Source::Delta`] never resolves to a relation — the
+/// delta-first invariant keeps deltas as unkeyed leading scans, so delta
+/// tuples flow through [`delta_scan_tuples`] as plain slices.
+pub(crate) fn resolve_relation<'a>(
     ctx: &'a EvalContext,
     s: &'a Interp,
-    delta: Option<&'a Interp>,
     pred: PredRef,
     source: Source,
 ) -> &'a Relation {
-    match (pred, source) {
-        (PredRef::Edb(i), Source::Full) => &ctx.edb[i],
-        (PredRef::Idb(i), Source::Full) => s.get(i),
-        // The delta interpretation is shaped for the plan kind being run:
-        // IDB-indexed for Pos/NegDelta plans, EDB-indexed for Edb*Delta
-        // plans. One application only ever resolves one of the two shapes,
-        // since each plan kind drives deltas through one predicate class.
-        (PredRef::Edb(i) | PredRef::Idb(i), Source::Delta) => delta
-            .expect("delta scan outside a delta application")
-            .get(i),
+    debug_assert_eq!(
+        source,
+        Source::Full,
+        "delta sources are scanned as slices, never resolved as relations"
+    );
+    match pred {
+        PredRef::Edb(i) => &ctx.edb[i],
+        PredRef::Idb(i) => s.get(i),
     }
 }
 
 /// Registers (and incrementally refreshes) the indexes `plan`'s keyed scans
 /// will probe. Called once per plan per Θ application, before execution
 /// starts — the only point at which the index set is written.
-fn prepare_plan(
-    indexes: &mut IndexSet,
-    plan: &Plan,
-    ctx: &EvalContext,
-    s: &Interp,
-    delta: Option<&Interp>,
-) {
+fn prepare_plan(indexes: &mut IndexSet, plan: &Plan, ctx: &EvalContext, s: &Interp) {
     for step in &plan.steps {
         if let Step::Scan {
             pred,
@@ -419,7 +465,9 @@ fn prepare_plan(
         } = step
         {
             if !key_cols.is_empty() {
-                indexes.ensure(resolve_relation(ctx, s, delta, *pred, *source), key_cols);
+                // Keyed scans are never delta scans (the delta-first
+                // invariant), so the relation always resolves.
+                indexes.ensure(resolve_relation(ctx, s, *pred, *source), key_cols);
             }
         }
     }
@@ -458,17 +506,28 @@ pub fn enumerate_bindings(plan: &Plan, ctx: &EvalContext) -> Vec<Tuple> {
     {
         let mut indexes = ctx.write_indexes();
         indexes.begin_application();
-        prepare_plan(&mut indexes, plan, ctx, &empty, None);
+        prepare_plan(&mut indexes, plan, ctx, &empty);
     }
     let indexes = ctx.read_indexes();
-    let exec = Executor {
+    let env = ExecEnv {
         ctx,
         s: &empty,
         delta: None,
         neg: &empty,
         indexes: &indexes,
     };
-    exec.run_plan(plan, &mut out);
+    let kind = EvalOptions::sequential().exec_kind();
+    exec_plan(&env, kind, plan, &mut out);
+    #[cfg(debug_assertions)]
+    if kind == ExecKind::Vm {
+        let mut oracle = Relation::new(plan.num_vars);
+        tree::run_plan(&env, plan, &mut oracle);
+        assert_eq!(
+            out.dense(),
+            oracle.dense(),
+            "VM diverged from the tree oracle in enumerate_bindings"
+        );
+    }
     out.sorted()
 }
 
@@ -480,7 +539,7 @@ pub(crate) fn sync_check_indexes(cp: &CompiledProgram, ctx: &EvalContext, s: &In
     let mut indexes = ctx.write_indexes();
     indexes.begin_application();
     for rule in &cp.rules {
-        prepare_plan(&mut indexes, &rule.check_plan, ctx, s, None);
+        prepare_plan(&mut indexes, &rule.check_plan, ctx, s);
     }
 }
 
@@ -500,9 +559,10 @@ pub(crate) fn derivable(
     tuple: &Tuple,
     s: &Interp,
     neg: &Interp,
+    kind: ExecKind,
 ) -> bool {
     let indexes = ctx.read_indexes();
-    let exec = Executor {
+    let env = ExecEnv {
         ctx,
         s,
         delta: None,
@@ -519,11 +579,101 @@ pub(crate) fn derivable(
         if !unify_head(&rule.head_terms, tuple, &mut vals, &mut bound) {
             continue;
         }
-        if exec.probe_steps(&rule.check_plan, 0, &mut vals, &mut bound) {
+        let hit = match kind {
+            ExecKind::Vm => {
+                #[cfg(debug_assertions)]
+                let expected = tree::probe_plan(
+                    &env,
+                    &rule.check_plan,
+                    &mut vals.clone(),
+                    &mut bound.clone(),
+                );
+                let hit = exec::probe_program(&env, &rule.check_plan.program, &mut vals);
+                #[cfg(debug_assertions)]
+                assert_eq!(
+                    hit, expected,
+                    "VM probe diverged from the tree oracle in derivable"
+                );
+                hit
+            }
+            ExecKind::Tree => tree::probe_plan(&env, &rule.check_plan, &mut vals, &mut bound),
+        };
+        if hit {
             return true;
         }
     }
     false
+}
+
+/// Batch one-step derivability: [`derivable`] for every tuple of `list`,
+/// invoking `confirm` with the position of each derivable one. `s` must
+/// stay unmutated across the whole batch — that lets each rule's check
+/// program be resolved against the environment **once** and reused for all
+/// tuples, which is where a batch beats a loop of single checks (the
+/// rederivation sweeps run tens of thousands of these per alternation).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn derivable_batch(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    pred: usize,
+    list: &[Tuple],
+    s: &Interp,
+    neg: &Interp,
+    kind: ExecKind,
+    mut confirm: impl FnMut(usize),
+) {
+    let indexes = ctx.read_indexes();
+    let env = ExecEnv {
+        ctx,
+        s,
+        delta: None,
+        neg,
+        indexes: &indexes,
+    };
+    let rules: Vec<&CompiledRule> = cp.rules.iter().filter(|r| r.head_pred == pred).collect();
+    let resolved: Vec<exec::ResolvedProgram<'_>> = match kind {
+        ExecKind::Vm => rules
+            .iter()
+            .map(|r| exec::resolve_program(&env, &r.check_plan.program))
+            .collect(),
+        ExecKind::Tree => Vec::new(),
+    };
+    let mut vals: Vec<Const> = Vec::new();
+    let mut bound: Vec<bool> = Vec::new();
+    for (ti, tuple) in list.iter().enumerate() {
+        'rules: for (ri, rule) in rules.iter().enumerate() {
+            vals.clear();
+            vals.resize(rule.num_vars, Const(0));
+            bound.clear();
+            bound.resize(rule.num_vars, false);
+            if !unify_head(&rule.head_terms, tuple, &mut vals, &mut bound) {
+                continue;
+            }
+            let hit = match kind {
+                ExecKind::Vm => {
+                    #[cfg(debug_assertions)]
+                    let expected = tree::probe_plan(
+                        &env,
+                        &rule.check_plan,
+                        &mut vals.clone(),
+                        &mut bound.clone(),
+                    );
+                    let hit = resolved[ri].probe(&env, &mut vals);
+                    #[cfg(debug_assertions)]
+                    assert_eq!(
+                        hit, expected,
+                        "VM probe diverged from the tree oracle in derivable_batch"
+                    );
+                    hit
+                }
+                ExecKind::Tree => tree::probe_plan(&env, &rule.check_plan, &mut vals, &mut bound),
+            };
+            if hit {
+                confirm(ti);
+                break 'rules;
+            }
+        }
+    }
 }
 
 /// Unifies a rule head against a concrete tuple, binding head variables.
@@ -552,15 +702,28 @@ fn unify_head(head: &[CTerm], tuple: &Tuple, vals: &mut [Const], bound: &mut [bo
     true
 }
 
-struct Executor<'a> {
-    ctx: &'a EvalContext,
-    s: &'a Interp,
-    delta: Option<&'a Interp>,
-    neg: &'a Interp,
-    /// The persistent index set, read-locked for the whole application:
-    /// probes borrow straight from it with no per-scan lock traffic, and
-    /// parallel workers share the same guard through this reference.
-    indexes: &'a IndexSet,
+/// Runs one plan through the selected executor.
+fn exec_plan(env: &ExecEnv<'_>, kind: ExecKind, plan: &Plan, out: &mut Relation) {
+    match kind {
+        ExecKind::Vm => exec::run_program(env, &plan.program, out, None),
+        ExecKind::Tree => tree::run_plan(env, plan, out),
+    }
+}
+
+/// Runs one plan with its outermost loop restricted to `lo..hi` through the
+/// selected executor (the unit of parallel work).
+fn exec_plan_slice(
+    env: &ExecEnv<'_>,
+    kind: ExecKind,
+    plan: &Plan,
+    lo: usize,
+    hi: usize,
+    out: &mut Relation,
+) {
+    match kind {
+        ExecKind::Vm => exec::run_program(env, &plan.program, out, Some((lo, hi))),
+        ExecKind::Tree => tree::run_plan_slice(env, plan, lo, hi, out),
+    }
 }
 
 fn run(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, opts: &ApplyOpts<'_>) -> Interp {
@@ -591,16 +754,22 @@ enum Outer {
     Whole,
 }
 
-fn outer_extent(ctx: &EvalContext, s: &Interp, delta: Option<&Interp>, plan: &Plan) -> Outer {
+fn outer_extent(
+    ctx: &EvalContext,
+    s: &Interp,
+    delta: Option<DeltaSource<'_>>,
+    plan: &Plan,
+) -> Outer {
     match plan.steps.first() {
         Some(Step::Scan {
             pred,
             source,
             key_cols,
             ..
-        }) if key_cols.is_empty() => {
-            Outer::Dense(resolve_relation(ctx, s, delta, *pred, *source).len())
-        }
+        }) if key_cols.is_empty() => Outer::Dense(match source {
+            Source::Delta => delta_scan_tuples(s, delta, *pred).len(),
+            Source::Full => resolve_relation(ctx, s, *pred, *source).len(),
+        }),
         Some(Step::Domain { .. }) => Outer::Domain(ctx.universe_size),
         _ => Outer::Whole,
     }
@@ -637,19 +806,21 @@ fn run_into(
         indexes.begin_application();
         for &ri in selected {
             for plan in plans_of(cp, ri, opts.overrides, opts.plans) {
-                prepare_plan(&mut indexes, plan, ctx, s, opts.delta);
+                prepare_plan(&mut indexes, plan, ctx, s);
             }
         }
     }
     let indexes = ctx.read_indexes();
-    let exec = Executor {
+    let env = ExecEnv {
         ctx,
         s,
         delta: opts.delta,
         neg: opts.neg.unwrap_or(s),
         indexes: &indexes,
     };
+    let kind = par.exec_kind();
 
+    let mut ran_parallel = false;
     let workers = par.effective_threads();
     if workers > 1 {
         // Estimate the round's work as the summed outer-loop extent of its
@@ -675,17 +846,45 @@ fn run_into(
         if estimate >= par.parallel_threshold.max(1) {
             let tasks = build_tasks(&extents, workers, estimate, forced);
             if tasks.len() > 1 || (forced && !tasks.is_empty()) {
-                run_tasks_parallel(&exec, &tasks, workers, out);
+                run_tasks_parallel(&env, kind, &tasks, workers, out);
                 ctx.parallel_applications.fetch_add(1, Ordering::Relaxed);
-                return;
+                ran_parallel = true;
             }
         }
     }
 
-    for &ri in selected {
-        let rule = &cp.rules[ri];
-        for plan in plans_of(cp, ri, opts.overrides, opts.plans) {
-            exec.run_plan(plan, out.get_mut(rule.head_pred));
+    if !ran_parallel {
+        for &ri in selected {
+            let rule = &cp.rules[ri];
+            for plan in plans_of(cp, ri, opts.overrides, opts.plans) {
+                exec_plan(&env, kind, plan, out.get_mut(rule.head_pred));
+            }
+        }
+    }
+
+    // Debug oracle: replay every VM application on the tree executor and
+    // require bit-identical dense storage — same tuples, same insertion
+    // order. This is the standing proof obligation that lowering preserved
+    // the candidate order exactly.
+    #[cfg(debug_assertions)]
+    if kind == ExecKind::Vm {
+        let mut oracle = Interp::from_relations(
+            (0..out.len())
+                .map(|i| Relation::new(out.get(i).arity()))
+                .collect(),
+        );
+        for &ri in selected {
+            let rule = &cp.rules[ri];
+            for plan in plans_of(cp, ri, opts.overrides, opts.plans) {
+                tree::run_plan(&env, plan, oracle.get_mut(rule.head_pred));
+            }
+        }
+        for i in 0..out.len() {
+            assert_eq!(
+                out.get(i).dense(),
+                oracle.get(i).dense(),
+                "VM diverged from the tree oracle on relation {i} (parallel={ran_parallel})"
+            );
         }
     }
 }
@@ -743,7 +942,13 @@ fn build_tasks<'a>(
 /// the auto threshold keeps parallel rounds large enough that the merge
 /// clone (each derived tuple is copied once into `out`) is noise next to
 /// plan execution.
-fn run_tasks_parallel(exec: &Executor<'_>, tasks: &[Task<'_>], workers: usize, out: &mut Interp) {
+fn run_tasks_parallel(
+    env: &ExecEnv<'_>,
+    kind: ExecKind,
+    tasks: &[Task<'_>],
+    workers: usize,
+    out: &mut Interp,
+) {
     let outputs: Vec<Mutex<Relation>> = tasks
         .iter()
         .map(|t| Mutex::new(Relation::new(out.get(t.head_pred).arity())))
@@ -757,8 +962,8 @@ fn run_tasks_parallel(exec: &Executor<'_>, tasks: &[Task<'_>], workers: usize, o
             // uncontended — it exists to hand the worker `&mut` access.
             let mut rel = outputs[i].lock().unwrap_or_else(PoisonError::into_inner);
             match task.range {
-                Some((lo, hi)) => exec.run_plan_slice(task.plan, lo, hi, &mut rel),
-                None => exec.run_plan(task.plan, &mut rel),
+                Some((lo, hi)) => exec_plan_slice(env, kind, task.plan, lo, hi, &mut rel),
+                None => exec_plan(env, kind, task.plan, &mut rel),
             }
         }
     };
@@ -797,389 +1002,6 @@ fn plans_of<'a>(
         (None, PlanKind::NegDelta) => &cp.rules[ri].neg_delta_plans,
         (None, PlanKind::EdbDelta) => &cp.rules[ri].edb_delta_plans,
         (None, PlanKind::EdbNegDelta) => &cp.rules[ri].edb_neg_delta_plans,
-    }
-}
-
-/// Term positions of a scan that bind a fresh variable, as a bitmask.
-/// `bound` is restored between candidates, so the set is identical for
-/// every candidate of one scan — computed once, keeping the per-tuple loop
-/// allocation-free.
-fn scan_binds_mask(terms: &[CTerm], bound: &[bool]) -> u128 {
-    assert!(
-        terms.len() <= 128,
-        "executor supports atoms of arity <= 128"
-    );
-    let mut binds_mask: u128 = 0;
-    for (col, term) in terms.iter().enumerate() {
-        if let CTerm::Var(v) = term {
-            if !bound[*v] && !terms[..col].contains(term) {
-                binds_mask |= 1 << col;
-            }
-        }
-    }
-    binds_mask
-}
-
-impl<'a> Executor<'a> {
-    fn relation(&self, pred: PredRef, source: Source) -> &'a Relation {
-        resolve_relation(self.ctx, self.s, self.delta, pred, source)
-    }
-
-    /// The relation a *negative* literal reads (the Γ transform swaps it).
-    fn neg_relation(&self, pred: PredRef) -> &'a Relation {
-        match pred {
-            PredRef::Edb(i) => &self.ctx.edb[i],
-            PredRef::Idb(i) => self.neg.get(i),
-        }
-    }
-
-    fn run_plan(&self, plan: &Plan, out: &mut Relation) {
-        let mut vals: Vec<Const> = vec![Const(0); plan.num_vars];
-        let mut bound = vec![false; plan.num_vars];
-        self.step(plan, 0, &mut vals, &mut bound, out);
-    }
-
-    /// Runs `plan` with its **outermost** iteration restricted to the
-    /// contiguous range `lo..hi` — the unit of parallel execution. Only
-    /// called for plans whose first step is an unkeyed scan or a `Domain`
-    /// step (see [`Outer`]); outputs arrive in the same order as the
-    /// corresponding slice of a full sequential run.
-    fn run_plan_slice(&self, plan: &Plan, lo: usize, hi: usize, out: &mut Relation) {
-        let mut vals: Vec<Const> = vec![Const(0); plan.num_vars];
-        let mut bound = vec![false; plan.num_vars];
-        match plan.steps.first() {
-            Some(Step::Scan {
-                pred,
-                source,
-                terms,
-                key_cols,
-            }) if key_cols.is_empty() => {
-                let rel = self.relation(*pred, *source);
-                let binds_mask = scan_binds_mask(terms, &bound);
-                for t in &rel.dense()[lo..hi] {
-                    self.scan_candidate(plan, 0, &mut vals, &mut bound, out, t, terms, binds_mask);
-                }
-            }
-            Some(Step::Domain { var }) => {
-                let var = *var;
-                bound[var] = true;
-                for c in lo..hi {
-                    vals[var] = Const(c as u32);
-                    self.step(plan, 1, &mut vals, &mut bound, out);
-                }
-            }
-            _ => unreachable!("range tasks are built only for splittable first steps"),
-        }
-    }
-
-    fn value(&self, t: &CTerm, vals: &[Const]) -> Const {
-        match t {
-            CTerm::Const(c) => *c,
-            CTerm::Var(v) => vals[*v],
-        }
-    }
-
-    fn build_tuple(&self, terms: &[CTerm], vals: &[Const]) -> Tuple {
-        // Collects straight into a Tuple: arities ≤ 4 stay inline, so the
-        // executor's innermost head/filter construction never allocates.
-        terms.iter().map(|t| self.value(t, vals)).collect()
-    }
-
-    #[allow(clippy::too_many_lines)]
-    fn step(
-        &self,
-        plan: &Plan,
-        idx: usize,
-        vals: &mut Vec<Const>,
-        bound: &mut Vec<bool>,
-        out: &mut Relation,
-    ) {
-        if idx == plan.steps.len() {
-            let head = self.build_tuple(&plan.head, vals);
-            out.insert(head);
-            return;
-        }
-        match &plan.steps[idx] {
-            Step::Scan {
-                pred,
-                source,
-                terms,
-                key_cols,
-            } => {
-                let rel = self.relation(*pred, *source);
-                let binds_mask = scan_binds_mask(terms, bound);
-                if key_cols.is_empty() {
-                    // Full scan: iterate the dense storage in place.
-                    for ti in 0..rel.dense().len() {
-                        let t = &rel.dense()[ti];
-                        self.scan_candidate(plan, idx, vals, bound, out, t, terms, binds_mask);
-                    }
-                } else {
-                    // Keyed scan: probe the persistent index; the postings
-                    // are borrowed positions into the dense storage — no
-                    // tuple collection is cloned.
-                    let key: Tuple = key_cols
-                        .iter()
-                        .map(|&c| self.value(&terms[c], vals))
-                        .collect();
-                    if let Some(postings) = self.indexes.probe(rel.id(), key_cols, &key) {
-                        for &ti in postings {
-                            let t = &rel.dense()[ti as usize];
-                            self.scan_candidate(plan, idx, vals, bound, out, t, terms, binds_mask);
-                        }
-                    } else {
-                        // No index registered (unprepared plan): filtered
-                        // linear scan — correct, just slower.
-                        for ti in 0..rel.dense().len() {
-                            let t = &rel.dense()[ti];
-                            if key_cols.iter().enumerate().any(|(r, &c)| t[c] != key[r]) {
-                                continue;
-                            }
-                            self.scan_candidate(plan, idx, vals, bound, out, t, terms, binds_mask);
-                        }
-                    }
-                }
-            }
-            Step::Domain { var } => {
-                let var = *var;
-                bound[var] = true;
-                for c in 0..self.ctx.universe_size as u32 {
-                    vals[var] = Const(c);
-                    self.step(plan, idx + 1, vals, bound, out);
-                }
-                bound[var] = false;
-            }
-            Step::FilterPos { pred, terms } => {
-                let t = self.build_tuple(terms, vals);
-                if self.relation(*pred, Source::Full).contains(&t) {
-                    self.step(plan, idx + 1, vals, bound, out);
-                }
-            }
-            Step::FilterNeg { pred, terms } => {
-                let t = self.build_tuple(terms, vals);
-                if !self.neg_relation(*pred).contains(&t) {
-                    self.step(plan, idx + 1, vals, bound, out);
-                }
-            }
-            Step::BindEq { var, from } => {
-                let var = *var;
-                vals[var] = self.value(from, vals);
-                bound[var] = true;
-                self.step(plan, idx + 1, vals, bound, out);
-                bound[var] = false;
-            }
-            Step::FilterEq { a, b } => {
-                if self.value(a, vals) == self.value(b, vals) {
-                    self.step(plan, idx + 1, vals, bound, out);
-                }
-            }
-            Step::FilterNeq { a, b } => {
-                if self.value(a, vals) != self.value(b, vals) {
-                    self.step(plan, idx + 1, vals, bound, out);
-                }
-            }
-        }
-    }
-
-    /// Tries one scan candidate: unify `t` against `terms`, recurse into the
-    /// remaining steps on success, then restore the bindings this scan step
-    /// introduced (`binds_mask` marks the term positions that bind).
-    #[allow(clippy::too_many_arguments)]
-    fn scan_candidate(
-        &self,
-        plan: &Plan,
-        idx: usize,
-        vals: &mut Vec<Const>,
-        bound: &mut Vec<bool>,
-        out: &mut Relation,
-        t: &Tuple,
-        terms: &[CTerm],
-        binds_mask: u128,
-    ) {
-        let mut ok = true;
-        for (col, term) in terms.iter().enumerate() {
-            match term {
-                CTerm::Const(c) => {
-                    if t[col] != *c {
-                        ok = false;
-                        break;
-                    }
-                }
-                CTerm::Var(v) => {
-                    if binds_mask & (1 << col) != 0 {
-                        vals[*v] = t[col];
-                        bound[*v] = true;
-                    } else if t[col] != vals[*v] {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-        }
-        if ok {
-            self.step(plan, idx + 1, vals, bound, out);
-        }
-        let mut mask = binds_mask;
-        while mask != 0 {
-            let col = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            let CTerm::Var(v) = terms[col] else {
-                unreachable!("binds_mask marks variable positions only")
-            };
-            bound[v] = false;
-        }
-    }
-
-    /// Satisfiability probe: does any completion of the current binding
-    /// satisfy the plan's remaining steps? Same semantics as [`step`](Self::step)
-    /// minus head construction, returning on the **first** witness — the
-    /// one-step derivability checks of the incremental well-founded engine
-    /// run entire rule bodies through this.
-    fn probe_steps(
-        &self,
-        plan: &Plan,
-        idx: usize,
-        vals: &mut Vec<Const>,
-        bound: &mut Vec<bool>,
-    ) -> bool {
-        if idx == plan.steps.len() {
-            return true;
-        }
-        match &plan.steps[idx] {
-            Step::Scan {
-                pred,
-                source,
-                terms,
-                key_cols,
-            } => {
-                let rel = self.relation(*pred, *source);
-                let binds_mask = scan_binds_mask(terms, bound);
-                let mut found = false;
-                if key_cols.is_empty() {
-                    for ti in 0..rel.dense().len() {
-                        let t = &rel.dense()[ti];
-                        if self.probe_candidate(plan, idx, vals, bound, t, terms, binds_mask) {
-                            found = true;
-                            break;
-                        }
-                    }
-                } else {
-                    let key: Tuple = key_cols
-                        .iter()
-                        .map(|&c| self.value(&terms[c], vals))
-                        .collect();
-                    if let Some(postings) = self.indexes.probe(rel.id(), key_cols, &key) {
-                        for &ti in postings {
-                            let t = &rel.dense()[ti as usize];
-                            if self.probe_candidate(plan, idx, vals, bound, t, terms, binds_mask) {
-                                found = true;
-                                break;
-                            }
-                        }
-                    } else {
-                        for ti in 0..rel.dense().len() {
-                            let t = &rel.dense()[ti];
-                            if key_cols.iter().enumerate().any(|(r, &c)| t[c] != key[r]) {
-                                continue;
-                            }
-                            if self.probe_candidate(plan, idx, vals, bound, t, terms, binds_mask) {
-                                found = true;
-                                break;
-                            }
-                        }
-                    }
-                }
-                // Bindings this scan introduced were already unwound by
-                // `probe_candidate`.
-                found
-            }
-            Step::Domain { var } => {
-                let var = *var;
-                bound[var] = true;
-                let mut found = false;
-                for c in 0..self.ctx.universe_size as u32 {
-                    vals[var] = Const(c);
-                    if self.probe_steps(plan, idx + 1, vals, bound) {
-                        found = true;
-                        break;
-                    }
-                }
-                bound[var] = false;
-                found
-            }
-            Step::FilterPos { pred, terms } => {
-                let t = self.build_tuple(terms, vals);
-                self.relation(*pred, Source::Full).contains(&t)
-                    && self.probe_steps(plan, idx + 1, vals, bound)
-            }
-            Step::FilterNeg { pred, terms } => {
-                let t = self.build_tuple(terms, vals);
-                !self.neg_relation(*pred).contains(&t)
-                    && self.probe_steps(plan, idx + 1, vals, bound)
-            }
-            Step::BindEq { var, from } => {
-                let var = *var;
-                vals[var] = self.value(from, vals);
-                bound[var] = true;
-                let found = self.probe_steps(plan, idx + 1, vals, bound);
-                bound[var] = false;
-                found
-            }
-            Step::FilterEq { a, b } => {
-                self.value(a, vals) == self.value(b, vals)
-                    && self.probe_steps(plan, idx + 1, vals, bound)
-            }
-            Step::FilterNeq { a, b } => {
-                self.value(a, vals) != self.value(b, vals)
-                    && self.probe_steps(plan, idx + 1, vals, bound)
-            }
-        }
-    }
-
-    /// [`scan_candidate`](Self::scan_candidate) for probes: unify, recurse,
-    /// unwind; reports whether a witness was found downstream.
-    #[allow(clippy::too_many_arguments)]
-    fn probe_candidate(
-        &self,
-        plan: &Plan,
-        idx: usize,
-        vals: &mut Vec<Const>,
-        bound: &mut Vec<bool>,
-        t: &Tuple,
-        terms: &[CTerm],
-        binds_mask: u128,
-    ) -> bool {
-        let mut ok = true;
-        for (col, term) in terms.iter().enumerate() {
-            match term {
-                CTerm::Const(c) => {
-                    if t[col] != *c {
-                        ok = false;
-                        break;
-                    }
-                }
-                CTerm::Var(v) => {
-                    if binds_mask & (1 << col) != 0 {
-                        vals[*v] = t[col];
-                        bound[*v] = true;
-                    } else if t[col] != vals[*v] {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-        }
-        let found = ok && self.probe_steps(plan, idx + 1, vals, bound);
-        let mut mask = binds_mask;
-        while mask != 0 {
-            let col = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            let CTerm::Var(v) = terms[col] else {
-                unreachable!("binds_mask marks variable positions only")
-            };
-            bound[v] = false;
-        }
-        found
     }
 }
 
@@ -1427,6 +1249,7 @@ mod tests {
                 &EvalOptions {
                     threads,
                     parallel_threshold: 0,
+                    ..EvalOptions::sequential()
                 },
             );
             for i in 0..seq.len() {

@@ -1,20 +1,44 @@
 //! Evaluation options: the knobs every engine accepts.
 //!
-//! The only knobs today are the **parallel round executor's**: how many
+//! Two kinds of knob today: the **parallel round executor's** — how many
 //! worker threads a Θ application may use, and how large a round has to be
-//! before forking is worth the spawn/merge overhead. The options travel
-//! from the engine entry points (`*_with` variants) through the shared
+//! before forking is worth the spawn/merge overhead — and the **executor
+//! selection** between the flat register-machine VM (the default) and the
+//! recursive tree walker kept as its oracle. The options travel from the
+//! engine entry points (`*_with` variants) through the shared
 //! [`DeltaDriver`](crate::DeltaDriver) into the operator executor; engines
 //! called without explicit options use [`EvalOptions::default`], which reads
-//! the `INFLOG_THREADS` / `INFLOG_PARALLEL_THRESHOLD` environment variables
-//! so a whole test or bench run can be forced onto the parallel driver
-//! without touching call sites.
+//! the `INFLOG_THREADS` / `INFLOG_PARALLEL_THRESHOLD` / `INFLOG_EXEC`
+//! environment variables so a whole test or bench run can be forced onto the
+//! parallel driver (or the oracle executor) without touching call sites.
+
+use std::sync::OnceLock;
 
 /// Work-size floor (outer-loop candidates summed over the round's plans)
 /// below which a round always runs sequentially in auto mode: spawning and
 /// merging worker threads costs tens of microseconds, which tiny rounds
 /// cannot amortize.
 pub const DEFAULT_PARALLEL_THRESHOLD: usize = 512;
+
+/// Which Θ-application executor runs the rule plans.
+///
+/// Both executors are bit-identical — same tuples, same insertion order,
+/// same rounds and alternations, at every thread count; debug builds assert
+/// this per application. The tree walker survives purely as the VM's
+/// correctness oracle (and for `INFLOG_EXEC=tree` CI runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecKind {
+    /// The flat register-machine VM over lowered [`RuleProgram`]s — the
+    /// default, and the fast path (see [`exec`](crate::exec)).
+    ///
+    /// [`RuleProgram`]: crate::exec::RuleProgram
+    #[default]
+    Vm,
+    /// The recursive tree walker over [`Plan`] steps (the oracle).
+    ///
+    /// [`Plan`]: crate::plan::Plan
+    Tree,
+}
 
 /// Options accepted by every evaluation engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +58,12 @@ pub struct EvalOptions {
     /// path — with the task grain floor dropped to one candidate — for
     /// every round that has any work at all (useful for tests).
     pub parallel_threshold: usize,
+    /// Which executor runs the plans. `None` (the usual value, including
+    /// for [`EvalOptions::sequential`]) defers to the `INFLOG_EXEC`
+    /// environment variable — resolved once per process — so a whole run
+    /// can be switched to the tree oracle without touching call sites;
+    /// `Some` pins the choice for this evaluation (tests use this).
+    pub exec: Option<ExecKind>,
 }
 
 impl Default for EvalOptions {
@@ -50,11 +80,14 @@ impl Default for EvalOptions {
 }
 
 impl EvalOptions {
-    /// Explicitly sequential options (ignores the environment).
+    /// Explicitly sequential options (ignores the environment for the
+    /// parallel knobs; the executor choice still follows `INFLOG_EXEC` so
+    /// oracle runs cover the sequential entry points too).
     pub fn sequential() -> Self {
         EvalOptions {
             threads: 1,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            exec: None,
         }
     }
 
@@ -85,6 +118,34 @@ impl EvalOptions {
             threads: env_usize("INFLOG_THREADS", &get).unwrap_or(1),
             parallel_threshold: env_usize("INFLOG_PARALLEL_THRESHOLD", &get)
                 .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
+            exec: env_exec(&get),
+        }
+    }
+
+    /// The concrete executor choice: an explicit [`EvalOptions::exec`] wins;
+    /// otherwise `INFLOG_EXEC` is consulted once per process (cached — the
+    /// hot paths resolve this per Θ application) and defaults to the VM.
+    pub fn exec_kind(&self) -> ExecKind {
+        static ENV_EXEC: OnceLock<ExecKind> = OnceLock::new();
+        self.exec.unwrap_or_else(|| {
+            *ENV_EXEC
+                .get_or_init(|| env_exec(|key: &str| std::env::var(key).ok()).unwrap_or_default())
+        })
+    }
+}
+
+/// Parses `INFLOG_EXEC` (`vm` or `tree`, case-insensitive). Unset and empty
+/// mean "use the default"; anything else warns on stderr — the same loud
+/// fallback as the numeric knobs.
+fn env_exec(get: impl Fn(&str) -> Option<String>) -> Option<ExecKind> {
+    let raw = get("INFLOG_EXEC")?;
+    match raw.trim() {
+        "" => None,
+        s if s.eq_ignore_ascii_case("vm") => Some(ExecKind::Vm),
+        s if s.eq_ignore_ascii_case("tree") => Some(ExecKind::Tree),
+        _ => {
+            eprintln!("warning: ignoring INFLOG_EXEC={raw:?}: expected \"vm\" or \"tree\"");
+            None
         }
     }
 }
@@ -165,6 +226,34 @@ mod tests {
             let o = EvalOptions::from_env_with(env_of(Some(bad)));
             assert_eq!(o.threads, 1, "INFLOG_THREADS={bad:?}");
         }
+    }
+
+    #[test]
+    fn exec_env_parses_vm_tree_and_warns_otherwise() {
+        let env_exec_of = |value: Option<&'static str>| {
+            move |key: &str| {
+                if key == "INFLOG_EXEC" {
+                    value.map(str::to_owned)
+                } else {
+                    None
+                }
+            }
+        };
+        let kind = |v| EvalOptions::from_env_with(env_exec_of(v)).exec;
+        assert_eq!(kind(Some("vm")), Some(ExecKind::Vm));
+        assert_eq!(kind(Some("tree")), Some(ExecKind::Tree));
+        assert_eq!(kind(Some(" TREE\n")), Some(ExecKind::Tree));
+        // Unset/empty defer to the default; malformed values fall back
+        // loudly (stderr) instead of silently picking an executor.
+        assert_eq!(kind(None), None);
+        assert_eq!(kind(Some("  ")), None);
+        assert_eq!(kind(Some("fast")), None);
+        // An explicit choice always wins over the environment.
+        let pinned = EvalOptions {
+            exec: Some(ExecKind::Tree),
+            ..EvalOptions::sequential()
+        };
+        assert_eq!(pinned.exec_kind(), ExecKind::Tree);
     }
 
     #[test]

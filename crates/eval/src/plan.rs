@@ -25,7 +25,15 @@
 //! For semi-naive evaluation each rule additionally gets one *delta plan* per
 //! positive IDB atom occurrence: that occurrence reads the per-round delta
 //! relation (and is scanned first, since the delta is the smallest input).
+//!
+//! Every plan is additionally [`lower`]ed at construction into a flat
+//! [`RuleProgram`] — the register-machine IR the default executor runs (the
+//! step tree survives as the oracle executor's input and for plan
+//! introspection). Because lowering happens inside the planner, every path
+//! that builds or re-builds plans (compile-time planning, per-round
+//! replanning, grounding, check plans) gets a fresh program for free.
 
+use crate::exec::{ColAction, Op, RuleProgram, ValSrc, END};
 use inflog_core::Const;
 use std::fmt;
 
@@ -90,6 +98,21 @@ impl CardSnapshot {
             PredRef::Idb(i) => (&self.idb, i),
         };
         sizes.get(i).copied().unwrap_or(usize::MAX)
+    }
+
+    /// Whether `other` is close enough to this snapshot that re-planning
+    /// from it would be noise: every size is in the same power-of-two
+    /// bucket. The planner only reads cardinalities through order
+    /// comparisons, so two snapshots whose sizes agree bucket-by-bucket
+    /// almost always order scans identically — and a fixpoint loop that
+    /// re-plans per round would otherwise rebuild every plan (and re-lower
+    /// every program) each time a relation grows by a single tuple.
+    pub fn same_magnitude(&self, other: &CardSnapshot) -> bool {
+        let bucket = |n: usize| usize::BITS - n.leading_zeros();
+        let agree = |a: &[usize], b: &[usize]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| bucket(x) == bucket(y))
+        };
+        agree(&self.edb, &other.edb) && agree(&self.idb, &other.idb)
     }
 }
 
@@ -216,6 +239,10 @@ pub struct Plan {
     pub head: Vec<CTerm>,
     /// Number of variable slots in the rule.
     pub num_vars: usize,
+    /// The steps [`lower`]ed to the flat register-machine IR the default
+    /// executor runs. Always consistent with `steps`: both are produced
+    /// together by the planner.
+    pub program: RuleProgram,
 }
 
 /// Builds a plan for a rule body.
@@ -454,10 +481,158 @@ fn plan_rule_inner(
         }
     }
 
+    let program = lower(&steps, &head, num_vars, pre_bound);
     Plan {
         steps,
         head,
         num_vars,
+        program,
+    }
+}
+
+/// Lowers a plan's step tree to the flat [`RuleProgram`] IR.
+///
+/// The key property making this a *static* compilation: variable boundness
+/// at every step is fully determined by the plan (plus `pre_bound`), never
+/// by runtime data. So each scan column's behavior is decided here once —
+/// bind a register, check a register, check a constant, or skip an
+/// index-guaranteed key column — and the executing VM carries no `bound`
+/// bitmap at all. Keyed scans become [`Op::ProbeIndex`] with the key built
+/// from registers/immediates; each op records the pc of its innermost
+/// enclosing loop as its explicit `fail` jump target ([`END`] at top
+/// level); the terminal [`Op::Emit`] resumes the innermost loop.
+///
+/// `pre_bound` lists variable slots the caller seeds before running (check
+/// plans pre-bind the head variables) — they start as bound registers.
+pub fn lower(steps: &[Step], head: &[CTerm], num_vars: usize, pre_bound: &[usize]) -> RuleProgram {
+    let mut bound = vec![false; num_vars];
+    for &v in pre_bound {
+        bound[v] = true;
+    }
+    let vsrc = |t: &CTerm, bound: &[bool]| -> ValSrc {
+        match t {
+            CTerm::Const(c) => ValSrc::Imm(*c),
+            CTerm::Var(v) => {
+                debug_assert!(bound[*v], "value read from an unbound variable");
+                ValSrc::Reg(*v as u32)
+            }
+        }
+    };
+    let mut ops: Vec<Op> = Vec::with_capacity(steps.len() + 1);
+    // Innermost enclosing loop so far — the fail target of the next op.
+    let mut last_loop: u32 = END;
+    for step in steps {
+        let pc = ops.len() as u32;
+        let fail = last_loop;
+        match step {
+            Step::Scan {
+                pred,
+                source,
+                terms,
+                key_cols,
+            } => {
+                let cols: Box<[ColAction]> = terms
+                    .iter()
+                    .enumerate()
+                    .map(|(col, term)| {
+                        if key_cols.contains(&col) {
+                            // The probe key guarantees equality here (the
+                            // fallback path re-checks the key explicitly).
+                            return ColAction::Skip;
+                        }
+                        match term {
+                            CTerm::Const(c) => ColAction::CheckConst(*c),
+                            CTerm::Var(v) => {
+                                // First fresh occurrence binds; repeats (in
+                                // earlier columns or earlier steps) check —
+                                // the same rule as the tree executor's
+                                // binds mask.
+                                if !bound[*v] && !terms[..col].contains(term) {
+                                    ColAction::Bind(*v as u32)
+                                } else {
+                                    ColAction::CheckReg(*v as u32)
+                                }
+                            }
+                        }
+                    })
+                    .collect();
+                if key_cols.is_empty() {
+                    ops.push(match pred {
+                        PredRef::Edb(i) => Op::ScanEdb {
+                            rel: *i as u32,
+                            source: *source,
+                            cols,
+                            fail,
+                        },
+                        PredRef::Idb(i) => Op::ScanIdb {
+                            rel: *i as u32,
+                            source: *source,
+                            cols,
+                            fail,
+                        },
+                    });
+                } else {
+                    let key: Box<[ValSrc]> =
+                        key_cols.iter().map(|&c| vsrc(&terms[c], &bound)).collect();
+                    ops.push(Op::ProbeIndex {
+                        pred: *pred,
+                        source: *source,
+                        key_cols: key_cols.clone().into_boxed_slice(),
+                        key,
+                        cols,
+                        fail,
+                    });
+                }
+                last_loop = pc;
+                for t in terms {
+                    if let CTerm::Var(v) = t {
+                        bound[*v] = true;
+                    }
+                }
+            }
+            Step::Domain { var } => {
+                ops.push(Op::Domain {
+                    reg: *var as u32,
+                    fail,
+                });
+                last_loop = pc;
+                bound[*var] = true;
+            }
+            Step::FilterPos { pred, terms } => ops.push(Op::FilterPos {
+                pred: *pred,
+                args: terms.iter().map(|t| vsrc(t, &bound)).collect(),
+                fail,
+            }),
+            Step::FilterNeg { pred, terms } => ops.push(Op::FilterNeg {
+                pred: *pred,
+                args: terms.iter().map(|t| vsrc(t, &bound)).collect(),
+                fail,
+            }),
+            Step::BindEq { var, from } => {
+                let from = vsrc(from, &bound);
+                bound[*var] = true;
+                ops.push(Op::BindEq {
+                    reg: *var as u32,
+                    from,
+                });
+            }
+            Step::FilterEq { a, b } => ops.push(Op::FilterEq {
+                a: vsrc(a, &bound),
+                b: vsrc(b, &bound),
+                fail,
+            }),
+            Step::FilterNeq { a, b } => ops.push(Op::FilterNeq {
+                a: vsrc(a, &bound),
+                b: vsrc(b, &bound),
+                fail,
+            }),
+        }
+    }
+    ops.push(Op::Emit { fail: last_loop });
+    RuleProgram {
+        ops,
+        head: head.iter().map(|t| vsrc(t, &bound)).collect(),
+        num_regs: num_vars,
     }
 }
 

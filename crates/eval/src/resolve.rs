@@ -326,6 +326,10 @@ impl CompiledProgram {
             });
         }
 
+        if dump_ir_enabled() {
+            dump_ir(&rules, &idb_names);
+        }
+
         Ok(CompiledProgram {
             idb_names,
             idb_arities,
@@ -398,6 +402,38 @@ impl CompiledProgram {
             out.push_str(&format!("{name} = {{{}}}\n", rows.join(", ")));
         }
         out
+    }
+}
+
+/// Whether `INFLOG_DUMP_IR=1` asked for the lowered register-machine
+/// programs of every compiled plan on stderr.
+fn dump_ir_enabled() -> bool {
+    std::env::var("INFLOG_DUMP_IR").is_ok_and(|v| v.trim() == "1")
+}
+
+/// Prints every rule's lowered programs — all plan families, labelled — in
+/// the stable [`Display`](std::fmt::Display) format of
+/// [`RuleProgram`](crate::exec::RuleProgram).
+fn dump_ir(rules: &[CompiledRule], idb_names: &[String]) {
+    for (ri, rule) in rules.iter().enumerate() {
+        let head = &idb_names[rule.head_pred];
+        let emit = |label: &str, plan: &Plan| {
+            eprintln!("-- rule {ri} ({head}) {label}\n{}", plan.program);
+        };
+        emit("full", &rule.full_plan);
+        for (i, p) in rule.delta_plans.iter().enumerate() {
+            emit(&format!("delta[{i}]"), p);
+        }
+        for (i, p) in rule.neg_delta_plans.iter().enumerate() {
+            emit(&format!("neg_delta[{i}]"), p);
+        }
+        for (i, p) in rule.edb_delta_plans.iter().enumerate() {
+            emit(&format!("edb_delta[{i}]"), p);
+        }
+        for (i, p) in rule.edb_neg_delta_plans.iter().enumerate() {
+            emit(&format!("edb_neg_delta[{i}]"), p);
+        }
+        emit("check", &rule.check_plan);
     }
 }
 

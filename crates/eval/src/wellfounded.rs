@@ -189,7 +189,7 @@ pub fn well_founded_compiled_with(
             &u,
             None,
             operator::PlanKind::NegDelta,
-            Some(&delta_t),
+            Some(operator::DeltaSource::Interp(&delta_t)),
             Some(&empty_neg),
             None,
             &mut heads,
@@ -220,7 +220,7 @@ pub fn well_founded_compiled_with(
                 &u,
                 None,
                 operator::PlanKind::PosDelta,
-                Some(&frontier),
+                Some(operator::DeltaSource::Interp(&frontier)),
                 Some(&empty_neg),
                 None,
                 &mut heads,
@@ -233,26 +233,33 @@ pub fn well_founded_compiled_with(
                 }
             }
         }
-        // Rederive: confirm cone members still one-step derivable from the
-        // surviving `u` (negations frozen at T_k), to closure — index-backed
-        // checks with the head pre-bound.
-        loop {
+        // Rederive: seed with the cone members still one-step derivable
+        // from the surviving `u` (negations frozen at T_k) — index-backed
+        // checks with the head pre-bound, `u` untouched during the sweep —
+        // then close under the frozen operator semi-naively. A cone member
+        // missed by the sweep becomes derivable only when a positive IDB
+        // atom of some rule instance re-enters `u`, so the delta rounds of
+        // [`DeltaDriver::extend_seeded`] confirm exactly the rest of the
+        // surviving cone: `u` stays a subset of `lfp(Γ_{T_k})` throughout
+        // (overdeletion soundness, module docs), and a monotone fixpoint
+        // seeded from below lands on it exactly. The previous formulation —
+        // full re-sweeps of the cone until no check confirmed — did
+        // `O(cone × sweeps)` derivability checks; this does one per cone
+        // member plus batch delta rounds.
+        {
             operator::sync_check_indexes(cp, ctx, &u);
-            let mut confirmed_any = false;
-            for (i, list) in cone.iter_mut().enumerate() {
-                let mut k = 0;
-                while k < list.len() {
-                    if operator::derivable(cp, ctx, i, &list[k], &u, &t) {
-                        u.insert(i, list.swap_remove(k));
-                        confirmed_any = true;
-                    } else {
-                        k += 1;
-                    }
-                }
+            // `frontier` is free after the overdeletion loop; reuse it as
+            // the seed buffer for the rederive rounds.
+            for i in 0..num_idb {
+                frontier.get_mut(i).clear();
             }
-            if !confirmed_any {
-                break;
+            for (i, list) in cone.iter().enumerate() {
+                let seed = frontier.get_mut(i);
+                operator::derivable_batch(cp, ctx, i, list, &u, &t, opts.exec_kind(), |k| {
+                    seed.insert(list[k].clone());
+                });
             }
+            driver.extend_seeded(cp, ctx, &mut u, None, Some(&t), &frontier, None);
         }
         #[cfg(debug_assertions)]
         {
@@ -276,15 +283,18 @@ pub fn well_founded_compiled_with(
             debug_assert_eq!(u, naive, "incremental U diverged from naive Γ(T)");
         }
 
-        // The unconfirmed leftovers are exactly U_{k-1} \ U_k: the tuples
-        // that just became false, driving the T restart round.
+        // The cone members that were never rederived back into `u` are
+        // exactly U_{k-1} \ U_k: the tuples that just became false, driving
+        // the T restart round.
         let mut any_removed = false;
         for (i, list) in cone.into_iter().enumerate() {
             let rrel = removed.get_mut(i);
             rrel.clear();
             for tuple in list {
-                rrel.insert(tuple);
-                any_removed = true;
+                if !u.get(i).contains(&tuple) {
+                    rrel.insert(tuple);
+                    any_removed = true;
+                }
             }
         }
 

@@ -28,6 +28,7 @@ fn forced(threads: usize) -> EvalOptions {
     EvalOptions {
         threads,
         parallel_threshold: 0,
+        ..EvalOptions::sequential()
     }
 }
 
