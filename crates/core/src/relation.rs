@@ -400,6 +400,57 @@ impl Relation {
         Some((idx, moved_from))
     }
 
+    /// Reverses a [`remove_tracked`](Self::remove_tracked): re-inserts `t`
+    /// and moves it back to dense position `pos`, restoring the dense order
+    /// the relation had before the removal. The tuple that swap-remove moved
+    /// into `pos` returns to the end (its original position).
+    ///
+    /// The probe-table *layout* may differ from the pre-removal table (the
+    /// removal left a tombstone), but probe semantics are equivalent; the
+    /// observable state — `dense()` order and membership — is restored
+    /// exactly. Like `remove_tracked`, this does **not** refresh the
+    /// relation [`id`](Self::id): callers that patched external positional
+    /// indexes around the removal must patch or invalidate them around the
+    /// restore too (the transactional rollback in the evaluator calls
+    /// [`refresh_id`](Self::refresh_id) once at the end instead).
+    ///
+    /// # Panics
+    /// Panics if `t` is already present or `pos` is out of bounds after the
+    /// insertion — both indicate the call does not mirror a prior
+    /// `remove_tracked(&t) == Some((pos, _))`.
+    pub fn restore_swap_removed(&mut self, pos: usize, t: Tuple) {
+        let inserted = self.insert(t);
+        assert!(inserted, "restored tuple must have been absent");
+        let last = self.tuples.len() - 1;
+        assert!(pos <= last, "restore position {pos} out of bounds");
+        if pos == last {
+            return;
+        }
+        // Locate both probe slots *before* swapping (probe matches tuples
+        // through their current dense positions), then swap the dense
+        // entries and redirect the two slots.
+        let slot_moved = self
+            .probe(&self.tuples[pos])
+            .expect("tuple at restore position must be indexed");
+        let slot_restored = self
+            .probe(&self.tuples[last])
+            .expect("freshly inserted tuple must be indexed");
+        self.tuples.swap(pos, last);
+        self.slots[slot_moved] = last as u32;
+        self.slots[slot_restored] = pos as u32;
+        self.clear_sorted_cache();
+    }
+
+    /// Refreshes the identity token without touching the tuples, forcing
+    /// external index caches keyed on [`id`](Self::id) to rebuild instead of
+    /// serving possibly-stale positional data. The transactional rollback in
+    /// the evaluator calls this on every relation it restored: indexes
+    /// patched during the failed update cannot be un-patched, so they are
+    /// invalidated wholesale.
+    pub fn refresh_id(&mut self) {
+        self.id = next_relation_id();
+    }
+
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
         !self.slots.is_empty() && self.probe(t).is_ok()
@@ -425,10 +476,19 @@ impl Relation {
     ///
     /// The sort order is cached and reused until the relation changes.
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut cache = self
-            .sorted_cache
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut cache = match self.sorted_cache.lock() {
+            Ok(guard) => guard,
+            // A thread panicked while holding the cache lock. The cache is
+            // pure derived data, so recovery is trivial: drop whatever
+            // (possibly torn) order is in there and re-sort from the dense
+            // storage, which the lock never guards.
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                self.sorted_cache.clear_poison();
+                guard
+            }
+        };
         let order = cache.get_or_insert_with(|| {
             let mut idx: Vec<u32> = (0..self.tuples.len() as u32).collect();
             idx.sort_unstable_by(|&a, &b| self.tuples[a as usize].cmp(&self.tuples[b as usize]));
@@ -860,6 +920,97 @@ mod tests {
         assert!(!r.contains(&t(&[1])) && !r.contains(&t(&[2])));
         assert!(r.insert(t(&[1])));
         assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn restore_swap_removed_round_trips() {
+        let mut r = rel(1, &[&[0], &[1], &[2], &[3]]);
+        let id0 = r.id();
+        let before: Vec<Tuple> = r.dense().to_vec();
+        // Interior removal: the last tuple moves into the hole; the restore
+        // must send it back and put the removed tuple where it was.
+        let (pos, moved) = r.remove_tracked(&t(&[1])).unwrap();
+        assert_ne!(pos, moved);
+        r.restore_swap_removed(pos, t(&[1]));
+        assert_eq!(r.dense(), &before[..]);
+        // Last-position removal: nothing moved, the restore is a plain append.
+        let (pos, moved) = r.remove_tracked(&t(&[3])).unwrap();
+        assert_eq!(pos, moved);
+        r.restore_swap_removed(pos, t(&[3]));
+        assert_eq!(r.dense(), &before[..]);
+        assert_eq!(r.id(), id0, "restore preserves the identity token");
+        // The probe table is still consistent after the dance.
+        for tup in &before {
+            assert!(r.contains(tup));
+        }
+        assert!(r.insert(t(&[9])));
+        assert!(r.remove(&t(&[9])));
+    }
+
+    #[test]
+    fn restore_swap_removed_stress_against_model() {
+        let mut x: u64 = 0x5151_5151;
+        let mut next = move |m: u32| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u32 % m
+        };
+        let mut r = Relation::new(1);
+        for i in 0..40 {
+            r.insert(t(&[i]));
+        }
+        let before: Vec<Tuple> = r.dense().to_vec();
+        for _ in 0..200 {
+            // Remove a random batch in random order, then undo it in exact
+            // reverse order (the rollback discipline) and check the dense
+            // order is restored bit-for-bit.
+            let mut undo: Vec<(usize, Tuple)> = Vec::new();
+            for _ in 0..(1 + next(5)) {
+                let victim = r.dense()[next(r.len() as u32) as usize].clone();
+                let (pos, _) = r.remove_tracked(&victim).unwrap();
+                undo.push((pos, victim));
+            }
+            for (pos, tup) in undo.into_iter().rev() {
+                r.restore_swap_removed(pos, tup);
+            }
+            assert_eq!(r.dense(), &before[..]);
+            for tup in &before {
+                assert!(r.contains(tup));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "absent")]
+    fn restore_swap_removed_rejects_present_tuple() {
+        let mut r = rel(1, &[&[0], &[1]]);
+        r.restore_swap_removed(0, t(&[1]));
+    }
+
+    #[test]
+    fn refresh_id_invalidates_without_mutation() {
+        let mut r = rel(1, &[&[0], &[1]]);
+        let id0 = r.id();
+        let before: Vec<Tuple> = r.dense().to_vec();
+        r.refresh_id();
+        assert_ne!(r.id(), id0);
+        assert_eq!(r.dense(), &before[..], "tuples untouched");
+    }
+
+    #[test]
+    fn sorted_recovers_from_poisoned_cache() {
+        let r = rel(1, &[&[2], &[0], &[1]]);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = r.sorted_cache.lock().unwrap();
+            panic!("poison the sorted cache");
+        }));
+        assert!(caught.is_err());
+        assert!(r.sorted_cache.is_poisoned());
+        // The cache is derived data: sorted() clears it and re-sorts.
+        assert_eq!(r.sorted(), vec![t(&[0]), t(&[1]), t(&[2])]);
+        assert!(!r.sorted_cache.is_poisoned(), "poison cleared on recovery");
+        assert_eq!(r.sorted(), vec![t(&[0]), t(&[1]), t(&[2])]);
     }
 
     #[test]

@@ -39,12 +39,14 @@
 //! application from the same state: the new tuples must match exactly,
 //! round by round.
 
+use crate::govern::Governor;
 use crate::interp::Interp;
 use crate::operator::{apply_general_into, DeltaSource, EvalContext, PlanKind};
 use crate::options::EvalOptions;
 use crate::plan::CardSnapshot;
 use crate::resolve::{CompiledProgram, CompiledRule, RulePlans};
 use crate::trace::EvalTrace;
+use crate::Result;
 use inflog_core::Relation;
 
 /// Reusable round driver: scratch buffers plus the shared semi-naive loop.
@@ -102,6 +104,15 @@ impl DeltaDriver {
         }
     }
 
+    /// Replaces the driver's evaluation options (parallelism, executor
+    /// choice) for subsequent rounds. Cardinality and delta state are
+    /// preserved — this exists so a long-lived caller (a
+    /// [`Materialized`](crate::Materialized) handle) can re-arm governance
+    /// between updates without rebuilding the driver.
+    pub fn set_options(&mut self, opts: EvalOptions) {
+        self.opts = opts;
+    }
+
     /// Re-plans every rule against the live relation cardinalities (the
     /// materialized EDB plus the current `s`). Skipped entirely when no
     /// rule's order can depend on cardinalities, and skipped whenever every
@@ -150,6 +161,16 @@ impl DeltaDriver {
     /// a warm-started call (`s` non-empty) has no delta describing how `s`
     /// came to be, and rules without positive IDB atoms never fire in delta
     /// rounds. Subsequent rounds are delta-restricted.
+    ///
+    /// `gov` enforces the caller's budget/cancellation at every round
+    /// boundary and inside the executors' inner loops; pass
+    /// [`Governor::free`] for ungoverned evaluation. On `Err`, `s` holds a
+    /// sound partial extension (every absorbed round was complete), but is
+    /// generally **not** a fixpoint.
+    ///
+    /// # Errors
+    /// Budget/cancellation/failpoint trips and contained worker panics.
+    #[allow(clippy::too_many_arguments)]
     pub fn extend(
         &mut self,
         cp: &CompiledProgram,
@@ -158,7 +179,9 @@ impl DeltaDriver {
         rules: Option<&[usize]>,
         frozen_neg: Option<&Interp>,
         trace: Option<&mut EvalTrace>,
-    ) -> usize {
+        gov: &Governor,
+    ) -> Result<usize> {
+        gov.check_round()?;
         self.replan(cp, ctx, s);
         apply_general_into(
             cp,
@@ -171,8 +194,9 @@ impl DeltaDriver {
             Self::overrides(&self.plans),
             &mut self.derived,
             &self.opts,
-        );
-        self.drain_rounds(cp, ctx, s, rules, frozen_neg, trace)
+            Some(gov),
+        )?;
+        self.drain_rounds(cp, ctx, s, rules, frozen_neg, trace, gov)
     }
 
     /// Like [`extend`](Self::extend), but the first round is **restricted**
@@ -190,6 +214,7 @@ impl DeltaDriver {
     /// incremental well-founded engine calls this for every alternation
     /// after the first; the debug cross-check verifies the argument against
     /// a full naive round.
+    #[allow(clippy::too_many_arguments)]
     pub fn extend_from_removed(
         &mut self,
         cp: &CompiledProgram,
@@ -198,7 +223,9 @@ impl DeltaDriver {
         removed: &Interp,
         frozen_neg: &Interp,
         trace: Option<&mut EvalTrace>,
-    ) -> usize {
+        gov: &Governor,
+    ) -> Result<usize> {
+        gov.check_round()?;
         self.replan(cp, ctx, s);
         apply_general_into(
             cp,
@@ -211,10 +238,11 @@ impl DeltaDriver {
             Self::overrides(&self.plans),
             &mut self.derived,
             &self.opts,
-        );
+            Some(gov),
+        )?;
         #[cfg(debug_assertions)]
         self.cross_check_against_naive_round(cp, ctx, s, None, Some(frozen_neg));
-        self.drain_rounds(cp, ctx, s, None, Some(frozen_neg), trace)
+        self.drain_rounds(cp, ctx, s, None, Some(frozen_neg), trace, gov)
     }
 
     /// Like [`extend`](Self::extend), but the first round's derivations are
@@ -238,18 +266,43 @@ impl DeltaDriver {
         frozen_neg: Option<&Interp>,
         seed: &Interp,
         trace: Option<&mut EvalTrace>,
-    ) -> usize {
+        gov: &Governor,
+    ) -> Result<usize> {
+        gov.check_round()?;
         self.replan(cp, ctx, s);
         for i in 0..self.derived.len() {
             let out = self.derived.get_mut(i);
             out.clear();
             out.union_with(seed.get(i));
         }
-        self.drain_rounds(cp, ctx, s, rules, frozen_neg, trace)
+        self.drain_rounds(cp, ctx, s, rules, frozen_neg, trace, gov)
     }
 
-    /// Shared tail of both entry points: absorb the first round already
+    /// Snapshots the driver state a transactional caller must restore on
+    /// rollback: the per-IDB delta watermarks (which must equal the
+    /// rolled-back interpretation's dense lengths in steady state) and the
+    /// replan cardinality snapshot. The live plans are *not* part of the
+    /// snapshot — any plan set is semantically correct, and the next replan
+    /// re-derives them from the restored cardinalities when they drift.
+    pub(crate) fn save_state(&self) -> (Vec<usize>, CardSnapshot) {
+        (self.delta_marks.clone(), self.cards.clone())
+    }
+
+    /// Restores a [`save_state`](Self::save_state) snapshot after a failed
+    /// transactional update.
+    pub(crate) fn restore_state(&mut self, state: (Vec<usize>, CardSnapshot)) {
+        let (marks, cards) = state;
+        self.delta_marks = marks;
+        self.cards = cards;
+    }
+
+    /// Shared tail of the entry points: absorb the first round already
     /// sitting in `self.derived`, then run delta rounds until stable.
+    ///
+    /// Rounds absorbed before an `Err` are complete — `s` never holds a
+    /// torn round, only a prefix of the rounds the full evaluation would
+    /// have run.
+    #[allow(clippy::too_many_arguments)]
     fn drain_rounds(
         &mut self,
         cp: &CompiledProgram,
@@ -258,7 +311,8 @@ impl DeltaDriver {
         rules: Option<&[usize]>,
         frozen_neg: Option<&Interp>,
         mut trace: Option<&mut EvalTrace>,
-    ) -> usize {
+        gov: &Governor,
+    ) -> Result<usize> {
         let mut total = 0;
         let mut added = absorb(s, &self.derived, &mut self.delta_marks);
         while added > 0 {
@@ -266,6 +320,7 @@ impl DeltaDriver {
             if let Some(tr) = trace.as_deref_mut() {
                 tr.record_round(added);
             }
+            gov.check_round()?;
             self.replan(cp, ctx, s);
             apply_general_into(
                 cp,
@@ -278,18 +333,23 @@ impl DeltaDriver {
                 Self::overrides(&self.plans),
                 &mut self.derived,
                 &self.opts,
-            );
+                Some(gov),
+            )?;
             #[cfg(debug_assertions)]
             self.cross_check_against_naive_round(cp, ctx, s, rules, frozen_neg);
             added = absorb(s, &self.derived, &mut self.delta_marks);
         }
-        total
+        Ok(total)
     }
 
     /// Debug-build invariant: the delta application just stored in
     /// `self.derived` must contribute exactly the tuples a full (naive)
     /// application from the same `s` would — semi-naive Γ equals naive Γ,
     /// round by round (and likewise for every other engine on the driver).
+    ///
+    /// The check only runs after an `Ok` application (a governed trip
+    /// short-circuits past it via `?`), and the replay itself is ungoverned
+    /// — it must neither double-count emissions nor re-fire failpoints.
     #[cfg(debug_assertions)]
     fn cross_check_against_naive_round(
         &self,
@@ -311,7 +371,9 @@ impl DeltaDriver {
             None,
             &mut full,
             &EvalOptions::sequential(),
-        );
+            None,
+        )
+        .expect("ungoverned sequential application cannot fail");
         debug_assert_eq!(
             full.difference(s),
             self.derived.difference(s),
@@ -358,7 +420,9 @@ mod tests {
         let (cp, ctx) = setup(TC, &db);
         let mut s = cp.empty_interp();
         let mut driver = DeltaDriver::new(&cp);
-        let added = driver.extend(&cp, &ctx, &mut s, None, None, None);
+        let added = driver
+            .extend(&cp, &ctx, &mut s, None, None, None, &Governor::free())
+            .unwrap();
         let (lfp, _) = least_fixpoint_naive(&parse_program(TC).unwrap(), &db).unwrap();
         assert_eq!(s, lfp);
         assert_eq!(added, lfp.total_tuples());
@@ -370,8 +434,12 @@ mod tests {
         let (cp, ctx) = setup(TC, &db);
         let mut s = cp.empty_interp();
         let mut driver = DeltaDriver::new(&cp);
-        driver.extend(&cp, &ctx, &mut s, None, None, None);
-        let again = driver.extend(&cp, &ctx, &mut s, None, None, None);
+        driver
+            .extend(&cp, &ctx, &mut s, None, None, None, &Governor::free())
+            .unwrap();
+        let again = driver
+            .extend(&cp, &ctx, &mut s, None, None, None, &Governor::free())
+            .unwrap();
         assert_eq!(again, 0);
     }
 
@@ -384,14 +452,18 @@ mod tests {
         let mut driver = DeltaDriver::new(&cp);
 
         let mut cold = cp.empty_interp();
-        driver.extend(&cp, &ctx, &mut cold, None, None, None);
+        driver
+            .extend(&cp, &ctx, &mut cold, None, None, None, &Governor::free())
+            .unwrap();
 
         let mut warm = cp.empty_interp();
         let sid = cp.idb_id("S").unwrap();
         for t in ctx.edb[0].iter() {
             warm.insert(sid, t.clone());
         }
-        driver.extend(&cp, &ctx, &mut warm, None, None, None);
+        driver
+            .extend(&cp, &ctx, &mut warm, None, None, None, &Governor::free())
+            .unwrap();
         assert_eq!(warm, cold);
     }
 
@@ -409,7 +481,9 @@ mod tests {
                 j.insert(wid, inflog_core::Tuple::from_ids(&[*m]));
             }
             let mut s = cp.empty_interp();
-            driver.extend(&cp, &ctx, &mut s, None, Some(&j), None);
+            driver
+                .extend(&cp, &ctx, &mut s, None, Some(&j), None, &Governor::free())
+                .unwrap();
             // Naive Γ(J): iterate the frozen-neg operator from ∅.
             let mut naive = cp.empty_interp();
             loop {
@@ -438,10 +512,14 @@ mod tests {
             },
         );
         let mut s = cp.empty_interp();
-        driver.extend(&cp, &ctx, &mut s, None, None, None);
+        driver
+            .extend(&cp, &ctx, &mut s, None, None, None, &Governor::free())
+            .unwrap();
         let at_fixpoint = ctx.parallel_applications();
         assert!(at_fixpoint > 0, "forced-parallel rounds must have forked");
-        let again = driver.extend(&cp, &ctx, &mut s, None, None, None);
+        let again = driver
+            .extend(&cp, &ctx, &mut s, None, None, None, &Governor::free())
+            .unwrap();
         assert_eq!(again, 0);
         assert_eq!(
             ctx.parallel_applications() - at_fixpoint,
@@ -459,7 +537,9 @@ mod tests {
         let (cp, ctx) = setup(TC, &db);
         let mut driver = DeltaDriver::with_options(&cp, EvalOptions::with_threads(4));
         let mut s = cp.empty_interp();
-        driver.extend(&cp, &ctx, &mut s, None, None, None);
+        driver
+            .extend(&cp, &ctx, &mut s, None, None, None, &Governor::free())
+            .unwrap();
         assert_eq!(
             ctx.parallel_applications(),
             0,
@@ -476,7 +556,17 @@ mod tests {
         let mut s = cp.empty_interp();
         let mut driver = DeltaDriver::new(&cp);
         let mut trace = EvalTrace::default();
-        driver.extend(&cp, &ctx, &mut s, None, None, Some(&mut trace));
+        driver
+            .extend(
+                &cp,
+                &ctx,
+                &mut s,
+                None,
+                None,
+                Some(&mut trace),
+                &Governor::free(),
+            )
+            .unwrap();
         // L_5 TC: rounds add 4, 3, 2, 1 tuples.
         assert_eq!(trace.added_per_round, vec![4, 3, 2, 1]);
     }

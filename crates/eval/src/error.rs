@@ -45,9 +45,45 @@ pub enum EvalError {
     },
     /// An iteration cap was exceeded (guards against misuse of naive
     /// iteration on non-monotone programs).
+    ///
+    /// **Deprecated in favor of [`EvalError::BudgetExceeded`]** with
+    /// [`BudgetKind::Rounds`]: round caps are now expressed through
+    /// [`Budget::max_rounds`](crate::Budget) on
+    /// [`EvalOptions`](crate::EvalOptions) and enforced uniformly across
+    /// every engine. The variant is kept so downstream `From` conversions
+    /// and exhaustive matches stay source-compatible; no engine raises it
+    /// any more.
     IterationLimit {
         /// The cap that was hit.
         limit: usize,
+    },
+    /// The evaluation was cancelled through its
+    /// [`CancelToken`](crate::CancelToken) (cooperative cancellation:
+    /// checked at round boundaries and every few thousand emitted tuples).
+    Cancelled,
+    /// A [`Budget`](crate::Budget) limit was exceeded. The partial result
+    /// is discarded; [`Materialized`](crate::Materialized) updates roll
+    /// back to the pre-update state before surfacing this.
+    BudgetExceeded {
+        /// Which budget dimension tripped.
+        kind: BudgetKind,
+        /// The configured limit (milliseconds for
+        /// [`BudgetKind::Deadline`], a count otherwise).
+        limit: u64,
+    },
+    /// A parallel worker task panicked. The panic was contained per task
+    /// (`catch_unwind`) so the evaluation returns an error instead of
+    /// aborting the process; the output of the application is discarded.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A registered failpoint fired (`INFLOG_FAILPOINT=<site>[:<n>]`, or a
+    /// programmatically armed [`Failpoints`](crate::Failpoints)). Only used
+    /// by the fault-injection test harness.
+    FaultInjected {
+        /// The failpoint site that fired.
+        site: String,
     },
     /// A goal-directed query was refused under the caller's policy (e.g. a
     /// non-stratifiable program queried with
@@ -56,6 +92,29 @@ pub enum EvalError {
         /// Why the query could not be answered as requested.
         reason: String,
     },
+}
+
+/// The budget dimension a [`EvalError::BudgetExceeded`] error names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The wall-clock deadline ([`Budget::deadline`](crate::Budget)).
+    Deadline,
+    /// The round cap ([`Budget::max_rounds`](crate::Budget)): semi-naive
+    /// rounds, naive iterations, and well-founded alternations all count.
+    Rounds,
+    /// The derived-tuple cap ([`Budget::max_tuples`](crate::Budget)),
+    /// counted as tuple emissions in the executors' inner loops.
+    Tuples,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Deadline => write!(f, "deadline (ms)"),
+            BudgetKind::Rounds => write!(f, "rounds"),
+            BudgetKind::Tuples => write!(f, "derived tuples"),
+        }
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -87,6 +146,16 @@ impl fmt::Display for EvalError {
             }
             EvalError::IterationLimit { limit } => {
                 write!(f, "iteration limit {limit} exceeded")
+            }
+            EvalError::Cancelled => write!(f, "evaluation cancelled"),
+            EvalError::BudgetExceeded { kind, limit } => {
+                write!(f, "evaluation budget exceeded: {kind} limit {limit}")
+            }
+            EvalError::WorkerPanic { message } => {
+                write!(f, "a parallel worker task panicked: {message}")
+            }
+            EvalError::FaultInjected { site } => {
+                write!(f, "failpoint `{site}` fired (fault injection)")
             }
             EvalError::UnsupportedQuery { reason } => {
                 write!(f, "query not supported: {reason}")
@@ -134,5 +203,22 @@ mod tests {
         }
         .to_string()
         .contains("arity 3"));
+        assert!(EvalError::Cancelled.to_string().contains("cancelled"));
+        assert!(EvalError::BudgetExceeded {
+            kind: BudgetKind::Rounds,
+            limit: 7
+        }
+        .to_string()
+        .contains("rounds limit 7"));
+        assert!(EvalError::WorkerPanic {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        assert!(EvalError::FaultInjected {
+            site: "round".into()
+        }
+        .to_string()
+        .contains("`round`"));
     }
 }

@@ -338,6 +338,13 @@ pub(crate) struct ExecEnv<'a> {
     pub neg: &'a Interp,
     /// Read guard shared by every worker of one application.
     pub indexes: &'a IndexSet,
+    /// Active resource governor, if any: the executors report every emitted
+    /// tuple through [`Governor::note_emit`] so budgets and cancellation
+    /// interrupt long single applications, not just round boundaries. `None`
+    /// when governance is inert (the common case) — the hot loops then pay
+    /// nothing. Derivability probes never set it: a probe inspects one
+    /// plan's bounded candidates and emits at most once.
+    pub gov: Option<&'a crate::govern::Governor>,
 }
 
 impl<'a> ExecEnv<'a> {
@@ -817,9 +824,12 @@ fn open_cursor<'a>(
 
 /// Runs the straight-line tail after the innermost loop (filters, register
 /// copies, and the final emit) for one candidate binding. Returns `true`
-/// only when the sink short-circuits ([`Sink::First`] reached its witness);
-/// a failed filter or a collected emit returns `false` so the fused loop
-/// advances to the next candidate.
+/// only when the sink short-circuits: [`Sink::First`] reached its witness,
+/// or an active governor tripped on a collected emit (budget exhausted,
+/// cancelled, failpoint) — the trip rides the same early-return path, and
+/// the caller reads the verdict off the governor. A failed filter or an
+/// ordinary collected emit returns `false` so the fused loop advances to
+/// the next candidate.
 #[inline]
 fn run_tail(
     rops: &[ROp<'_>],
@@ -827,6 +837,7 @@ fn run_tail(
     head: &[ValSrc],
     vals: &mut [Const],
     sink: &mut Sink<'_>,
+    gov: Option<&crate::govern::Governor>,
 ) -> bool {
     for op in &rops[start..] {
         match *op {
@@ -857,7 +868,7 @@ fn run_tail(
                 return match sink {
                     Sink::Collect(out) => {
                         out.insert(head.iter().map(|&h| value(h, vals)).collect());
-                        false
+                        matches!(gov, Some(g) if g.note_emit())
                     }
                     Sink::First => true,
                 };
@@ -957,7 +968,7 @@ fn drive_resolved<'a>(
     let Some(last) = resolved.last else {
         // No loops at all (fully pre-bound check plan, or a body-free
         // fact): the tail runs exactly once.
-        return run_tail(rops, 0, resolved.head, vals, sink);
+        return run_tail(rops, 0, resolved.head, vals, sink, env.gov);
     };
     let mut stack: Vec<Frame<'a>> = Vec::with_capacity(last);
     let mut pc: usize = 0;
@@ -1012,7 +1023,7 @@ fn drive_resolved<'a>(
             let mut cursor =
                 open_cursor(env, &rops[last], if last == 0 { range } else { None }, vals);
             while cursor.advance(vals) {
-                if run_tail(rops, last + 1, resolved.head, vals, sink) {
+                if run_tail(rops, last + 1, resolved.head, vals, sink, env.gov) {
                     return true;
                 }
             }

@@ -24,8 +24,9 @@
 //!   naive step.
 
 use crate::driver::DeltaDriver;
+use crate::govern::Governor;
 use crate::interp::Interp;
-use crate::operator::{apply, EvalContext};
+use crate::operator::{apply_governed, EvalContext};
 use crate::options::EvalOptions;
 use crate::resolve::CompiledProgram;
 use crate::trace::EvalTrace;
@@ -40,15 +41,39 @@ use inflog_syntax::Program;
 pub fn inflationary_naive(program: &Program, db: &Database) -> Result<(Interp, EvalTrace)> {
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    Ok(inflationary_naive_compiled(&cp, &ctx))
+    inflationary_naive_compiled_with(&cp, &ctx, &EvalOptions::default())
 }
 
-/// Naive inflationary iteration over a compiled program.
+/// Naive inflationary iteration over a compiled program. This convenience
+/// wrapper runs ungoverned (no budget, token or failpoints) and is
+/// therefore infallible.
 pub fn inflationary_naive_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> (Interp, EvalTrace) {
+    inflationary_naive_compiled_with(cp, ctx, &EvalOptions::sequential())
+        .expect("ungoverned inflationary evaluation cannot fail")
+}
+
+/// [`inflationary_naive_compiled`] with explicit evaluation options; the
+/// governed form checks budget, cancellation and failpoints at every round
+/// boundary and every few thousand emitted tuples.
+///
+/// # Errors
+/// [`EvalError::Cancelled`](crate::EvalError::Cancelled),
+/// [`EvalError::BudgetExceeded`](crate::EvalError::BudgetExceeded), or a
+/// fault injected by an armed failpoint.
+pub fn inflationary_naive_compiled_with(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    opts: &EvalOptions,
+) -> Result<(Interp, EvalTrace)> {
+    let governor = Governor::new(opts);
+    let gov = governor.as_active();
     let mut trace = EvalTrace::default();
     let mut s = cp.empty_interp();
     loop {
-        let theta = apply(cp, ctx, &s);
+        if let Some(g) = gov {
+            g.check_round()?;
+        }
+        let theta = apply_governed(cp, ctx, &s, gov)?;
         // Θ̃(S) = S ∪ Θ(S), computed in place: relation identities stay
         // stable, so the context's persistent indexes extend incrementally.
         let added = s.union_with(&theta);
@@ -58,7 +83,7 @@ pub fn inflationary_naive_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> (
         trace.record_round(added);
     }
     trace.final_tuples = s.total_tuples();
-    (s, trace)
+    Ok((s, trace))
 }
 
 /// Computes `Θ^∞` semi-naively (the default engine), with
@@ -83,7 +108,7 @@ pub fn inflationary_with(
 ) -> Result<(Interp, EvalTrace)> {
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    Ok(inflationary_compiled_with(&cp, &ctx, opts))
+    inflationary_compiled_with(&cp, &ctx, opts)
 }
 
 /// Semi-naive inflationary iteration over a compiled program.
@@ -92,17 +117,27 @@ pub fn inflationary_with(
 /// is the only round in which rules without positive IDB atoms can add
 /// anything — negations against the *current* state can re-enable nothing
 /// (they only decay) — and its delta rounds are exactly §4's increasing
-/// iteration.
+/// iteration. This convenience wrapper strips any environment-supplied
+/// governance (budget, token, failpoints) and is therefore infallible.
 pub fn inflationary_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> (Interp, EvalTrace) {
-    inflationary_compiled_with(cp, ctx, &EvalOptions::default())
+    inflationary_compiled_with(cp, ctx, &EvalOptions::default().without_governance())
+        .expect("ungoverned inflationary evaluation cannot fail")
 }
 
-/// [`inflationary_compiled`] with explicit evaluation options.
+/// [`inflationary_compiled`] with explicit evaluation options; the governed
+/// form checks budget, cancellation and failpoints at every round boundary
+/// and every few thousand emitted tuples.
+///
+/// # Errors
+/// [`EvalError::Cancelled`](crate::EvalError::Cancelled),
+/// [`EvalError::BudgetExceeded`](crate::EvalError::BudgetExceeded), a fault
+/// injected by an armed failpoint, or a contained worker panic.
 pub fn inflationary_compiled_with(
     cp: &CompiledProgram,
     ctx: &EvalContext,
     opts: &EvalOptions,
-) -> (Interp, EvalTrace) {
+) -> Result<(Interp, EvalTrace)> {
+    let governor = Governor::new(opts);
     let mut trace = EvalTrace::default();
     let mut s = cp.empty_interp();
     DeltaDriver::with_options(cp, opts.clone()).extend(
@@ -112,15 +147,17 @@ pub fn inflationary_compiled_with(
         None,
         None,
         Some(&mut trace),
-    );
+        &governor,
+    )?;
     trace.final_tuples = s.total_tuples();
-    (s, trace)
+    Ok((s, trace))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::naive::least_fixpoint_naive;
+    use crate::operator::apply;
     use inflog_core::graphs::DiGraph;
     use inflog_core::Tuple;
     use inflog_syntax::parse_program;

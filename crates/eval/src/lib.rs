@@ -15,6 +15,11 @@
 //!   the parallel round executor (rounds over a size threshold shard their
 //!   work across `std::thread::scope` workers and merge deterministically —
 //!   results are bit-identical to sequential evaluation at any count);
+//! * [`govern`] — resource governance: [`Budget`] limits and
+//!   [`CancelToken`] cancellation enforced at round boundaries and in the
+//!   executor inner loops, per-task panic containment in the parallel
+//!   runner, and the `INFLOG_FAILPOINT` fault-injection layer the
+//!   transactional-update tests drive;
 //! * [`naive`] / [`seminaive`] — least-fixpoint evaluation of *positive*
 //!   DATALOG programs (the paper's standard semantics);
 //! * [`inflationary()`](inflationary()) — the paper's §4 proposal: Θ̃(S) = S ∪ Θ(S) iterated to
@@ -48,6 +53,7 @@
 pub mod driver;
 pub mod error;
 pub mod exec;
+pub mod govern;
 pub mod index;
 pub mod inflationary;
 pub mod interp;
@@ -65,13 +71,14 @@ pub(crate) mod tree;
 pub mod wellfounded;
 
 pub use driver::DeltaDriver;
-pub use error::EvalError;
+pub use error::{BudgetKind, EvalError};
 pub use exec::{ColAction, Op, RuleProgram, ValSrc};
+pub use govern::{Budget, CancelToken, Failpoints, Governor, FAILPOINT_SITES};
 pub use index::IndexSet;
 pub use inflationary::{inflationary, inflationary_naive, inflationary_with};
 pub use interp::Interp;
 pub use materialize::{Engine, MaterializeOpts, Materialized, RepairStrategy};
-pub use naive::least_fixpoint_naive;
+pub use naive::{least_fixpoint_naive, least_fixpoint_naive_with};
 pub use operator::{
     apply, apply_delta, apply_delta_with_neg, apply_subset, apply_with_neg, enumerate_bindings,
     EvalContext,

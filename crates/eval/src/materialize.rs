@@ -52,9 +52,36 @@
 //! In debug builds every update re-evaluates from scratch and asserts the
 //! repaired state — true facts and undefined sets — is identical, and
 //! validates the index postings of every live relation.
+//!
+//! # The transactional invariant
+//!
+//! [`Materialized::insert`] and [`Materialized::retract`] are
+//! **transactional**: after the call returns, the handle is either *fully
+//! repaired* (on `Ok`) or *bit-identical to its pre-update state* (on
+//! `Err`) — same database snapshot, same dense tuple orders in every EDB
+//! and IDB relation, same driver watermarks — and remains fully usable
+//! either way. A repair can fail mid-flight through the governance layer
+//! (deadline, [`Budget`](crate::govern::Budget) exhaustion, a
+//! [`CancelToken`](crate::govern::CancelToken) trip, an armed failpoint) or
+//! through a contained panic; every mutation a repair makes is therefore
+//! recorded in an undo log — swap-remove positions for deletions, dense
+//! watermarks for appended suffixes — and on failure the log is replayed in
+//! reverse: appended suffixes are truncated away and swap-removed tuples
+//! are re-inserted at their exact former dense positions. Relations touched
+//! by the rollback get a fresh relation id, so the persistent
+//! [`IndexSet`](crate::IndexSet) lazily discards any postings patched
+//! during the aborted repair instead of serving stale data. The
+//! [`RepairStrategy::Restart`] engines get the same guarantee cheaply:
+//! their re-evaluation builds the new model in fresh interpretations and
+//! the handle's state is assigned only after it fully succeeds, so only the
+//! EDB mutation itself needs the log. Debug builds re-verify the invariant
+//! after every rollback by comparing against a from-scratch evaluation;
+//! the release-mode failpoint sweep in `tests/materialized_churn.rs`
+//! asserts dense-order bit-identity at every registered site.
 
 use crate::driver::DeltaDriver;
 use crate::error::EvalError;
+use crate::govern::{Governor, SITE_OVERDELETE_CLOSE, SITE_REDERIVE_SWEEP};
 use crate::inflationary::inflationary_compiled_with;
 use crate::interp::Interp;
 use crate::naive::require_positive;
@@ -102,6 +129,35 @@ pub struct MaterializeOpts {
     /// Engine options (worker threads etc.), used by the initial evaluation
     /// and by every repair.
     pub eval: EvalOptions,
+}
+
+/// One reversible mutation a repair made, recorded so a failed update can
+/// be replayed backwards (see the module docs' *transactional invariant*).
+/// Each undo assumes the state right after the op it reverses — which
+/// reverse-order replay guarantees.
+#[derive(Debug)]
+enum UndoOp {
+    /// A tuple was appended to IDB `idb` (a rederive confirmation); it is
+    /// the last dense tuple at undo time.
+    IdbInsert { idb: usize },
+    /// `t` was swap-removed from IDB `idb` at dense position `pos`
+    /// (overdeletion).
+    IdbRemove { idb: usize, pos: usize, t: Tuple },
+    /// A driver extension may have appended a dense suffix to IDB `idb`;
+    /// `before` is the pre-extension length.
+    IdbAppend { idb: usize, before: usize },
+    /// A staged fact was appended to EDB `edb` and to the database
+    /// relation `name`.
+    EdbInsert { edb: usize, name: String },
+    /// `t` was swap-removed from EDB `edb` at dense position `pos` and from
+    /// the database relation `name` at `db_pos`.
+    EdbRemove {
+        edb: usize,
+        name: String,
+        pos: usize,
+        db_pos: Option<usize>,
+        t: Tuple,
+    },
 }
 
 /// A live materialized model: the fixpoint of one program over a database
@@ -194,14 +250,22 @@ impl Materialized {
         };
         match m.strategy {
             RepairStrategy::DeleteRederive => {
+                let governor = Governor::new(&m.opts);
                 for rules in &m.rules_by_stratum {
                     if !rules.is_empty() {
-                        m.driver
-                            .extend(&m.cp, &m.ctx, &mut m.s, Some(rules), None, None);
+                        m.driver.extend(
+                            &m.cp,
+                            &m.ctx,
+                            &mut m.s,
+                            Some(rules),
+                            None,
+                            None,
+                            &governor,
+                        )?;
                     }
                 }
             }
-            RepairStrategy::Restart => m.reevaluate(),
+            RepairStrategy::Restart => m.reevaluate()?,
         }
         #[cfg(debug_assertions)]
         m.debug_check();
@@ -213,11 +277,20 @@ impl Materialized {
     /// batch is validated before anything mutates. Returns the number of
     /// facts actually added.
     ///
+    /// The update is **transactional**: if the repair fails mid-flight —
+    /// budget exhausted, cancellation, an armed failpoint, a contained
+    /// panic — every mutation is rolled back and the handle is bit-identical
+    /// to its pre-update state and fully usable (the module docs detail the
+    /// invariant). Retrying the same batch later is always legal.
+    ///
     /// # Errors
     /// [`EvalError::UnknownRelation`] for a relation the program does not
     /// read, [`EvalError::ArityMismatch`] on a wrong-width tuple,
     /// [`EvalError::UnknownConstant`] for a constant outside the database
-    /// universe (the universe is fixed at construction).
+    /// universe (the universe is fixed at construction);
+    /// [`EvalError::Cancelled`], [`EvalError::BudgetExceeded`] or
+    /// [`EvalError::WorkerPanic`] when the governed repair trips — with the
+    /// state rolled back.
     pub fn insert(&mut self, facts: &[(&str, Tuple)]) -> Result<usize> {
         self.update(facts, true)
     }
@@ -225,7 +298,9 @@ impl Materialized {
     /// Removes `facts` from the database and repairs the materialization.
     /// Facts not present are ignored (retracting a never-inserted fact is a
     /// no-op); the whole batch is validated before anything mutates.
-    /// Returns the number of facts actually removed.
+    /// Returns the number of facts actually removed. Transactional exactly
+    /// like [`Materialized::insert`]: a failed repair rolls back to the
+    /// bit-identical pre-update state.
     ///
     /// # Errors
     /// Same conditions as [`Materialized::insert`].
@@ -292,6 +367,18 @@ impl Materialized {
         &self.cp
     }
 
+    /// Replaces the evaluation options used by subsequent repairs — the
+    /// way to attach a [`Budget`](crate::Budget),
+    /// [`CancelToken`](crate::CancelToken) or armed
+    /// [`Failpoints`](crate::Failpoints) to a live handle. Arming at
+    /// construction instead would let the initial evaluation spend the
+    /// budget (or a one-shot failpoint trigger) before the first update
+    /// runs.
+    pub fn set_eval_options(&mut self, opts: EvalOptions) {
+        self.driver.set_options(opts.clone());
+        self.opts = opts;
+    }
+
     /// Whether `t` is true for predicate `pred` (IDB: in the model; EDB: in
     /// the database). Unknown predicates are simply false.
     pub fn contains(&self, pred: &str, t: &Tuple) -> bool {
@@ -330,23 +417,132 @@ impl Materialized {
         Ok(Tuple::new(ids?))
     }
 
-    /// Shared insert/retract entry: validate, dedupe, repair.
+    /// Shared insert/retract entry: validate, dedupe, repair — and on any
+    /// mid-repair failure (budget, cancellation, failpoint, contained
+    /// panic), roll every mutation back so the handle is bit-identical to
+    /// its pre-update state and stays usable.
     fn update(&mut self, facts: &[(&str, Tuple)], inserting: bool) -> Result<usize> {
         let staged = self.stage(facts, inserting)?;
         let n = staged.total_tuples();
         if n == 0 {
             return Ok(0);
         }
-        match self.strategy {
-            RepairStrategy::DeleteRederive => self.repair(&staged, inserting),
-            RepairStrategy::Restart => {
-                self.mutate_edb(&staged, inserting);
-                self.reevaluate();
+        let saved_driver = self.driver.save_state();
+        let mut log: Vec<UndoOp> = Vec::new();
+        let outcome = {
+            let this = &mut *self;
+            let log = &mut log;
+            // A panic anywhere inside the repair must not poison the handle:
+            // contain it, roll back, and surface it as a typed error. The
+            // unwind-safety assertion is justified by the rollback — any
+            // half-mutated state the panic leaves behind is exactly what the
+            // undo log reverses.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || -> Result<()> {
+                match this.strategy {
+                    RepairStrategy::DeleteRederive => this.repair(&staged, inserting, log),
+                    RepairStrategy::Restart => {
+                        this.mutate_edb(&staged, inserting, log);
+                        this.reevaluate()
+                    }
+                }
+            }))
+        };
+        match outcome {
+            Ok(Ok(())) => {
+                #[cfg(debug_assertions)]
+                self.debug_check();
+                Ok(n)
+            }
+            Ok(Err(e)) => {
+                self.rollback(log, saved_driver);
+                Err(e)
+            }
+            Err(payload) => {
+                self.rollback(log, saved_driver);
+                Err(EvalError::WorkerPanic {
+                    message: operator::panic_message(&*payload),
+                })
             }
         }
+    }
+
+    /// Reverse-replays the undo log, restoring every relation's exact dense
+    /// order, then invalidates the persistent indexes over the touched
+    /// relations (fresh relation ids — stale postings are never served) and
+    /// restores the driver's watermarks.
+    fn rollback(
+        &mut self,
+        log: Vec<UndoOp>,
+        saved_driver: (Vec<usize>, crate::plan::CardSnapshot),
+    ) {
+        let mut touched_idb = vec![false; self.cp.num_idb()];
+        let mut touched_edb = vec![false; self.ctx.edb.len()];
+        for op in log.into_iter().rev() {
+            match op {
+                UndoOp::IdbInsert { idb } => {
+                    let rel = self.s.get_mut(idb);
+                    let len = rel.len();
+                    rel.truncate(len - 1);
+                    touched_idb[idb] = true;
+                }
+                UndoOp::IdbRemove { idb, pos, t } => {
+                    self.s.get_mut(idb).restore_swap_removed(pos, t);
+                    touched_idb[idb] = true;
+                }
+                UndoOp::IdbAppend { idb, before } => {
+                    let rel = self.s.get_mut(idb);
+                    if rel.len() > before {
+                        rel.truncate(before);
+                        touched_idb[idb] = true;
+                    }
+                }
+                UndoOp::EdbInsert { edb, name } => {
+                    let rel = &mut self.ctx.edb[edb];
+                    let len = rel.len();
+                    rel.truncate(len - 1);
+                    touched_edb[edb] = true;
+                    let db_rel = self
+                        .db
+                        .relation_mut(&name)
+                        .expect("the rolled-back insert put the relation there");
+                    let db_len = db_rel.len();
+                    db_rel.truncate(db_len - 1);
+                }
+                UndoOp::EdbRemove {
+                    edb,
+                    name,
+                    pos,
+                    db_pos,
+                    t,
+                } => {
+                    self.ctx.edb[edb].restore_swap_removed(pos, t.clone());
+                    touched_edb[edb] = true;
+                    if let Some(db_rel) = self.db.relation_mut(&name) {
+                        match db_pos {
+                            Some(p) => db_rel.restore_swap_removed(p, t),
+                            None => {
+                                db_rel.insert(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (i, touched) in touched_idb.into_iter().enumerate() {
+            if touched {
+                self.s.get_mut(i).refresh_id();
+            }
+        }
+        for (i, touched) in touched_edb.into_iter().enumerate() {
+            if touched {
+                self.ctx.edb[i].refresh_id();
+            }
+        }
+        self.driver.restore_state(saved_driver);
+        // The rolled-back handle must be indistinguishable from one that
+        // never attempted the update.
         #[cfg(debug_assertions)]
         self.debug_check();
-        Ok(n)
     }
 
     /// Validates a batch and reduces it to the facts that actually change
@@ -382,8 +578,9 @@ impl Materialized {
     }
 
     /// Applies the staged facts to both the evaluation context's EDB (with
-    /// index patching on removal) and the handle's database snapshot.
-    fn mutate_edb(&mut self, staged: &Interp, inserting: bool) {
+    /// index patching on removal) and the handle's database snapshot,
+    /// recording every mutation in the undo log.
+    fn mutate_edb(&mut self, staged: &Interp, inserting: bool, log: &mut Vec<UndoOp>) {
         for id in 0..staged.len() {
             let name = self.cp.edb_names[id].clone();
             for t in staged.get(id).dense().to_vec() {
@@ -392,26 +589,45 @@ impl Materialized {
                     self.db
                         .insert_fact(&name, t)
                         .expect("staged facts are validated");
+                    log.push(UndoOp::EdbInsert {
+                        edb: id,
+                        name: name.clone(),
+                    });
                 } else {
-                    self.ctx.remove_edb_patched(id, &t);
-                    if let Some(r) = self.db.relation_mut(&name) {
-                        r.remove(&t);
-                    }
+                    let (pos, _) = self
+                        .ctx
+                        .remove_edb_patched(id, &t)
+                        .expect("staged retracts are present in the context EDB");
+                    let db_pos = self
+                        .db
+                        .relation_mut(&name)
+                        .and_then(|r| r.remove_tracked(&t))
+                        .map(|(p, _)| p);
+                    log.push(UndoOp::EdbRemove {
+                        edb: id,
+                        name: name.clone(),
+                        pos,
+                        db_pos,
+                        t,
+                    });
                 }
             }
         }
     }
 
     /// Full re-evaluation over the warm context (the [`RepairStrategy::
-    /// Restart`] engines).
-    fn reevaluate(&mut self) {
+    /// Restart`] engines). The new model is built in fresh interpretations
+    /// and assigned only on success, so a governed failure leaves the
+    /// handle's state untouched (the EDB mutation is the caller's to roll
+    /// back).
+    fn reevaluate(&mut self) -> Result<()> {
         match self.engine {
             Engine::Inflationary => {
-                let (s, _) = inflationary_compiled_with(&self.cp, &self.ctx, &self.opts);
+                let (s, _) = inflationary_compiled_with(&self.cp, &self.ctx, &self.opts)?;
                 self.s = s;
             }
             Engine::WellFounded => {
-                let model = well_founded_compiled_with(&self.cp, &self.ctx, &self.opts);
+                let model = well_founded_compiled_with(&self.cp, &self.ctx, &self.opts)?;
                 self.s = model.true_facts;
                 self.undefined = model.undefined;
             }
@@ -419,10 +635,15 @@ impl Materialized {
                 unreachable!("delete\u{2013}rederive engines repair in place")
             }
         }
+        Ok(())
     }
 
     /// Delete–rederive repair of a one-sided batch, stratum by stratum.
-    fn repair(&mut self, staged: &Interp, inserting: bool) {
+    /// Every mutation is recorded in `log`; on `Err` the caller reverse-
+    /// replays it (see the module docs' transactional invariant).
+    fn repair(&mut self, staged: &Interp, inserting: bool, log: &mut Vec<UndoOp>) -> Result<()> {
+        let governor = Governor::new(&self.opts);
+        let gov = governor.as_active();
         let num_idb = self.cp.num_idb();
 
         // ---- Damage: rule instances the change kills, enumerated *before*
@@ -446,9 +667,10 @@ impl Materialized {
             None,
             &mut pending,
             &self.opts,
-        );
+            gov,
+        )?;
 
-        self.mutate_edb(staged, inserting);
+        self.mutate_edb(staged, inserting, log);
 
         // ---- Per-stratum overdelete / rederive / top-up. Accumulators
         // carry the net IDB change of lower strata into higher ones.
@@ -476,7 +698,8 @@ impl Materialized {
                     None,
                     &mut heads,
                     &self.opts,
-                );
+                    gov,
+                )?;
                 for i in 0..num_idb {
                     pending.get_mut(i).union_with(heads.get(i));
                 }
@@ -488,6 +711,10 @@ impl Materialized {
             // of higher strata park in `pending` until their stratum.
             let mut cone: Vec<Vec<Tuple>> = vec![Vec::new(); num_idb];
             loop {
+                if let Some(g) = gov {
+                    g.fail_at(SITE_OVERDELETE_CLOSE)?;
+                    g.check()?;
+                }
                 let mut any = false;
                 for i in 0..num_idb {
                     let fr = frontier.get_mut(i);
@@ -517,10 +744,19 @@ impl Materialized {
                     None,
                     &mut heads,
                     &self.opts,
-                );
+                    gov,
+                )?;
                 for (i, list) in cone.iter_mut().enumerate() {
                     for t in frontier.get(i).dense() {
-                        self.ctx.remove_patched(self.s.get_mut(i), t);
+                        let (pos, _) = self
+                            .ctx
+                            .remove_patched(self.s.get_mut(i), t)
+                            .expect("frontier tuples were enumerated from the live state");
+                        log.push(UndoOp::IdbRemove {
+                            idb: i,
+                            pos,
+                            t: t.clone(),
+                        });
                         list.push(t.clone());
                     }
                 }
@@ -534,6 +770,10 @@ impl Materialized {
             // witness for another one).
             if cone.iter().any(|l| !l.is_empty()) {
                 loop {
+                    if let Some(g) = gov {
+                        g.fail_at(SITE_REDERIVE_SWEEP)?;
+                        g.check()?;
+                    }
                     operator::sync_check_indexes(&self.cp, &self.ctx, &self.s);
                     let mut confirmed = false;
                     for (i, list) in cone.iter_mut().enumerate() {
@@ -548,7 +788,10 @@ impl Materialized {
                                 &self.s,
                                 self.opts.exec_kind(),
                             ) {
-                                self.s.insert(i, list.swap_remove(j));
+                                let t = list.swap_remove(j);
+                                let inserted = self.s.insert(i, t);
+                                debug_assert!(inserted, "rederived tuples were overdeleted");
+                                log.push(UndoOp::IdbInsert { idb: i });
                                 confirmed = true;
                             } else {
                                 j += 1;
@@ -593,7 +836,8 @@ impl Materialized {
                     None,
                     &mut scratch,
                     &self.opts,
-                );
+                    gov,
+                )?;
                 for i in 0..num_idb {
                     seed.get_mut(i).union_with(scratch.get(i));
                 }
@@ -609,7 +853,8 @@ impl Materialized {
                         None,
                         &mut scratch,
                         &self.opts,
-                    );
+                        gov,
+                    )?;
                     for i in 0..num_idb {
                         seed.get_mut(i).union_with(scratch.get(i));
                     }
@@ -629,10 +874,21 @@ impl Materialized {
                         None,
                         &mut scratch,
                         &self.opts,
-                    );
+                        gov,
+                    )?;
                     for i in 0..num_idb {
                         seed.get_mut(i).union_with(scratch.get(i));
                     }
+                }
+                // The drained suffix must be undoable even when the
+                // extension itself fails mid-round (rounds it already
+                // absorbed stay in `s`), so the watermarks go into the log
+                // *before* the call.
+                for i in 0..num_idb {
+                    log.push(UndoOp::IdbAppend {
+                        idb: i,
+                        before: self.s.get(i).len(),
+                    });
                 }
                 self.driver.extend_seeded(
                     &self.cp,
@@ -642,7 +898,8 @@ impl Materialized {
                     None,
                     &seed,
                     None,
-                );
+                    &governor,
+                )?;
             }
 
             // Net change bookkeeping for the strata above: everything past
@@ -667,6 +924,7 @@ impl Materialized {
                 }
             }
         }
+        Ok(())
     }
 
     /// Debug invariant: the handle's state is identical to a from-scratch
@@ -682,16 +940,22 @@ impl Materialized {
         }
         let fresh = EvalContext::new(&self.cp, &self.db).expect("handle state recompiles");
         let empty = self.cp.empty_interp();
+        // The ground truth runs without governance: the verification pass
+        // must not double-spend the update's budget or re-fire one-shot
+        // failpoints (it also runs *after a rollback*, where the budget is
+        // by definition already spent).
+        let opts = self.opts.without_governance();
         let (s, undefined) = match self.engine {
             Engine::Seminaive => (
-                crate::seminaive::least_fixpoint_seminaive_compiled_with(
-                    &self.cp, &fresh, &self.opts,
-                )
-                .0,
+                crate::seminaive::least_fixpoint_seminaive_compiled_with(&self.cp, &fresh, &opts)
+                    .expect("ungoverned verification evaluation cannot fail")
+                    .0,
                 empty,
             ),
             Engine::Inflationary => (
-                inflationary_compiled_with(&self.cp, &fresh, &self.opts).0,
+                inflationary_compiled_with(&self.cp, &fresh, &opts)
+                    .expect("ungoverned verification evaluation cannot fail")
+                    .0,
                 empty,
             ),
             Engine::Stratified => (
@@ -700,13 +964,15 @@ impl Materialized {
                     &fresh,
                     self.strat.as_ref().expect("stratified engine stratifies"),
                     &self.program,
-                    &self.opts,
+                    &opts,
                 )
+                .expect("ungoverned verification evaluation cannot fail")
                 .0,
                 empty,
             ),
             Engine::WellFounded => {
-                let model = well_founded_compiled_with(&self.cp, &fresh, &self.opts);
+                let model = well_founded_compiled_with(&self.cp, &fresh, &opts)
+                    .expect("ungoverned verification evaluation cannot fail");
                 (model.true_facts, model.undefined)
             }
         };

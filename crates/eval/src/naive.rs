@@ -5,8 +5,10 @@
 //! least fixpoint (Tarski) — the paper's *standard semantics* for DATALOG.
 
 use crate::error::EvalError;
+use crate::govern::Governor;
 use crate::interp::Interp;
-use crate::operator::{apply, EvalContext};
+use crate::operator::{apply_governed, EvalContext};
+use crate::options::EvalOptions;
 use crate::resolve::CompiledProgram;
 use crate::trace::EvalTrace;
 use crate::Result;
@@ -37,24 +39,65 @@ pub(crate) fn require_positive(program: &Program) -> Result<()> {
 ///   inequality;
 /// * compilation errors from [`CompiledProgram::compile`].
 pub fn least_fixpoint_naive(program: &Program, db: &Database) -> Result<(Interp, EvalTrace)> {
+    least_fixpoint_naive_with(program, db, &EvalOptions::default())
+}
+
+/// [`least_fixpoint_naive`] with explicit evaluation options.
+///
+/// The [`Budget`](crate::govern::Budget), cancellation token and failpoints
+/// in `opts` are honored: the budget's `max_rounds` cap subsumes the old
+/// ad-hoc [`EvalError::IterationLimit`] mechanism (exceeding it now reports
+/// [`EvalError::BudgetExceeded`]), and deadline/cancellation are polled at
+/// every round boundary and every few thousand emitted tuples.
+///
+/// # Errors
+/// Same conditions as [`least_fixpoint_naive`], plus the governance errors
+/// [`EvalError::Cancelled`] and [`EvalError::BudgetExceeded`].
+pub fn least_fixpoint_naive_with(
+    program: &Program,
+    db: &Database,
+    opts: &EvalOptions,
+) -> Result<(Interp, EvalTrace)> {
     require_positive(program)?;
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    Ok(least_fixpoint_naive_compiled(&cp, &ctx))
+    least_fixpoint_naive_compiled_with(&cp, &ctx, opts)
 }
 
 /// Naive iteration over an already-compiled positive program.
 ///
 /// Θ must be monotone (callers ensure positivity); iteration therefore
-/// terminates within `Σ |A|^{k_i}` rounds.
+/// terminates within `Σ |A|^{k_i}` rounds. This convenience wrapper runs
+/// ungoverned (no budget, token or failpoints) and is therefore infallible.
 pub fn least_fixpoint_naive_compiled(
     cp: &CompiledProgram,
     ctx: &EvalContext,
 ) -> (Interp, EvalTrace) {
+    least_fixpoint_naive_compiled_with(cp, ctx, &EvalOptions::sequential())
+        .expect("ungoverned naive evaluation cannot fail")
+}
+
+/// [`least_fixpoint_naive_compiled`] with explicit evaluation options; the
+/// governed form checks budget, cancellation and failpoints at every round
+/// boundary (see [`least_fixpoint_naive_with`]).
+///
+/// # Errors
+/// [`EvalError::Cancelled`], [`EvalError::BudgetExceeded`], or a fault
+/// injected by an armed failpoint.
+pub fn least_fixpoint_naive_compiled_with(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    opts: &EvalOptions,
+) -> Result<(Interp, EvalTrace)> {
+    let governor = Governor::new(opts);
+    let gov = governor.as_active();
     let mut trace = EvalTrace::default();
     let mut s = cp.empty_interp();
     loop {
-        let next = apply(cp, ctx, &s);
+        if let Some(g) = gov {
+            g.check_round()?;
+        }
+        let next = apply_governed(cp, ctx, &s, gov)?;
         // Monotone Θ iterated from ∅ is an increasing chain (Θⁿ⁺¹(∅) ⊇
         // Θⁿ(∅)), so in-place union computes exactly s ← Θ(s) while keeping
         // relation identities stable — the context's persistent indexes
@@ -67,12 +110,13 @@ pub fn least_fixpoint_naive_compiled(
         trace.record_round(added);
     }
     trace.final_tuples = s.total_tuples();
-    (s, trace)
+    Ok((s, trace))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::operator::apply;
     use inflog_core::graphs::DiGraph;
     use inflog_core::Tuple;
     use inflog_syntax::parse_program;

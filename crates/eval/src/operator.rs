@@ -56,7 +56,9 @@
 //! the `INFLOG_EXEC` switch) — and, in debug builds, replays every VM
 //! application on the tree executor and asserts dense-storage equality.
 
+use crate::error::EvalError;
 use crate::exec::{self, ExecEnv};
+use crate::govern::{Governor, SITE_INDEX_EXTEND};
 use crate::index::IndexSet;
 use crate::interp::Interp;
 use crate::options::{EvalOptions, ExecKind};
@@ -65,7 +67,7 @@ use crate::resolve::{CompiledProgram, CompiledRule, RulePlans};
 use crate::tree;
 use crate::Result;
 use inflog_core::{Const, Database, Relation, Tuple};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError, RwLock};
 
 /// Evaluation context: materialized EDB relations, the universe size, and
@@ -123,12 +125,37 @@ impl EvalContext {
         self.parallel_applications.load(Ordering::Relaxed)
     }
 
+    /// Takes the shared read guard, recovering from lock poisoning: the
+    /// index set is pure derived data, so if a writer panicked mid-update
+    /// the whole cache is dropped (and rebuilt lazily by the next
+    /// application's prepare step) instead of serving a possibly-torn index.
     fn read_indexes(&self) -> std::sync::RwLockReadGuard<'_, IndexSet> {
-        self.indexes.read().unwrap_or_else(PoisonError::into_inner)
+        match self.indexes.read() {
+            Ok(guard) => guard,
+            Err(_) => {
+                {
+                    let mut w = self.indexes.write().unwrap_or_else(PoisonError::into_inner);
+                    *w = IndexSet::default();
+                }
+                self.indexes.clear_poison();
+                self.indexes.read().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
     }
 
+    /// Takes the write guard, recovering from lock poisoning the same way
+    /// as [`read_indexes`](Self::read_indexes): clear the cache, clear the
+    /// poison flag, continue.
     fn write_indexes(&self) -> std::sync::RwLockWriteGuard<'_, IndexSet> {
-        self.indexes.write().unwrap_or_else(PoisonError::into_inner)
+        match self.indexes.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                *guard = IndexSet::default();
+                self.indexes.clear_poison();
+                guard
+            }
+        }
     }
 
     /// Runs [`IndexSet::debug_validate`] over this context's indexes for
@@ -149,31 +176,37 @@ impl EvalContext {
     /// engine: the decreasing side loses a handful of tuples per
     /// alternation, and rebuilding its indexes each time would cost more
     /// than the alternation itself.
-    pub(crate) fn remove_patched(&self, rel: &mut Relation, t: &Tuple) -> bool {
+    ///
+    /// Returns the dense positions the swap-remove touched (see
+    /// [`Relation::remove_tracked`]) so transactional callers can undo the
+    /// removal with [`Relation::restore_swap_removed`], or `None` if the
+    /// tuple was absent.
+    pub(crate) fn remove_patched(&self, rel: &mut Relation, t: &Tuple) -> Option<(usize, usize)> {
         let old_len = rel.len();
-        let Some((removed_pos, moved_from)) = rel.remove_tracked(t) else {
-            return false;
-        };
+        let (removed_pos, moved_from) = rel.remove_tracked(t)?;
         self.write_indexes()
             .patch_swap_remove(rel, t, removed_pos, moved_from, old_len);
-        true
+        Some((removed_pos, moved_from))
     }
 
     /// Removes `t` from the EDB relation `edb_id` while keeping the indexes
     /// over it consistent, like [`EvalContext::remove_patched`] but for the
     /// context's own relations. The materialized-view repair path retracts
-    /// base facts through this so the warm EDB indexes survive the update.
-    pub(crate) fn remove_edb_patched(&mut self, edb_id: usize, t: &Tuple) -> bool {
+    /// base facts through this so the warm EDB indexes survive the update;
+    /// the returned swap positions feed its rollback log.
+    pub(crate) fn remove_edb_patched(
+        &mut self,
+        edb_id: usize,
+        t: &Tuple,
+    ) -> Option<(usize, usize)> {
         let rel = &mut self.edb[edb_id];
         let old_len = rel.len();
-        let Some((removed_pos, moved_from)) = rel.remove_tracked(t) else {
-            return false;
-        };
+        let (removed_pos, moved_from) = rel.remove_tracked(t)?;
         self.indexes
             .get_mut()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .patch_swap_remove(rel, t, removed_pos, moved_from, old_len);
-        true
+        Some((removed_pos, moved_from))
     }
 }
 
@@ -287,6 +320,35 @@ pub fn apply(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp) -> Interp {
     )
 }
 
+/// `Θ(S)` under governance: emitted tuples count toward the budget and the
+/// deadline, cancellation token and failpoints are observed mid-application.
+/// The naive round loops call this once per round; `gov = None` (or an inert
+/// governor) reduces to [`apply`].
+pub(crate) fn apply_governed(
+    cp: &CompiledProgram,
+    ctx: &EvalContext,
+    s: &Interp,
+    gov: Option<&Governor>,
+) -> Result<Interp> {
+    let mut out = cp.empty_interp();
+    run_into(
+        cp,
+        ctx,
+        s,
+        &ApplyOpts {
+            rules: None,
+            plans: PlanKind::Full,
+            delta: None,
+            neg: None,
+            overrides: None,
+        },
+        &mut out,
+        &EvalOptions::sequential(),
+        gov,
+    )?;
+    Ok(out)
+}
+
 /// `Θ(S)` restricted to the rules with the given source indices.
 pub fn apply_subset(
     cp: &CompiledProgram,
@@ -393,6 +455,16 @@ pub fn apply_delta_with_neg(
 /// than one effective thread and a work estimate at or above
 /// `par.parallel_threshold`, the application forks; the result is
 /// bit-identical either way.
+///
+/// `gov` is the round driver's resource governor: emissions are reported to
+/// it from the executors' inner loops, the `index-extend` failpoint fires
+/// here, and worker panics surface as [`EvalError::WorkerPanic`]. On any
+/// `Err` the contents of `out` are unspecified (partially filled) and must
+/// be discarded by the caller.
+///
+/// # Errors
+/// [`EvalError::WorkerPanic`] if a parallel task panicked;
+/// budget/cancellation/failpoint errors when `gov` tripped.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_general_into(
     cp: &CompiledProgram,
@@ -405,7 +477,8 @@ pub(crate) fn apply_general_into(
     overrides: Option<&[RulePlans]>,
     out: &mut Interp,
     par: &EvalOptions,
-) {
+    gov: Option<&Governor>,
+) -> Result<()> {
     debug_assert_eq!(
         plans == PlanKind::Full,
         delta.is_none(),
@@ -428,7 +501,8 @@ pub(crate) fn apply_general_into(
         },
         out,
         par,
-    );
+        gov,
+    )
 }
 
 /// Resolves a plan's **full-source** relation reference against the
@@ -515,6 +589,7 @@ pub fn enumerate_bindings(plan: &Plan, ctx: &EvalContext) -> Vec<Tuple> {
         delta: None,
         neg: &empty,
         indexes: &indexes,
+        gov: None,
     };
     let kind = EvalOptions::sequential().exec_kind();
     exec_plan(&env, kind, plan, &mut out);
@@ -568,6 +643,7 @@ pub(crate) fn derivable(
         delta: None,
         neg,
         indexes: &indexes,
+        gov: None,
     };
     let mut vals: Vec<Const> = Vec::new();
     let mut bound: Vec<bool> = Vec::new();
@@ -629,6 +705,7 @@ pub(crate) fn derivable_batch(
         delta: None,
         neg,
         indexes: &indexes,
+        gov: None,
     };
     let rules: Vec<&CompiledRule> = cp.rules.iter().filter(|r| r.head_pred == pred).collect();
     let resolved: Vec<exec::ResolvedProgram<'_>> = match kind {
@@ -728,7 +805,11 @@ fn exec_plan_slice(
 
 fn run(cp: &CompiledProgram, ctx: &EvalContext, s: &Interp, opts: &ApplyOpts<'_>) -> Interp {
     let mut out = cp.empty_interp();
-    run_into(cp, ctx, s, opts, &mut out, &EvalOptions::sequential());
+    // Ungoverned and sequential: the only failure mode run_into has left is
+    // a worker panic, and the sequential path cannot hit it. Re-raising
+    // keeps the public one-shot wrappers infallible.
+    run_into(cp, ctx, s, opts, &mut out, &EvalOptions::sequential(), None)
+        .unwrap_or_else(|e| panic!("{e}"));
     out
 }
 
@@ -782,7 +863,12 @@ fn run_into(
     opts: &ApplyOpts<'_>,
     out: &mut Interp,
     par: &EvalOptions,
-) {
+    gov: Option<&Governor>,
+) -> Result<()> {
+    // Demote an inert governor to `None` up front so the executors' inner
+    // loops pay nothing when no budget, token or failpoint is armed.
+    let gov = gov.and_then(Governor::as_active);
+
     for i in 0..out.len() {
         out.get_mut(i).clear();
     }
@@ -801,6 +887,9 @@ fn run_into(
     // added since the last application is consumed). Execution then only
     // *reads* the index set, so probes return borrowed slices and worker
     // threads share one read guard.
+    if let Some(g) = gov {
+        g.fail_at(SITE_INDEX_EXTEND)?;
+    }
     {
         let mut indexes = ctx.write_indexes();
         indexes.begin_application();
@@ -817,6 +906,7 @@ fn run_into(
         delta: opts.delta,
         neg: opts.neg.unwrap_or(s),
         indexes: &indexes,
+        gov,
     };
     let kind = par.exec_kind();
 
@@ -846,7 +936,7 @@ fn run_into(
         if estimate >= par.parallel_threshold.max(1) {
             let tasks = build_tasks(&extents, workers, estimate, forced);
             if tasks.len() > 1 || (forced && !tasks.is_empty()) {
-                run_tasks_parallel(&env, kind, &tasks, workers, out);
+                run_tasks_parallel(&env, kind, &tasks, workers, out)?;
                 ctx.parallel_applications.fetch_add(1, Ordering::Relaxed);
                 ran_parallel = true;
             }
@@ -854,20 +944,40 @@ fn run_into(
     }
 
     if !ran_parallel {
-        for &ri in selected {
+        'rules: for &ri in selected {
             let rule = &cp.rules[ri];
             for plan in plans_of(cp, ri, opts.overrides, opts.plans) {
                 exec_plan(&env, kind, plan, out.get_mut(rule.head_pred));
+                if gov.is_some_and(Governor::tripped) {
+                    break 'rules;
+                }
             }
         }
+    }
+
+    // Surface any mid-application trip (budget, cancellation, failpoint)
+    // before the debug oracle below: a tripped application truncated its
+    // output, so replaying it whole would report a false divergence. The
+    // caller discards `out` on `Err`.
+    if let Some(g) = gov {
+        g.check()?;
     }
 
     // Debug oracle: replay every VM application on the tree executor and
     // require bit-identical dense storage — same tuples, same insertion
     // order. This is the standing proof obligation that lowering preserved
-    // the candidate order exactly.
+    // the candidate order exactly. The replay runs ungoverned so it cannot
+    // double-count emissions or re-fire one-shot failpoints.
     #[cfg(debug_assertions)]
     if kind == ExecKind::Vm {
+        let oracle_env = ExecEnv {
+            ctx,
+            s,
+            delta: opts.delta,
+            neg: opts.neg.unwrap_or(s),
+            indexes: &indexes,
+            gov: None,
+        };
         let mut oracle = Interp::from_relations(
             (0..out.len())
                 .map(|i| Relation::new(out.get(i).arity()))
@@ -876,7 +986,7 @@ fn run_into(
         for &ri in selected {
             let rule = &cp.rules[ri];
             for plan in plans_of(cp, ri, opts.overrides, opts.plans) {
-                tree::run_plan(&env, plan, oracle.get_mut(rule.head_pred));
+                tree::run_plan(&oracle_env, plan, oracle.get_mut(rule.head_pred));
             }
         }
         for i in 0..out.len() {
@@ -887,6 +997,7 @@ fn run_into(
             );
         }
     }
+    Ok(())
 }
 
 /// Splits the selected plans (with their pre-resolved outer extents) into
@@ -942,28 +1053,57 @@ fn build_tasks<'a>(
 /// the auto threshold keeps parallel rounds large enough that the merge
 /// clone (each derived tuple is copied once into `out`) is noise next to
 /// plan execution.
+///
+/// Each task body runs under [`std::panic::catch_unwind`]: a panicking plan
+/// execution poisons only its own task, the first panic's payload is
+/// recorded, the remaining workers stop claiming tasks, and the application
+/// returns [`EvalError::WorkerPanic`] instead of propagating the panic into
+/// [`std::thread::scope`] (which would abort the process on the second
+/// concurrent panic).
+///
+/// # Errors
+/// [`EvalError::WorkerPanic`] carrying the first panic's message; `out` is
+/// left cleared (no partial merge).
 fn run_tasks_parallel(
     env: &ExecEnv<'_>,
     kind: ExecKind,
     tasks: &[Task<'_>],
     workers: usize,
     out: &mut Interp,
-) {
+) -> Result<()> {
     let outputs: Vec<Mutex<Relation>> = tasks
         .iter()
         .map(|t| Mutex::new(Relation::new(out.get(t.head_pred).arity())))
         .collect();
     let cursor = AtomicUsize::new(0);
+    let first_panic: Mutex<Option<String>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
     let worker = || {
         loop {
+            if abort.load(Ordering::Relaxed) {
+                return;
+            }
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(task) = tasks.get(i) else { return };
             // Each task index is claimed exactly once, so the lock is
             // uncontended — it exists to hand the worker `&mut` access.
             let mut rel = outputs[i].lock().unwrap_or_else(PoisonError::into_inner);
-            match task.range {
-                Some((lo, hi)) => exec_plan_slice(env, kind, task.plan, lo, hi, &mut rel),
-                None => exec_plan(env, kind, task.plan, &mut rel),
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if env.gov.is_some_and(Governor::should_inject_worker_panic) {
+                    panic!("worker-panic failpoint fired");
+                }
+                match task.range {
+                    Some((lo, hi)) => exec_plan_slice(env, kind, task.plan, lo, hi, &mut rel),
+                    None => exec_plan(env, kind, task.plan, &mut rel),
+                }
+            }));
+            if let Err(payload) = run {
+                let mut slot = first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+                if slot.is_none() {
+                    *slot = Some(panic_message(payload.as_ref()));
+                }
+                abort.store(true, Ordering::Relaxed);
+                return;
             }
         }
     };
@@ -973,12 +1113,31 @@ fn run_tasks_parallel(
         }
         worker();
     });
+    if let Some(message) = first_panic
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        return Err(EvalError::WorkerPanic { message });
+    }
     // Deterministic merge: task order is sequential execution order, and
     // union keeps first occurrences, so `out` ends up bit-identical to a
     // sequential application.
     for (task, slot) in tasks.iter().zip(outputs) {
         let rel = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
         out.get_mut(task.head_pred).union_with(&rel);
+    }
+    Ok(())
+}
+
+/// Extracts a human-readable message from a panic payload (the common
+/// `&str` / `String` cases; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1233,7 +1392,9 @@ mod tests {
             None,
             &mut seq,
             &EvalOptions::sequential(),
-        );
+            None,
+        )
+        .unwrap();
         for threads in [2, 3, 4] {
             let mut par = cp.empty_interp();
             apply_general_into(
@@ -1251,7 +1412,9 @@ mod tests {
                     parallel_threshold: 0,
                     ..EvalOptions::sequential()
                 },
-            );
+                None,
+            )
+            .unwrap();
             for i in 0..seq.len() {
                 assert_eq!(
                     seq.get(i).dense(),
@@ -1279,7 +1442,9 @@ mod tests {
             None,
             &mut out,
             &EvalOptions::with_threads(4), // default threshold ≫ 3 edges
-        );
+            None,
+        )
+        .unwrap();
         assert_eq!(ctx.parallel_applications(), 0);
         // One full application from ∅: just the base rule's 3 edges.
         assert_eq!(out.total_tuples(), 3);

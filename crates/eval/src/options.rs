@@ -12,6 +12,7 @@
 //! environment variables so a whole test or bench run can be forced onto the
 //! parallel driver (or the oracle executor) without touching call sites.
 
+use crate::govern::{Budget, CancelToken, Failpoints};
 use std::sync::OnceLock;
 
 /// Work-size floor (outer-loop candidates summed over the round's plans)
@@ -64,6 +65,19 @@ pub struct EvalOptions {
     /// can be switched to the tree oracle without touching call sites;
     /// `Some` pins the choice for this evaluation (tests use this).
     pub exec: Option<ExecKind>,
+    /// Resource limits (wall-clock deadline, round cap, derived-tuple
+    /// cap), unlimited by default. Violations surface as typed
+    /// [`EvalError::BudgetExceeded`](crate::EvalError) errors.
+    pub budget: Budget,
+    /// Cooperative cancellation: keep a clone of the token, pass one
+    /// here, and flip it from any thread to stop the evaluation with
+    /// [`EvalError::Cancelled`](crate::EvalError). `None` (the default)
+    /// means not cancellable — and lets the inner loops skip governance
+    /// entirely when the budget is unlimited too.
+    pub cancel: Option<CancelToken>,
+    /// Fault injection for the robustness test harness; unarmed by
+    /// default, armed process-wide via `INFLOG_FAILPOINT=<site>[:<n>]`.
+    pub failpoints: Failpoints,
 }
 
 impl Default for EvalOptions {
@@ -88,6 +102,22 @@ impl EvalOptions {
             threads: 1,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             exec: None,
+            budget: Budget::default(),
+            cancel: None,
+            failpoints: Failpoints::none(),
+        }
+    }
+
+    /// These options with governance stripped: unlimited budget, no
+    /// cancellation token, no failpoints. The debug cross-checks use this
+    /// so a recompute-for-verification never trips the caller's limits
+    /// (or re-fires a one-shot failpoint).
+    pub fn without_governance(&self) -> Self {
+        EvalOptions {
+            budget: Budget::default(),
+            cancel: None,
+            failpoints: Failpoints::none(),
+            ..self.clone()
         }
     }
 
@@ -119,6 +149,9 @@ impl EvalOptions {
             parallel_threshold: env_usize("INFLOG_PARALLEL_THRESHOLD", &get)
                 .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
             exec: env_exec(&get),
+            failpoints: get("INFLOG_FAILPOINT")
+                .map_or_else(Failpoints::none, |raw| Failpoints::from_env_value(&raw)),
+            ..EvalOptions::sequential()
         }
     }
 

@@ -183,7 +183,10 @@ fn filter_relation(rel: &Relation, pattern: &[Slot]) -> Vec<Tuple> {
 /// * [`EvalError::ArityMismatch`] — goal arity conflicts with the
 ///   predicate's arity in the program or database;
 /// * [`EvalError::UnsupportedQuery`] — non-stratifiable program under
-///   [`NonStratifiedPolicy::Error`].
+///   [`NonStratifiedPolicy::Error`];
+/// * [`EvalError::Cancelled`] / [`EvalError::BudgetExceeded`] — the
+///   [`EvalOptions`] in `opts.eval` carry a budget or cancellation token
+///   and an evaluation phase tripped it.
 pub fn query(
     program: &Program,
     goal: &Atom,
@@ -269,7 +272,7 @@ fn query_stratified(
         .expect("the stratified magic rewrite preserves stratification by construction");
     let cp = CompiledProgram::compile(&rw.program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    let (model, _) = stratified_eval_compiled_with(&cp, &ctx, &strat, &rw.program, eval);
+    let (model, _) = stratified_eval_compiled_with(&cp, &ctx, &strat, &rw.program, eval)?;
     let gid = cp
         .idb_id(&rw.goal_pred)
         .expect("the adorned goal predicate heads its guarded rules");
@@ -294,7 +297,7 @@ fn query_cone(
     debug_assert!(rw.demand.is_positive(), "demand programs are positive");
     let dcp = CompiledProgram::compile(&rw.demand, db)?;
     let dctx = EvalContext::new(&dcp, db)?;
-    let (demand, _) = least_fixpoint_seminaive_compiled_with(&dcp, &dctx, eval);
+    let (demand, _) = least_fixpoint_seminaive_compiled_with(&dcp, &dctx, eval)?;
 
     // Phase 2 reads the magic predicates as EDB relations. They are absent
     // from the database, so compilation gives them empty relations in the
@@ -316,7 +319,7 @@ fn query_cone(
         let arity = demand_rels[di].arity();
         ctx.edb[ei] = std::mem::replace(&mut demand_rels[di], Relation::new(arity));
     }
-    let wf = well_founded_compiled_with(&cp, &ctx, eval);
+    let wf = well_founded_compiled_with(&cp, &ctx, eval)?;
     let gid = cp
         .idb_id(&rw.goal_pred)
         .expect("the adorned goal predicate heads its guarded rules");
@@ -337,7 +340,7 @@ fn query_full_wf(
 ) -> Result<QueryAnswer> {
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    let wf = well_founded_compiled_with(&cp, &ctx, eval);
+    let wf = well_founded_compiled_with(&cp, &ctx, eval)?;
     let gid = cp
         .idb_id(&goal.predicate)
         .expect("IDB goals checked by the caller");
@@ -360,16 +363,21 @@ fn verify_against_full(
     answer: &QueryAnswer,
     eval: &EvalOptions,
 ) {
+    // Run the ground truth without governance: the verification pass must
+    // not double-spend the caller's budget or re-fire one-shot failpoints.
+    let eval = eval.without_governance();
     let cp = CompiledProgram::compile(program, db).expect("query compiled the same program");
     let ctx = EvalContext::new(&cp, db).expect("query built the same context");
     let gid = cp.idb_id(&goal.predicate).expect("IDB goal");
     let (full_true, full_undef) = match stratify(program) {
         Ok(strat) => {
-            let (m, _) = stratified_eval_compiled_with(&cp, &ctx, &strat, program, eval);
+            let (m, _) = stratified_eval_compiled_with(&cp, &ctx, &strat, program, &eval)
+                .expect("ungoverned verification evaluation cannot fail");
             (filter_relation(m.get(gid), pattern), Vec::new())
         }
         Err(_) => {
-            let wf = well_founded_compiled_with(&cp, &ctx, eval);
+            let wf = well_founded_compiled_with(&cp, &ctx, &eval)
+                .expect("ungoverned verification evaluation cannot fail");
             (
                 filter_relation(wf.true_facts.get(gid), pattern),
                 filter_relation(wf.undefined.get(gid), pattern),

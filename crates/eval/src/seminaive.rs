@@ -7,6 +7,7 @@
 //! Ablation bench `seminaive.rs` measures the win over naive iteration.
 
 use crate::driver::DeltaDriver;
+use crate::govern::Governor;
 use crate::interp::Interp;
 use crate::naive::require_positive;
 use crate::operator::EvalContext;
@@ -40,27 +41,37 @@ pub fn least_fixpoint_seminaive_with(
     require_positive(program)?;
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    Ok(least_fixpoint_seminaive_compiled_with(&cp, &ctx, opts))
+    least_fixpoint_seminaive_compiled_with(&cp, &ctx, opts)
 }
 
 /// Semi-naive iteration over an already-compiled positive program.
 ///
 /// The round loop itself lives in [`DeltaDriver::extend`]; this engine is
 /// the trivial instantiation (all rules, standard negation context, cold
-/// start from ∅).
+/// start from ∅). This convenience wrapper strips any environment-supplied
+/// governance (budget, token, failpoints) and is therefore infallible.
 pub fn least_fixpoint_seminaive_compiled(
     cp: &CompiledProgram,
     ctx: &EvalContext,
 ) -> (Interp, EvalTrace) {
-    least_fixpoint_seminaive_compiled_with(cp, ctx, &EvalOptions::default())
+    least_fixpoint_seminaive_compiled_with(cp, ctx, &EvalOptions::default().without_governance())
+        .expect("ungoverned semi-naive evaluation cannot fail")
 }
 
-/// [`least_fixpoint_seminaive_compiled`] with explicit evaluation options.
+/// [`least_fixpoint_seminaive_compiled`] with explicit evaluation options;
+/// the governed form checks budget, cancellation and failpoints at every
+/// round boundary and every few thousand emitted tuples.
+///
+/// # Errors
+/// [`EvalError::Cancelled`](crate::EvalError::Cancelled),
+/// [`EvalError::BudgetExceeded`](crate::EvalError::BudgetExceeded), a fault
+/// injected by an armed failpoint, or a contained worker panic.
 pub fn least_fixpoint_seminaive_compiled_with(
     cp: &CompiledProgram,
     ctx: &EvalContext,
     opts: &EvalOptions,
-) -> (Interp, EvalTrace) {
+) -> Result<(Interp, EvalTrace)> {
+    let governor = Governor::new(opts);
     let mut trace = EvalTrace::default();
     let mut s = cp.empty_interp();
     DeltaDriver::with_options(cp, opts.clone()).extend(
@@ -70,9 +81,10 @@ pub fn least_fixpoint_seminaive_compiled_with(
         None,
         None,
         Some(&mut trace),
-    );
+        &governor,
+    )?;
     trace.final_tuples = s.total_tuples();
-    (s, trace)
+    Ok((s, trace))
 }
 
 #[cfg(test)]

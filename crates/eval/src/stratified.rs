@@ -15,6 +15,7 @@
 
 use crate::driver::DeltaDriver;
 use crate::error::EvalError;
+use crate::govern::Governor;
 use crate::interp::Interp;
 use crate::operator::EvalContext;
 use crate::options::EvalOptions;
@@ -120,29 +121,45 @@ pub fn stratified_eval_with(
     let strat = stratify(program)?;
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    Ok(stratified_eval_compiled_with(
-        &cp, &ctx, &strat, program, opts,
-    ))
+    stratified_eval_compiled_with(&cp, &ctx, &strat, program, opts)
 }
 
-/// Stratified evaluation over a compiled program.
+/// Stratified evaluation over a compiled program. This convenience wrapper
+/// strips any environment-supplied governance (budget, token, failpoints)
+/// and is therefore infallible.
 pub fn stratified_eval_compiled(
     cp: &CompiledProgram,
     ctx: &EvalContext,
     strat: &Stratification,
     program: &Program,
 ) -> (Interp, EvalTrace) {
-    stratified_eval_compiled_with(cp, ctx, strat, program, &EvalOptions::default())
+    stratified_eval_compiled_with(
+        cp,
+        ctx,
+        strat,
+        program,
+        &EvalOptions::default().without_governance(),
+    )
+    .expect("ungoverned stratified evaluation cannot fail")
 }
 
-/// [`stratified_eval_compiled`] with explicit evaluation options.
+/// [`stratified_eval_compiled`] with explicit evaluation options; the
+/// governed form checks budget, cancellation and failpoints at every round
+/// boundary of every stratum, and every few thousand emitted tuples. One
+/// budget spans all strata — rounds and derived tuples accumulate across
+/// them.
+///
+/// # Errors
+/// [`EvalError::Cancelled`], [`EvalError::BudgetExceeded`], a fault
+/// injected by an armed failpoint, or a contained worker panic.
 pub fn stratified_eval_compiled_with(
     cp: &CompiledProgram,
     ctx: &EvalContext,
     strat: &Stratification,
     program: &Program,
     opts: &EvalOptions,
-) -> (Interp, EvalTrace) {
+) -> Result<(Interp, EvalTrace)> {
+    let governor = Governor::new(opts);
     let mut trace = EvalTrace::default();
     let mut s = cp.empty_interp();
 
@@ -164,11 +181,19 @@ pub fn stratified_eval_compiled_with(
         if rules.is_empty() {
             continue;
         }
-        driver.extend(cp, ctx, &mut s, Some(rules), None, Some(&mut trace));
+        driver.extend(
+            cp,
+            ctx,
+            &mut s,
+            Some(rules),
+            None,
+            Some(&mut trace),
+            &governor,
+        )?;
     }
 
     trace.final_tuples = s.total_tuples();
-    (s, trace)
+    Ok((s, trace))
 }
 
 #[cfg(test)]

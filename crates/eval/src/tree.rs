@@ -15,7 +15,9 @@ use inflog_core::{Const, Relation, Tuple};
 pub(crate) fn run_plan(env: &ExecEnv<'_>, plan: &Plan, out: &mut Relation) {
     let mut vals: Vec<Const> = vec![Const(0); plan.num_vars];
     let mut bound = vec![false; plan.num_vars];
-    step(env, plan, 0, &mut vals, &mut bound, out);
+    // A `false` return means an active governor tripped mid-walk; the
+    // caller reads the verdict off the governor and discards the output.
+    let _ = step(env, plan, 0, &mut vals, &mut bound, out);
 }
 
 /// Runs `plan` with its **outermost** iteration restricted to the
@@ -42,9 +44,11 @@ pub(crate) fn run_plan_slice(
             let tuples = env.scan_tuples(*pred, *source);
             let binds_mask = scan_binds_mask(terms, &bound);
             for t in &tuples[lo..hi] {
-                scan_candidate(
+                if !scan_candidate(
                     env, plan, 0, &mut vals, &mut bound, out, t, terms, binds_mask,
-                );
+                ) {
+                    return;
+                }
             }
         }
         Some(Step::Domain { var }) => {
@@ -52,7 +56,9 @@ pub(crate) fn run_plan_slice(
             bound[var] = true;
             for c in lo..hi {
                 vals[var] = Const(c as u32);
-                step(env, plan, 1, &mut vals, &mut bound, out);
+                if !step(env, plan, 1, &mut vals, &mut bound, out) {
+                    return;
+                }
             }
         }
         _ => unreachable!("range tasks are built only for splittable first steps"),
@@ -103,6 +109,10 @@ fn build_tuple(terms: &[CTerm], vals: &[Const]) -> Tuple {
     terms.iter().map(|t| value(t, vals)).collect()
 }
 
+/// Returns `true` to keep enumerating candidates; `false` when an active
+/// governor tripped on an emit (budget exhausted, cancelled, failpoint) —
+/// the whole walk unwinds immediately and the caller reads the verdict off
+/// the governor.
 #[allow(clippy::too_many_lines)]
 fn step(
     env: &ExecEnv<'_>,
@@ -111,11 +121,11 @@ fn step(
     vals: &mut Vec<Const>,
     bound: &mut Vec<bool>,
     out: &mut Relation,
-) {
+) -> bool {
     if idx == plan.steps.len() {
         let head = build_tuple(&plan.head, vals);
         out.insert(head);
-        return;
+        return !matches!(env.gov, Some(g) if g.note_emit());
     }
     match &plan.steps[idx] {
         Step::Scan {
@@ -130,7 +140,9 @@ fn step(
                 // delta) in place.
                 let tuples = env.scan_tuples(*pred, *source);
                 for t in tuples {
-                    scan_candidate(env, plan, idx, vals, bound, out, t, terms, binds_mask);
+                    if !scan_candidate(env, plan, idx, vals, bound, out, t, terms, binds_mask) {
+                        return false;
+                    }
                 }
             } else {
                 // Keyed scan: probe the persistent index; the postings
@@ -142,7 +154,9 @@ fn step(
                 if let Some(postings) = env.indexes.probe(rel.id(), key_cols, &key) {
                     for &ti in postings {
                         let t = &rel.dense()[ti as usize];
-                        scan_candidate(env, plan, idx, vals, bound, out, t, terms, binds_mask);
+                        if !scan_candidate(env, plan, idx, vals, bound, out, t, terms, binds_mask) {
+                            return false;
+                        }
                     }
                 } else {
                     // No index registered (unprepared plan): filtered
@@ -152,55 +166,57 @@ fn step(
                         if key_cols.iter().enumerate().any(|(r, &c)| t[c] != key[r]) {
                             continue;
                         }
-                        scan_candidate(env, plan, idx, vals, bound, out, t, terms, binds_mask);
+                        if !scan_candidate(env, plan, idx, vals, bound, out, t, terms, binds_mask) {
+                            return false;
+                        }
                     }
                 }
             }
+            true
         }
         Step::Domain { var } => {
             let var = *var;
             bound[var] = true;
             for c in 0..env.ctx.universe_size as u32 {
                 vals[var] = Const(c);
-                step(env, plan, idx + 1, vals, bound, out);
+                if !step(env, plan, idx + 1, vals, bound, out) {
+                    bound[var] = false;
+                    return false;
+                }
             }
             bound[var] = false;
+            true
         }
         Step::FilterPos { pred, terms } => {
             let t = build_tuple(terms, vals);
-            if env.relation(*pred, Source::Full).contains(&t) {
-                step(env, plan, idx + 1, vals, bound, out);
-            }
+            !env.relation(*pred, Source::Full).contains(&t)
+                || step(env, plan, idx + 1, vals, bound, out)
         }
         Step::FilterNeg { pred, terms } => {
             let t = build_tuple(terms, vals);
-            if !env.neg_relation(*pred).contains(&t) {
-                step(env, plan, idx + 1, vals, bound, out);
-            }
+            env.neg_relation(*pred).contains(&t) || step(env, plan, idx + 1, vals, bound, out)
         }
         Step::BindEq { var, from } => {
             let var = *var;
             vals[var] = value(from, vals);
             bound[var] = true;
-            step(env, plan, idx + 1, vals, bound, out);
+            let keep_going = step(env, plan, idx + 1, vals, bound, out);
             bound[var] = false;
+            keep_going
         }
         Step::FilterEq { a, b } => {
-            if value(a, vals) == value(b, vals) {
-                step(env, plan, idx + 1, vals, bound, out);
-            }
+            value(a, vals) != value(b, vals) || step(env, plan, idx + 1, vals, bound, out)
         }
         Step::FilterNeq { a, b } => {
-            if value(a, vals) != value(b, vals) {
-                step(env, plan, idx + 1, vals, bound, out);
-            }
+            value(a, vals) == value(b, vals) || step(env, plan, idx + 1, vals, bound, out)
         }
     }
 }
 
 /// Tries one scan candidate: unify `t` against `terms`, recurse into the
 /// remaining steps on success, then restore the bindings this scan step
-/// introduced (`binds_mask` marks the term positions that bind).
+/// introduced (`binds_mask` marks the term positions that bind). Returns
+/// `false` only when the recursion stopped on a governor trip.
 #[allow(clippy::too_many_arguments)]
 fn scan_candidate(
     env: &ExecEnv<'_>,
@@ -212,7 +228,7 @@ fn scan_candidate(
     t: &Tuple,
     terms: &[CTerm],
     binds_mask: u128,
-) {
+) -> bool {
     let mut ok = true;
     for (col, term) in terms.iter().enumerate() {
         match term {
@@ -233,9 +249,7 @@ fn scan_candidate(
             }
         }
     }
-    if ok {
-        step(env, plan, idx + 1, vals, bound, out);
-    }
+    let keep_going = !ok || step(env, plan, idx + 1, vals, bound, out);
     let mut mask = binds_mask;
     while mask != 0 {
         let col = mask.trailing_zeros() as usize;
@@ -245,6 +259,7 @@ fn scan_candidate(
         };
         bound[v] = false;
     }
+    keep_going
 }
 
 /// Satisfiability probe: does any completion of the current binding

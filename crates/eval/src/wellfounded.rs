@@ -82,6 +82,7 @@
 //! rederivation restores the cone's surviving part exactly.
 
 use crate::driver::DeltaDriver;
+use crate::govern::{Governor, SITE_OVERDELETE_CLOSE, SITE_REDERIVE_SWEEP};
 use crate::interp::Interp;
 use crate::operator::{self, EvalContext};
 use crate::options::EvalOptions;
@@ -134,21 +135,35 @@ pub fn well_founded_with(
 ) -> Result<WellFoundedModel> {
     let cp = CompiledProgram::compile(program, db)?;
     let ctx = EvalContext::new(&cp, db)?;
-    Ok(well_founded_compiled_with(&cp, &ctx, opts))
+    well_founded_compiled_with(&cp, &ctx, opts)
 }
 
 /// Computes the well-founded model over a compiled program, incrementally
-/// (see the module docs for the construction and its soundness).
+/// (see the module docs for the construction and its soundness). This
+/// convenience wrapper strips any environment-supplied governance (budget,
+/// token, failpoints) and is therefore infallible.
 pub fn well_founded_compiled(cp: &CompiledProgram, ctx: &EvalContext) -> WellFoundedModel {
-    well_founded_compiled_with(cp, ctx, &EvalOptions::default())
+    well_founded_compiled_with(cp, ctx, &EvalOptions::default().without_governance())
+        .expect("ungoverned well-founded evaluation cannot fail")
 }
 
-/// [`well_founded_compiled`] with explicit evaluation options.
+/// [`well_founded_compiled`] with explicit evaluation options; the governed
+/// form checks budget, cancellation and failpoints at every round boundary
+/// of every inner fixpoint, at every overdeletion-closure frontier, before
+/// every rederive sweep, and every few thousand emitted tuples. One budget
+/// spans the whole alternating fixpoint.
+///
+/// # Errors
+/// [`EvalError::Cancelled`](crate::EvalError::Cancelled),
+/// [`EvalError::BudgetExceeded`](crate::EvalError::BudgetExceeded), a fault
+/// injected by an armed failpoint, or a contained worker panic.
 pub fn well_founded_compiled_with(
     cp: &CompiledProgram,
     ctx: &EvalContext,
     opts: &EvalOptions,
-) -> WellFoundedModel {
+) -> Result<WellFoundedModel> {
+    let governor = Governor::new(opts);
+    let gov = governor.as_active();
     let num_idb = cp.num_idb();
     let mut driver = DeltaDriver::with_options(cp, opts.clone());
     // `t` grows and `u` shrinks monotonically across alternations (after
@@ -167,10 +182,13 @@ pub fn well_founded_compiled_with(
 
     // Alternation 1 (cold): U_0 = Γ(∅), then T_1 = Γ(U_0), both by
     // warm-seeded semi-naive Γ.
-    driver.extend(cp, ctx, &mut u, None, Some(&t), None);
-    let mut added = driver.extend(cp, ctx, &mut t, None, Some(&u), None);
+    driver.extend(cp, ctx, &mut u, None, Some(&t), None, &governor)?;
+    let mut added = driver.extend(cp, ctx, &mut t, None, Some(&u), None, &governor)?;
 
     while added > 0 {
+        if let Some(g) = gov {
+            g.check_round()?;
+        }
         // ΔT_k: the tuples T gained in the previous alternation.
         for (i, mark) in t_marks.iter_mut().enumerate() {
             let dt = delta_t.get_mut(i);
@@ -194,12 +212,17 @@ pub fn well_founded_compiled_with(
             None,
             &mut heads,
             opts,
-        );
+            gov,
+        )?;
         // Overdeletion cone, closed through positive IDB dependencies. A
         // frontier is enumerated from `u` *before* it is removed, so every
         // dependent instance is seen at the first frontier touching it.
         let mut cone: Vec<Vec<Tuple>> = vec![Vec::new(); num_idb];
         loop {
+            if let Some(g) = gov {
+                g.fail_at(SITE_OVERDELETE_CLOSE)?;
+                g.check()?;
+            }
             let mut any = false;
             for i in 0..num_idb {
                 let fr = frontier.get_mut(i);
@@ -225,10 +248,11 @@ pub fn well_founded_compiled_with(
                 None,
                 &mut heads,
                 opts,
-            );
+                gov,
+            )?;
             for (i, list) in cone.iter_mut().enumerate() {
                 for tuple in frontier.get(i).dense() {
-                    ctx.remove_patched(u.get_mut(i), tuple);
+                    let _ = ctx.remove_patched(u.get_mut(i), tuple);
                     list.push(tuple.clone());
                 }
             }
@@ -247,6 +271,9 @@ pub fn well_founded_compiled_with(
         // `O(cone × sweeps)` derivability checks; this does one per cone
         // member plus batch delta rounds.
         {
+            if let Some(g) = gov {
+                g.fail_at(SITE_REDERIVE_SWEEP)?;
+            }
             operator::sync_check_indexes(cp, ctx, &u);
             // `frontier` is free after the overdeletion loop; reuse it as
             // the seed buffer for the rederive rounds.
@@ -259,7 +286,7 @@ pub fn well_founded_compiled_with(
                     seed.insert(list[k].clone());
                 });
             }
-            driver.extend_seeded(cp, ctx, &mut u, None, Some(&t), &frontier, None);
+            driver.extend_seeded(cp, ctx, &mut u, None, Some(&t), &frontier, None, &governor)?;
         }
         #[cfg(debug_assertions)]
         {
@@ -303,7 +330,7 @@ pub fn well_founded_compiled_with(
         // negation newly enables (its atom left U) can be new — the
         // removed-driven restart round finds exactly those.
         added = if any_removed {
-            driver.extend_from_removed(cp, ctx, &mut t, &removed, &u, None)
+            driver.extend_from_removed(cp, ctx, &mut t, &removed, &u, None, &governor)?
         } else {
             0 // U unchanged ⟹ Γ(U_k) = Γ(U_{k-1}) = T_k already.
         };
@@ -318,11 +345,11 @@ pub fn well_founded_compiled_with(
     } else {
         u.difference(&t)
     };
-    WellFoundedModel {
+    Ok(WellFoundedModel {
         undefined,
         true_facts: t,
         alternations,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ fn pinned(kind: ExecKind, threads: usize) -> EvalOptions {
         threads,
         parallel_threshold: if threads > 1 { 0 } else { usize::MAX },
         exec: Some(kind),
+        ..EvalOptions::sequential()
     }
 }
 

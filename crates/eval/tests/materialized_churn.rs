@@ -10,16 +10,29 @@
 //! cases the issue calls out: deletions that empty a relation,
 //! re-insertion of retracted facts, and retracting facts that were never
 //! present.
+//!
+//! The second half drives the **transactional invariant** under forced
+//! failures: a failpoint sweep that aborts a repair at every registered
+//! injection site — in both update directions, on every engine — and
+//! asserts the handle rolls back bit-identically and accepts the retried
+//! batch; plus cross-thread cancellation, deadline, and round/tuple budget
+//! coverage on deliberately slow programs.
 
 use inflog_core::graphs::DiGraph;
 use inflog_core::{Database, Tuple};
+use inflog_eval::govern::SITE_WORKER_PANIC;
 use inflog_eval::materialize::{Engine, MaterializeOpts, Materialized};
 use inflog_eval::{
-    inflationary, least_fixpoint_seminaive, stratified_eval, well_founded, QueryOpts,
+    inflationary, inflationary_with, least_fixpoint_naive_with, least_fixpoint_seminaive,
+    least_fixpoint_seminaive_with, stratified_eval, stratified_eval_with, well_founded,
+    well_founded_with, Budget, BudgetKind, CancelToken, EvalError, EvalOptions, Failpoints,
+    QueryOpts, FAILPOINT_SITES,
 };
 use inflog_syntax::{parse_program, Atom, Program, Term};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::time::Duration;
 
 const TC: &str = "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).";
 const WIN: &str = "Win(x) :- Move(x, y), !Win(y).";
@@ -238,4 +251,428 @@ fn mixed_fact_arities_and_auxiliary_relations_churn() {
         }
         assert_matches_recompute(&m, &program, &format!("aux churn step {step}"));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the transactional invariant under forced failures.
+// ---------------------------------------------------------------------------
+
+/// Bit-level snapshot of everything a [`Materialized`] handle owns that an
+/// update may touch: the model, the undefined sets, and the database — each
+/// relation in **dense (insertion) order**, strictly stronger than the
+/// set-based equality the rest of the suite uses.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    idb: Vec<Vec<Tuple>>,
+    undefined: Vec<Vec<Tuple>>,
+    db: Vec<(String, Vec<Tuple>)>,
+}
+
+fn snapshot(m: &Materialized) -> Snapshot {
+    let schema = m.database().schema();
+    let mut db: Vec<(String, Vec<Tuple>)> = schema
+        .iter()
+        .map(|(name, _)| {
+            let dense = m.database().relation(name).unwrap().dense().to_vec();
+            (name.to_owned(), dense)
+        })
+        .collect();
+    db.sort();
+    Snapshot {
+        idb: (0..m.interp().len())
+            .map(|i| m.interp().get(i).dense().to_vec())
+            .collect(),
+        undefined: (0..m.undefined().len())
+            .map(|i| m.undefined().get(i).dense().to_vec())
+            .collect(),
+        db,
+    }
+}
+
+/// Options arming `site` to fire on its first hit. The worker-panic site
+/// only exists inside forked applications, so arming it also forces the
+/// parallel path (two workers, zero threshold).
+fn armed(site: &str) -> EvalOptions {
+    let (threads, parallel_threshold) = if site == SITE_WORKER_PANIC {
+        (2, 0)
+    } else {
+        (1, usize::MAX)
+    };
+    EvalOptions {
+        threads,
+        parallel_threshold,
+        failpoints: Failpoints::armed(site, 1),
+        ..EvalOptions::sequential()
+    }
+}
+
+/// One engine × program × database combination for the sweep. Covers both
+/// repair strategies: delete–rederive (seminaive, stratified, and
+/// well-founded on a stratifiable program) and restart (inflationary, and
+/// well-founded on `WIN` over an odd cycle — which also exercises rollback
+/// of non-empty undefined sets).
+struct Workload {
+    engine: Engine,
+    src: &'static str,
+    edge_rel: &'static str,
+    db: Database,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut reach_db = DiGraph::path(6).to_database("E");
+    for v in 0..6 {
+        reach_db
+            .insert_named_fact("V", &[&format!("v{v}")])
+            .unwrap();
+    }
+    reach_db.insert_named_fact("Start", &["v0"]).unwrap();
+    vec![
+        Workload {
+            engine: Engine::Seminaive,
+            src: TC,
+            edge_rel: "E",
+            db: DiGraph::cycle(5).to_database("E"),
+        },
+        Workload {
+            engine: Engine::Stratified,
+            src: REACH_UNREACH,
+            edge_rel: "E",
+            db: reach_db.clone(),
+        },
+        Workload {
+            engine: Engine::WellFounded,
+            src: REACH_UNREACH,
+            edge_rel: "E",
+            db: reach_db,
+        },
+        Workload {
+            engine: Engine::Inflationary,
+            src: TC,
+            edge_rel: "E",
+            db: DiGraph::cycle(5).to_database("E"),
+        },
+        Workload {
+            engine: Engine::WellFounded,
+            src: WIN,
+            edge_rel: "Move",
+            db: DiGraph::cycle(5).to_database("Move"),
+        },
+    ]
+}
+
+/// The tentpole acceptance test: abort a repair at **every** registered
+/// failpoint site, in both update directions, on every engine. A fired
+/// failpoint must leave the handle bit-identical to its pre-update state
+/// (model, undefined sets, *and* database) and fully usable — the retried
+/// batch goes through and lands on the recompute. A site that is not on
+/// the update's path (e.g. the overdelete cone during a pure insert) must
+/// not disturb a normal update. Every site must fire somewhere in the
+/// sweep — a registered site the sweep cannot reach would be dead code.
+#[test]
+fn failpoint_sweep_rolls_back_every_site_on_every_engine() {
+    let mut fired: BTreeSet<&str> = BTreeSet::new();
+    for w in &workloads() {
+        let program = parse_program(w.src).unwrap();
+        for &site in FAILPOINT_SITES {
+            for inserting in [false, true] {
+                let mut m = handle(&program, &w.db, w.engine);
+                let t = if inserting {
+                    // Absent in every workload graph (paths and cycles only
+                    // have successor edges).
+                    Tuple::from_ids(&[0, 2])
+                } else {
+                    m.database().relation(w.edge_rel).unwrap().dense()[0].clone()
+                };
+                let dir = if inserting { "insert" } else { "retract" };
+                let label = format!("{:?}/{site}/{dir}", w.engine);
+                let batch = [(w.edge_rel, t)];
+                let pre = snapshot(&m);
+                m.set_eval_options(armed(site));
+                let result = if inserting {
+                    m.insert(&batch)
+                } else {
+                    m.retract(&batch)
+                };
+                match result {
+                    Err(e) => {
+                        fired.insert(site);
+                        assert!(
+                            matches!(
+                                e,
+                                EvalError::FaultInjected { .. } | EvalError::WorkerPanic { .. }
+                            ),
+                            "{label}: unexpected error {e:?}"
+                        );
+                        assert_eq!(snapshot(&m), pre, "{label}: rollback not bit-identical");
+                        // The handle must remain fully usable: disarm and
+                        // retry the identical batch.
+                        m.set_eval_options(EvalOptions::sequential());
+                        let changed = if inserting {
+                            m.insert(&batch).unwrap()
+                        } else {
+                            m.retract(&batch).unwrap()
+                        };
+                        assert_eq!(changed, 1, "{label}: retried batch rejected");
+                    }
+                    Ok(changed) => {
+                        assert_eq!(changed, 1, "{label}: armed-but-unreached update");
+                    }
+                }
+                assert_matches_recompute(&m, &program, &label);
+            }
+        }
+    }
+    for site in FAILPOINT_SITES {
+        assert!(
+            fired.contains(site),
+            "site `{site}` never fired in the sweep"
+        );
+    }
+}
+
+/// A worker panic under forced parallelism is contained: the update returns
+/// a typed error instead of aborting the process, and the rollback holds.
+#[test]
+fn worker_panic_is_contained_and_rolled_back() {
+    let program = parse_program(TC).unwrap();
+    let db = DiGraph::cycle(6).to_database("E");
+    let mut m = handle(&program, &db, Engine::Seminaive);
+    let pre = snapshot(&m);
+    m.set_eval_options(armed(SITE_WORKER_PANIC));
+    let edge = db.relation("E").unwrap().dense()[0].clone();
+    let err = m.retract(&[("E", edge.clone())]).unwrap_err();
+    assert!(
+        matches!(err, EvalError::WorkerPanic { .. }),
+        "expected a contained panic, got {err:?}"
+    );
+    assert_eq!(snapshot(&m), pre, "panic rollback not bit-identical");
+    m.set_eval_options(EvalOptions::sequential());
+    assert_eq!(m.retract(&[("E", edge)]).unwrap(), 1);
+    assert_matches_recompute(&m, &program, "retract after contained panic");
+}
+
+/// Randomized churn with a rotating armed failpoint and varying trigger
+/// counts: whatever mixture of injected failures and clean updates the
+/// schedule produces, every step either fully lands or fully rolls back,
+/// and a clean retry always reconverges with the recompute.
+#[test]
+fn randomized_churn_with_rotating_failpoints_keeps_the_invariant() {
+    let graph_db = {
+        let mut rng = StdRng::seed_from_u64(5);
+        DiGraph::random_gnp(7, 0.3, &mut rng).to_database("E")
+    };
+    let program = parse_program(TC).unwrap();
+    for (e, engine) in [
+        Engine::Seminaive,
+        Engine::Stratified,
+        Engine::Inflationary,
+        Engine::WellFounded,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut m = handle(&program, &graph_db, engine);
+        let mut rng = StdRng::seed_from_u64(1000 + e as u64);
+        for step in 0..20 {
+            let t = Tuple::from_ids(&[rng.gen_range(0..7), rng.gen_range(0..7)]);
+            let present = m.contains("E", &t);
+            let site = FAILPOINT_SITES[step % FAILPOINT_SITES.len()];
+            let trigger = rng.gen_range(1..3);
+            let label = format!("{engine:?} step {step} site {site}:{trigger}");
+            let pre = snapshot(&m);
+            m.set_eval_options(EvalOptions {
+                failpoints: Failpoints::armed(site, trigger),
+                ..armed(site)
+            });
+            let result = if present {
+                m.retract(&[("E", t.clone())])
+            } else {
+                m.insert(&[("E", t.clone())])
+            };
+            m.set_eval_options(EvalOptions::sequential());
+            if result.is_err() {
+                assert_eq!(snapshot(&m), pre, "{label}: rollback not bit-identical");
+                let changed = if present {
+                    m.retract(&[("E", t)]).unwrap()
+                } else {
+                    m.insert(&[("E", t)]).unwrap()
+                };
+                assert_eq!(changed, 1, "{label}: retry");
+            }
+            assert_matches_recompute(&m, &program, &label);
+        }
+    }
+}
+
+/// Cancelling from another thread stops an in-flight evaluation with the
+/// typed error, and a cancelled token makes a live handle's update roll
+/// back — after which a clean configuration accepts the same batch.
+#[test]
+fn cross_thread_cancellation_stops_evaluation_and_rolls_back_updates() {
+    let program = parse_program(TC).unwrap();
+    let db = DiGraph::path(200).to_database("E");
+    let token = CancelToken::new();
+    let opts = EvalOptions {
+        cancel: Some(token.clone()),
+        ..EvalOptions::sequential()
+    };
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            token.cancel();
+        })
+    };
+    // The token is sticky, so this loop always terminates: either the
+    // cancellation lands mid-flight, or — once flipped — the next
+    // evaluation fails at its very first round boundary.
+    let err = loop {
+        if let Err(e) = least_fixpoint_seminaive_with(&program, &db, &opts) {
+            break e;
+        }
+    };
+    canceller.join().unwrap();
+    assert_eq!(err, EvalError::Cancelled);
+
+    let small = DiGraph::cycle(5).to_database("E");
+    let mut m = handle(&program, &small, Engine::Seminaive);
+    let pre = snapshot(&m);
+    let edge = small.relation("E").unwrap().dense()[0].clone();
+    m.set_eval_options(EvalOptions {
+        cancel: Some(token),
+        ..EvalOptions::sequential()
+    });
+    assert_eq!(
+        m.retract(&[("E", edge.clone())]).unwrap_err(),
+        EvalError::Cancelled
+    );
+    assert_eq!(snapshot(&m), pre, "cancellation rollback not bit-identical");
+    m.set_eval_options(EvalOptions::sequential());
+    assert_eq!(m.retract(&[("E", edge)]).unwrap(), 1);
+    assert_matches_recompute(&m, &program, "retract after cancellation rollback");
+}
+
+/// A wall-clock deadline trips a deliberately slow program mid-flight. TC
+/// on a 200-vertex path runs ~200 semi-naive rounds deriving ~20k tuples —
+/// far beyond a 50µs budget on any hardware, so the evaluation cannot
+/// finish before the deadline check at a round boundary catches it.
+#[test]
+fn deadline_budget_trips_a_deliberately_slow_program() {
+    let program = parse_program(TC).unwrap();
+    let db = DiGraph::path(200).to_database("E");
+    let opts = EvalOptions {
+        budget: Budget::with_deadline(Duration::from_micros(50)),
+        ..EvalOptions::sequential()
+    };
+    let err = least_fixpoint_seminaive_with(&program, &db, &opts).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EvalError::BudgetExceeded {
+                kind: BudgetKind::Deadline,
+                ..
+            }
+        ),
+        "expected a deadline trip, got {err:?}"
+    );
+}
+
+/// Round and tuple caps surface the same typed error from every engine —
+/// including naive iteration, whose old ad-hoc `IterationLimit` cap is now
+/// routed through `Budget::max_rounds`.
+#[test]
+fn round_and_tuple_caps_surface_typed_errors_from_every_engine() {
+    let program = parse_program(TC).unwrap();
+    let db = DiGraph::path(8).to_database("E");
+    let rounds = EvalOptions {
+        budget: Budget::with_max_rounds(2),
+        ..EvalOptions::sequential()
+    };
+    let errs = [
+        least_fixpoint_naive_with(&program, &db, &rounds).map(|_| ()),
+        least_fixpoint_seminaive_with(&program, &db, &rounds).map(|_| ()),
+        stratified_eval_with(&program, &db, &rounds).map(|_| ()),
+        inflationary_with(&program, &db, &rounds).map(|_| ()),
+        well_founded_with(&program, &db, &rounds).map(|_| ()),
+    ];
+    for (i, r) in errs.into_iter().enumerate() {
+        assert_eq!(
+            r.unwrap_err(),
+            EvalError::BudgetExceeded {
+                kind: BudgetKind::Rounds,
+                limit: 2
+            },
+            "engine #{i}"
+        );
+    }
+    let tuples = EvalOptions {
+        budget: Budget::with_max_tuples(3),
+        ..EvalOptions::sequential()
+    };
+    let errs = [
+        least_fixpoint_naive_with(&program, &db, &tuples).map(|_| ()),
+        least_fixpoint_seminaive_with(&program, &db, &tuples).map(|_| ()),
+        stratified_eval_with(&program, &db, &tuples).map(|_| ()),
+        inflationary_with(&program, &db, &tuples).map(|_| ()),
+        well_founded_with(&program, &db, &tuples).map(|_| ()),
+    ];
+    for (i, r) in errs.into_iter().enumerate() {
+        assert_eq!(
+            r.unwrap_err(),
+            EvalError::BudgetExceeded {
+                kind: BudgetKind::Tuples,
+                limit: 3
+            },
+            "engine #{i}"
+        );
+    }
+}
+
+/// CI drives this with `INFLOG_FAILPOINT=<site>[:<n>]` in the environment
+/// (plus `INFLOG_THREADS`/`INFLOG_PARALLEL_THRESHOLD` for the worker-panic
+/// site): [`EvalOptions::default`] picks the armed failpoint up from the
+/// environment, the governed update must fail, roll back bit-identically,
+/// and accept a clean retry. Ignored by default — it asserts the variable
+/// is set.
+#[test]
+#[ignore = "driven by CI with INFLOG_FAILPOINT set"]
+fn env_driven_failpoint_rolls_back_the_update() {
+    let program = parse_program(TC).unwrap();
+    let db = DiGraph::cycle(5).to_database("E");
+    // Everything except the update under test must run with *explicit*
+    // clean options: `EvalOptions::default()` re-parses `INFLOG_FAILPOINT`
+    // on every call (fresh hit counter), so construction and recompute
+    // would otherwise trip the armed site themselves.
+    let clean = MaterializeOpts {
+        engine: Engine::Seminaive,
+        eval: EvalOptions::sequential(),
+    };
+    let mut m = Materialized::new(&program, &db, &clean).unwrap();
+    let opts = EvalOptions::default();
+    assert!(
+        opts.failpoints.is_armed(),
+        "set INFLOG_FAILPOINT=<site> to run this test"
+    );
+    let pre = snapshot(&m);
+    m.set_eval_options(opts);
+    let edge = db.relation("E").unwrap().dense()[0].clone();
+    let err = m.retract(&[("E", edge.clone())]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EvalError::FaultInjected { .. } | EvalError::WorkerPanic { .. }
+        ),
+        "unexpected error {err:?}"
+    );
+    assert_eq!(
+        snapshot(&m),
+        pre,
+        "env failpoint rollback not bit-identical"
+    );
+    m.set_eval_options(EvalOptions::sequential());
+    assert_eq!(m.retract(&[("E", edge)]).unwrap(), 1);
+    // Compare against a clean handle over the updated database rather than
+    // the env-sensitive recompute helpers.
+    let fresh = Materialized::new(&program, m.database(), &clean).unwrap();
+    assert_eq!(m.interp(), fresh.interp(), "retry diverged from recompute");
 }

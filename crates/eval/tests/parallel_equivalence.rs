@@ -14,7 +14,7 @@ use inflog_core::graphs::DiGraph;
 use inflog_core::Database;
 use inflog_eval::{
     inflationary_with, least_fixpoint_seminaive_with, stratified_eval_with, stratify,
-    well_founded_with, CompiledProgram, DeltaDriver, EvalContext, EvalOptions, Interp,
+    well_founded_with, CompiledProgram, DeltaDriver, EvalContext, EvalOptions, Governor, Interp,
 };
 use inflog_syntax::{parse_program, Program};
 use rand::rngs::StdRng;
@@ -239,7 +239,9 @@ fn indexes_stay_sound_after_rollback_then_parallel_round() {
     let ctx = EvalContext::new(&cp, &db).unwrap();
     let mut driver = DeltaDriver::with_options(&cp, forced(4));
     let mut s = cp.empty_interp();
-    driver.extend(&cp, &ctx, &mut s, None, None, None);
+    driver
+        .extend(&cp, &ctx, &mut s, None, None, None, &Governor::free())
+        .unwrap();
     let full = s.clone();
     assert!(ctx.parallel_applications() > 0, "rounds must have forked");
 
@@ -249,7 +251,9 @@ fn indexes_stay_sound_after_rollback_then_parallel_round() {
     // order), then regrow in parallel.
     let base = db.relation("E").unwrap().len();
     s.get_mut(sid).truncate(base);
-    driver.extend(&cp, &ctx, &mut s, None, None, None);
+    driver
+        .extend(&cp, &ctx, &mut s, None, None, None, &Governor::free())
+        .unwrap();
     ctx.debug_validate_indexes(s.get(sid));
     assert_eq!(s, full, "warm restart after rollback lost tuples");
 }
