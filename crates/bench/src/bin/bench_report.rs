@@ -54,8 +54,8 @@ use inflog::core::Tuple;
 use inflog::eval::ExecKind;
 use inflog::eval::{
     inflationary_with, least_fixpoint_naive, least_fixpoint_seminaive_with, query,
-    stratified_eval_with, well_founded_with, CompiledProgram, Engine, EvalOptions, MaterializeOpts,
-    Materialized, QueryOpts,
+    stratified_eval_with, well_founded_with, CompiledProgram, DurableMaterialized, DurableOpts,
+    Engine, EvalOptions, MaterializeOpts, Materialized, QueryOpts,
 };
 use inflog::fixpoint::GroundProgram;
 use inflog::reductions::programs::{distance_program, pi3_tc};
@@ -474,6 +474,37 @@ fn main() {
                     m_wf.interp().total_tuples() + m_wf.undefined().total_tuples()
                 },
             ));
+            // Crash recovery vs full re-evaluation: open a durable store
+            // directory (newest snapshot + a 32-record WAL replay through
+            // the delete–rederive repair path) instead of recomputing the
+            // fixpoint from scratch. The store lives under the workspace
+            // `target/` so benches never touch system temp.
+            let store_dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target/tmp/bench_recover_tc_gnp");
+            let _ = std::fs::remove_dir_all(&store_dir);
+            let dopts = DurableOpts {
+                engine: Engine::Seminaive,
+                eval: opts.clone(),
+                ..DurableOpts::default()
+            };
+            let mut dm = DurableMaterialized::create(&tc, &incr_gnp_db, &store_dir, &dopts)
+                .expect("store dir writable");
+            for e in fresh_edges.iter().take(32) {
+                dm.insert(&[("E", e.clone())]).expect("valid fact");
+            }
+            drop(dm);
+            results.extend(bench(
+                filter.as_deref(),
+                "recover_tc_gnp",
+                format!("n={incr_n},p=0.08,seed=23,wal=32"),
+                threads,
+                iters,
+                || {
+                    let dm = DurableMaterialized::open(&tc, &store_dir, &dopts)
+                        .expect("healthy store recovers");
+                    dm.interp().total_tuples()
+                },
+            ));
         }
         results.extend(bench(
             filter.as_deref(),
@@ -571,6 +602,7 @@ fn main() {
         ("query_win_point", "full_filter_win_point"),
         ("incr_insert_tc_gnp", "full_reeval_tc_gnp"),
         ("incr_retract_win_move", "full_reeval_win_move"),
+        ("recover_tc_gnp", "full_reeval_tc_gnp"),
     ] {
         let wall = |name: &str| {
             results

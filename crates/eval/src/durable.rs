@@ -1,0 +1,303 @@
+//! Durable materialized fixpoints: a [`Materialized`] handle paired with an
+//! `inflog-store` directory, so the model survives a crash and comes back
+//! **verifiably identical**.
+//!
+//! # Protocol (log-first)
+//!
+//! [`DurableMaterialized::insert`]/[`retract`](DurableMaterialized::retract)
+//! commit in this order:
+//!
+//! 1. Encode the batch as one WAL record stamped with the *next* epoch and
+//!    append it ([`inflog_store::Store::append`]); under
+//!    [`Durability::Sync`] the record is fsynced before anything else
+//!    happens. If the append fails, the in-memory handle is untouched, the
+//!    WAL poisons itself (preserving the crash-shaped disk state for
+//!    recovery), and the typed error surfaces.
+//! 2. Apply the batch through the transactional in-memory update. If *that*
+//!    fails (budget, cancellation, a contained panic), the in-memory state
+//!    rolls back bit-identically — and the just-written record is truncated
+//!    away again, so the log never runs ahead of acknowledged state.
+//! 3. Only when both succeed is the update acknowledged; the epoch advances
+//!    by one (no-op batches included — the WAL record count must equal the
+//!    epoch delta).
+//!
+//! # Recovery
+//!
+//! [`DurableMaterialized::open`] loads the newest valid snapshot, replays
+//! the WAL records past its epoch through the normal update path, and
+//! returns a warm handle. Because every maintained semantics is a
+//! deterministic function of the EDB (the paper's central observation), the
+//! recovered state must equal a from-scratch recompute over the recovered
+//! database — debug builds assert it on every step, and the crash tests
+//! assert it (down to dense tuple order) in release mode. Recovery either
+//! restores the last committed epoch exactly or fails with a typed
+//! [`StoreError`] naming the corrupt offset — never a wrong answer.
+
+use crate::interp::Interp;
+use crate::materialize::{Engine, MaterializeOpts, Materialized, RepairStrategy};
+use crate::options::EvalOptions;
+use crate::Result;
+use inflog_core::{Database, Relation, Tuple};
+use inflog_store::{SnapshotState, Store, StoreOptions, WalOp, WalRecord};
+use inflog_syntax::Program;
+use std::path::Path;
+
+pub use inflog_store::Durability;
+
+/// Options for creating or opening a [`DurableMaterialized`].
+#[derive(Debug, Clone, Default)]
+pub struct DurableOpts {
+    /// The semantics to maintain (as in [`MaterializeOpts`]).
+    pub engine: Engine,
+    /// Evaluation options for the initial run and every repair.
+    pub eval: EvalOptions,
+    /// Whether WAL appends fsync before acknowledging ([`Durability::Sync`],
+    /// the default) or leave flushing to the OS.
+    pub durability: Durability,
+    /// Store-layer crash-injection sites (inert by default; the test
+    /// harness arms them, or use [`StoreOptions::from_env`] semantics via
+    /// [`inflog_store::Failpoints::from_env`]).
+    pub store_failpoints: inflog_store::Failpoints,
+}
+
+impl DurableOpts {
+    fn materialize(&self) -> MaterializeOpts {
+        MaterializeOpts {
+            engine: self.engine,
+            eval: self.eval.clone(),
+        }
+    }
+
+    fn store(&self) -> StoreOptions {
+        StoreOptions {
+            durability: self.durability,
+            failpoints: self.store_failpoints.clone(),
+        }
+    }
+}
+
+/// A [`Materialized`] handle whose committed updates survive the process.
+#[derive(Debug)]
+pub struct DurableMaterialized {
+    m: Materialized,
+    store: Store,
+    /// Epoch of the snapshot the in-memory handle was built from; the
+    /// durable epoch is `base_epoch + m.epoch()`.
+    base_epoch: u64,
+}
+
+impl DurableMaterialized {
+    /// Evaluates `program` over `db` once and initializes `dir` with the
+    /// epoch-0 snapshot and an empty WAL.
+    ///
+    /// # Errors
+    /// Construction errors of [`Materialized::new`]; [`EvalError::Store`]
+    /// if the directory cannot be initialized.
+    pub fn create(
+        program: &Program,
+        db: &Database,
+        dir: &Path,
+        opts: &DurableOpts,
+    ) -> Result<DurableMaterialized> {
+        let m = Materialized::new(program, db, &opts.materialize())?;
+        let state = SnapshotState {
+            epoch: 0,
+            db: m.database().clone(),
+            idb: m.interp().relations().to_vec(),
+            undefined: m.undefined().relations().to_vec(),
+        };
+        let store = Store::create(dir, &state, &opts.store())?;
+        Ok(DurableMaterialized {
+            m,
+            store,
+            base_epoch: 0,
+        })
+    }
+
+    /// Recovers the handle from `dir`: newest valid snapshot, then WAL
+    /// replay through the normal update path.
+    ///
+    /// # Errors
+    /// Typed [`StoreError`](inflog_store::StoreError)s (via
+    /// [`EvalError::Store`]) for corrupt frames (with the byte offset),
+    /// epoch gaps, or state that does not fit `program`; plus any
+    /// evaluation error a replayed record hits.
+    pub fn open(program: &Program, dir: &Path, opts: &DurableOpts) -> Result<DurableMaterialized> {
+        let (store, state, records) = Store::open(dir, &opts.store())?;
+        let base_epoch = state.epoch;
+        let SnapshotState {
+            db, idb, undefined, ..
+        } = state;
+        let mut m = Materialized::with_state(
+            program,
+            &db,
+            &opts.materialize(),
+            Interp::from_relations(idb),
+            Interp::from_relations(undefined),
+        )?;
+        for rec in &records {
+            let facts: Vec<(&str, Tuple)> = rec
+                .facts
+                .iter()
+                .map(|(name, t)| (name.as_str(), t.clone()))
+                .collect();
+            match rec.op {
+                WalOp::Insert => m.insert(&facts)?,
+                WalOp::Retract => m.retract(&facts)?,
+            };
+        }
+        debug_assert_eq!(m.epoch(), records.len() as u64);
+        Ok(DurableMaterialized {
+            m,
+            store,
+            base_epoch,
+        })
+    }
+
+    /// Durable [`Materialized::insert`]: the batch is on disk before it is
+    /// acknowledged (see the module docs for the exact order).
+    ///
+    /// # Errors
+    /// [`EvalError::Store`] when the WAL append fails (in-memory state
+    /// untouched); otherwise the same errors as [`Materialized::insert`]
+    /// (in-memory state rolled back *and* the record un-logged).
+    pub fn insert(&mut self, facts: &[(&str, Tuple)]) -> Result<usize> {
+        self.update(facts, WalOp::Insert)
+    }
+
+    /// Durable [`Materialized::retract`].
+    ///
+    /// # Errors
+    /// Same conditions as [`DurableMaterialized::insert`].
+    pub fn retract(&mut self, facts: &[(&str, Tuple)]) -> Result<usize> {
+        self.update(facts, WalOp::Retract)
+    }
+
+    fn update(&mut self, facts: &[(&str, Tuple)], op: WalOp) -> Result<usize> {
+        let rec = WalRecord {
+            epoch: self.epoch() + 1,
+            op,
+            facts: facts
+                .iter()
+                .map(|(name, t)| ((*name).to_string(), t.clone()))
+                .collect(),
+        };
+        // Log first: if this fails, nothing in memory has changed and the
+        // WAL is poisoned until the directory is re-opened through recovery.
+        let pre_len = self.store.append(&rec)?;
+        let applied = match op {
+            WalOp::Insert => self.m.insert(facts),
+            WalOp::Retract => self.m.retract(facts),
+        };
+        match applied {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                // The in-memory handle rolled back; un-log the record so the
+                // WAL does not run ahead of acknowledged state. If even that
+                // fails the WAL poisons itself, so surface the store error.
+                self.store.undo_append(pre_len)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Rewrites a fresh snapshot at the current epoch and truncates the WAL
+    /// (both atomically); keeps the previous snapshot as a fallback.
+    ///
+    /// # Errors
+    /// [`EvalError::Store`] if a step fails; the directory stays
+    /// recoverable at the current epoch either way (the crash tests drive
+    /// both windows).
+    pub fn compact(&mut self) -> Result<()> {
+        let state = SnapshotState {
+            epoch: self.epoch(),
+            db: self.m.database().clone(),
+            idb: self.m.interp().relations().to_vec(),
+            undefined: self.m.undefined().relations().to_vec(),
+        };
+        self.store.compact(&state)?;
+        Ok(())
+    }
+
+    /// The durable epoch: snapshot base plus committed updates since.
+    pub fn epoch(&self) -> u64 {
+        self.base_epoch + self.m.epoch()
+    }
+
+    /// Replaces the evaluation options used by subsequent repairs (see
+    /// [`Materialized::set_eval_options`]).
+    pub fn set_eval_options(&mut self, opts: EvalOptions) {
+        self.m.set_eval_options(opts);
+    }
+
+    /// The true facts of the maintained model.
+    pub fn interp(&self) -> &Interp {
+        self.m.interp()
+    }
+
+    /// The undefined facts of the maintained model.
+    pub fn undefined(&self) -> &Interp {
+        self.m.undefined()
+    }
+
+    /// The database as of the last committed update.
+    pub fn database(&self) -> &Database {
+        self.m.database()
+    }
+
+    /// The engine this handle maintains.
+    pub fn engine(&self) -> Engine {
+        self.m.engine()
+    }
+
+    /// How updates are repaired.
+    pub fn repair_strategy(&self) -> RepairStrategy {
+        self.m.repair_strategy()
+    }
+
+    /// Read access to the wrapped in-memory handle (queries, compiled
+    /// program, containment checks). Mutations must go through the durable
+    /// [`insert`](DurableMaterialized::insert)/
+    /// [`retract`](DurableMaterialized::retract), which is why no mutable
+    /// accessor exists.
+    pub fn handle(&self) -> &Materialized {
+        &self.m
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+
+    /// Epoch of the newest committed snapshot in the directory.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.store.snapshot_epoch()
+    }
+
+    /// Whether the WAL refused further appends after a failed one (recover
+    /// by re-opening the directory).
+    pub fn is_poisoned(&self) -> bool {
+        self.store.is_poisoned()
+    }
+}
+
+/// Bit-level comparison helper used by the crash tests: the dense tuple
+/// order of every IDB/undefined/database relation, not just set equality.
+pub fn dense_fingerprint(m: &Materialized) -> Vec<(String, Vec<Tuple>)> {
+    let mut out = Vec::new();
+    for (i, rel) in m.interp().relations().iter().enumerate() {
+        out.push((format!("idb:{i}"), rel.dense().to_vec()));
+    }
+    for (i, rel) in m.undefined().relations().iter().enumerate() {
+        out.push((format!("undef:{i}"), rel.dense().to_vec()));
+    }
+    for (name, rel) in m.database().iter() {
+        out.push((format!("edb:{name}"), rel.dense().to_vec()));
+    }
+    out
+}
+
+/// Convenience for tests: total tuples across a relation list.
+pub fn total_tuples(rels: &[Relation]) -> usize {
+    rels.iter().map(Relation::len).sum()
+}

@@ -92,6 +92,20 @@ pub enum EvalError {
         /// Why the query could not be answered as requested.
         reason: String,
     },
+    /// The durable store failed: a WAL append could not be acknowledged, a
+    /// snapshot or log frame is corrupt (the inner error names the file and
+    /// byte offset), or recovered state does not fit the program. Raised
+    /// only through [`DurableMaterialized`](crate::DurableMaterialized).
+    Store {
+        /// The underlying store error.
+        source: inflog_store::StoreError,
+    },
+}
+
+impl From<inflog_store::StoreError> for EvalError {
+    fn from(source: inflog_store::StoreError) -> Self {
+        EvalError::Store { source }
+    }
 }
 
 /// The budget dimension a [`EvalError::BudgetExceeded`] error names.
@@ -160,11 +174,21 @@ impl fmt::Display for EvalError {
             EvalError::UnsupportedQuery { reason } => {
                 write!(f, "query not supported: {reason}")
             }
+            EvalError::Store { source } => {
+                write!(f, "durable store error: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for EvalError {}
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Store { source } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

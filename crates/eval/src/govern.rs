@@ -213,10 +213,18 @@ impl Failpoints {
             },
         };
         if !FAILPOINT_SITES.contains(&site) {
-            eprintln!(
-                "warning: ignoring INFLOG_FAILPOINT={raw:?}: unknown site \
-                 (registered: {FAILPOINT_SITES:?})"
-            );
+            // Store-layer sites are valid arming targets for the same
+            // variable — the durable store parses them itself
+            // (`inflog_store::Failpoints::from_env`); the evaluation layer
+            // just stays inert, without a spurious warning.
+            if !inflog_store::STORE_FAILPOINT_SITES.contains(&site) {
+                eprintln!(
+                    "warning: ignoring INFLOG_FAILPOINT={raw:?}: unknown site \
+                     (registered: {FAILPOINT_SITES:?} for evaluation, {:?} \
+                     for the durable store)",
+                    inflog_store::STORE_FAILPOINT_SITES
+                );
+            }
             return Failpoints::none();
         }
         Failpoints(Some(Arc::new(ArmedFailpoint {

@@ -40,6 +40,11 @@
 //!   (delete–rederive per stratum; a documented restart fallback for the
 //!   non-change-monotone inflationary and non-stratifiable well-founded
 //!   fixpoints) instead of recomputing it;
+//! * [`durable`] — crash durability for a materialized handle: every
+//!   committed batch goes to an `inflog-store` write-ahead log before it is
+//!   acknowledged, snapshots compact the log, and recovery replays the WAL
+//!   into a warm handle that is bit-identical to a from-scratch recompute
+//!   (the determinism of the paper's semantics is the recovery oracle);
 //! * [`query`] — goal-directed evaluation: the demand rewrites of
 //!   `inflog-rewrite` (adorned magic sets for stratified programs, the
 //!   demand-cone restriction for well-founded ones) plus an explicit
@@ -51,6 +56,7 @@
 //! programs; stratified model is a fixpoint of Θ) is tested directly.
 
 pub mod driver;
+pub mod durable;
 pub mod error;
 pub mod exec;
 pub mod govern;
@@ -71,6 +77,7 @@ pub(crate) mod tree;
 pub mod wellfounded;
 
 pub use driver::DeltaDriver;
+pub use durable::{Durability, DurableMaterialized, DurableOpts};
 pub use error::{BudgetKind, EvalError};
 pub use exec::{ColAction, Op, RuleProgram, ValSrc};
 pub use govern::{Budget, CancelToken, Failpoints, Governor, FAILPOINT_SITES};

@@ -190,6 +190,12 @@ pub struct Materialized {
     s: Interp,
     /// Undefined facts (non-empty only for non-stratifiable well-founded).
     undefined: Interp,
+    /// Number of committed updates since construction: every `Ok` return of
+    /// [`Materialized::insert`]/[`Materialized::retract`] — including no-op
+    /// batches — bumps it by one, so the durable layer's WAL record count
+    /// always equals the epoch delta. A failed (rolled-back) update does not
+    /// advance it.
+    epoch: u64,
 }
 
 impl Materialized {
@@ -202,6 +208,95 @@ impl Materialized {
     /// [`EvalError::NotStratified`] for [`Engine::Stratified`] on
     /// non-stratifiable programs.
     pub fn new(program: &Program, db: &Database, opts: &MaterializeOpts) -> Result<Materialized> {
+        let mut m = Self::build(program, db, opts)?;
+        match m.strategy {
+            RepairStrategy::DeleteRederive => {
+                let governor = Governor::new(&m.opts);
+                for rules in &m.rules_by_stratum {
+                    if !rules.is_empty() {
+                        m.driver.extend(
+                            &m.cp,
+                            &m.ctx,
+                            &mut m.s,
+                            Some(rules),
+                            None,
+                            None,
+                            &governor,
+                        )?;
+                    }
+                }
+            }
+            RepairStrategy::Restart => m.reevaluate()?,
+        }
+        #[cfg(debug_assertions)]
+        m.debug_check();
+        Ok(m)
+    }
+
+    /// Rebuilds a warm handle around a previously committed model instead of
+    /// evaluating — the recovery path of `DurableMaterialized`.
+    ///
+    /// The caller asserts that `s`/`undefined` are exactly what the chosen
+    /// engine produces over `db`; debug builds re-verify that with a
+    /// from-scratch evaluation, and the crash-recovery tests assert it (down
+    /// to dense tuple order) in release mode. Installing the state directly
+    /// is sound because the handle's incremental machinery carries no
+    /// cross-update deltas: `DeltaDriver::extend` always opens with a full
+    /// application and sets its per-call delta marks itself, so a fresh
+    /// driver over an installed interpretation repairs exactly like the
+    /// original handle would have.
+    ///
+    /// # Errors
+    /// The same construction errors as [`Materialized::new`], plus a
+    /// [`StoreError::Mismatch`](inflog_store::StoreError::Mismatch)-carrying
+    /// [`EvalError::Store`] when the supplied state does not fit the
+    /// program's IDB shape.
+    pub fn with_state(
+        program: &Program,
+        db: &Database,
+        opts: &MaterializeOpts,
+        s: Interp,
+        undefined: Interp,
+    ) -> Result<Materialized> {
+        let mut m = Self::build(program, db, opts)?;
+        for (what, interp) in [("model", &s), ("undefined set", &undefined)] {
+            if interp.len() != m.cp.num_idb() {
+                return Err(EvalError::Store {
+                    source: inflog_store::StoreError::Mismatch {
+                        detail: format!(
+                            "recovered {what} has {} relations, program has {} IDB predicates",
+                            interp.len(),
+                            m.cp.num_idb()
+                        ),
+                    },
+                });
+            }
+            for (i, arity) in m.cp.idb_arities.iter().enumerate() {
+                if interp.get(i).arity() != *arity {
+                    return Err(EvalError::Store {
+                        source: inflog_store::StoreError::Mismatch {
+                            detail: format!(
+                                "recovered {what} relation {} ({}) has arity {}, expected {arity}",
+                                i,
+                                m.cp.idb_names[i],
+                                interp.get(i).arity()
+                            ),
+                        },
+                    });
+                }
+            }
+        }
+        m.s = s;
+        m.undefined = undefined;
+        #[cfg(debug_assertions)]
+        m.debug_check();
+        Ok(m)
+    }
+
+    /// Everything [`Materialized::new`] does except the initial evaluation:
+    /// compile, stratify, pick the repair strategy, build the warm context
+    /// and driver, leave the model empty.
+    fn build(program: &Program, db: &Database, opts: &MaterializeOpts) -> Result<Materialized> {
         let cp = CompiledProgram::compile(program, db)?;
         let strat = match opts.engine {
             Engine::Seminaive => {
@@ -233,7 +328,7 @@ impl Materialized {
         let driver = DeltaDriver::with_options(&cp, opts.eval.clone());
         let s = cp.empty_interp();
         let undefined = cp.empty_interp();
-        let mut m = Materialized {
+        let m = Materialized {
             program: program.clone(),
             db: db.clone(),
             cp,
@@ -247,28 +342,8 @@ impl Materialized {
             opts: opts.eval.clone(),
             s,
             undefined,
+            epoch: 0,
         };
-        match m.strategy {
-            RepairStrategy::DeleteRederive => {
-                let governor = Governor::new(&m.opts);
-                for rules in &m.rules_by_stratum {
-                    if !rules.is_empty() {
-                        m.driver.extend(
-                            &m.cp,
-                            &m.ctx,
-                            &mut m.s,
-                            Some(rules),
-                            None,
-                            None,
-                            &governor,
-                        )?;
-                    }
-                }
-            }
-            RepairStrategy::Restart => m.reevaluate()?,
-        }
-        #[cfg(debug_assertions)]
-        m.debug_check();
         Ok(m)
     }
 
@@ -357,6 +432,12 @@ impl Materialized {
         self.strat.as_ref()
     }
 
+    /// Number of committed updates since construction (see the `epoch` field
+    /// docs: no-op batches count, failed updates do not).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The database as of the last update.
     pub fn database(&self) -> &Database {
         &self.db
@@ -425,6 +506,10 @@ impl Materialized {
         let staged = self.stage(facts, inserting)?;
         let n = staged.total_tuples();
         if n == 0 {
+            // No-op batches still commit an epoch: the durable layer logs a
+            // WAL record before knowing the batch changes nothing, and the
+            // record count must equal the epoch delta for replay to line up.
+            self.epoch += 1;
             return Ok(0);
         }
         let saved_driver = self.driver.save_state();
@@ -451,6 +536,7 @@ impl Materialized {
             Ok(Ok(())) => {
                 #[cfg(debug_assertions)]
                 self.debug_check();
+                self.epoch += 1;
                 Ok(n)
             }
             Ok(Err(e)) => {

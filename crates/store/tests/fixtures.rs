@@ -1,0 +1,114 @@
+//! Committed on-disk fixtures: a healthy store directory and a byte-flipped
+//! copy of it, checked into `tests/fixtures/`. They pin the binary format
+//! (a change that can no longer read them is a breaking format change) and
+//! give CI a stable target for the `store_fsck` binary: the corrupt fixture
+//! must be reported with its exact first corrupt offset.
+//!
+//! Regenerate after a deliberate format-version bump with
+//! `INFLOG_REGEN_FIXTURES=1 cargo test -p inflog-store --test fixtures`.
+//! Everything the store serializes is deterministic (names, arities, dense
+//! tuple order — never hashes or ids), so regeneration is reproducible.
+
+use inflog_core::{Database, Relation, Tuple};
+use inflog_store::wal::WAL_FILE;
+use inflog_store::{fsck, SnapshotState, Store, StoreError, StoreOptions, WalOp, WalRecord};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// WAL layout: 8-byte magic + 4-byte format version, then frames. The flip
+/// lands a few bytes into the first record's payload, so fsck must report
+/// the first frame — at the end of the 12-byte header.
+const WAL_HEADER: u64 = 12;
+const FLIP_AT: u64 = WAL_HEADER + 8 + 4;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_state() -> SnapshotState {
+    let mut db = Database::new();
+    for name in ["a", "b", "c", "d"] {
+        db.universe_mut().intern(name);
+    }
+    db.insert_named_fact("E", &["a", "b"]).unwrap();
+    db.insert_named_fact("E", &["b", "c"]).unwrap();
+    db.insert_named_fact("E", &["c", "d"]).unwrap();
+    let mut idb = Relation::new(2);
+    idb.insert(Tuple::from_ids(&[0, 1]));
+    idb.insert(Tuple::from_ids(&[0, 2]));
+    idb.insert(Tuple::from_ids(&[0, 3]));
+    SnapshotState {
+        epoch: 0,
+        db,
+        idb: vec![idb],
+        undefined: vec![Relation::new(2)],
+    }
+}
+
+fn regenerate(root: &Path) {
+    let valid = root.join("valid");
+    let _ = fs::remove_dir_all(&valid);
+    let mut store = Store::create(&valid, &fixture_state(), &StoreOptions::default()).unwrap();
+    store
+        .append(&WalRecord {
+            epoch: 1,
+            op: WalOp::Insert,
+            facts: vec![("E".to_string(), Tuple::from_ids(&[0, 2]))],
+        })
+        .unwrap();
+    store
+        .append(&WalRecord {
+            epoch: 2,
+            op: WalOp::Retract,
+            facts: vec![("E".to_string(), Tuple::from_ids(&[1, 2]))],
+        })
+        .unwrap();
+    drop(store);
+
+    let corrupt = root.join("corrupt");
+    let _ = fs::remove_dir_all(&corrupt);
+    fs::create_dir_all(&corrupt).unwrap();
+    for entry in fs::read_dir(&valid).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), corrupt.join(entry.file_name())).unwrap();
+    }
+    let wal = corrupt.join(WAL_FILE);
+    let mut bytes = fs::read(&wal).unwrap();
+    bytes[FLIP_AT as usize] ^= 0x04;
+    fs::write(&wal, bytes).unwrap();
+}
+
+#[test]
+fn committed_fixtures_validate() {
+    let root = fixture_root();
+    if std::env::var("INFLOG_REGEN_FIXTURES").is_ok() {
+        regenerate(&root);
+    }
+
+    // The healthy fixture loads end to end: fsck clean, snapshot + both WAL
+    // records readable, content as written.
+    let valid = root.join("valid");
+    let report = fsck(&valid).unwrap();
+    assert!(report.all_clean(), "valid fixture not clean: {report:?}");
+    let (_store, state, records) = Store::open(&valid, &StoreOptions::default()).unwrap();
+    assert_eq!(state, fixture_state(), "snapshot content drifted");
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].epoch, 1);
+    assert_eq!(records[0].op, WalOp::Insert);
+    assert_eq!(records[1].epoch, 2);
+    assert_eq!(records[1].op, WalOp::Retract);
+
+    // The corrupted copy is refused — by recovery and by fsck — with the
+    // first frame's exact offset.
+    let corrupt = root.join("corrupt");
+    let err = Store::open(&corrupt, &StoreOptions::default()).unwrap_err();
+    assert!(
+        matches!(&err, StoreError::CorruptFrame { offset, .. } if *offset == WAL_HEADER),
+        "expected CorruptFrame at {WAL_HEADER}, got {err:?}"
+    );
+    let report = fsck(&corrupt).unwrap();
+    match report.first_error() {
+        Some(StoreError::CorruptFrame { offset, .. }) => assert_eq!(*offset, WAL_HEADER),
+        other => panic!("fsck on corrupt fixture saw {other:?}"),
+    }
+}
