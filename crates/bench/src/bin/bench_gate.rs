@@ -100,6 +100,14 @@ fn main() -> ExitCode {
     let fresh = parse_report(&read(&fresh_path));
     assert!(!fresh.is_empty(), "no suites found in {fresh_path}");
 
+    // Thread honesty: a baseline recorded on a bigger machine has entries at
+    // thread counts this host cannot genuinely run (threads > CPUs would
+    // just timeslice). Comparing those would report a phantom regression, so
+    // they are warned about and skipped — including in the thread-curve
+    // completeness check below.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    let honest = |threads: u64| threads <= cpus;
+
     println!(
         "{:<26} {:>3} {:>14} {:>14} {:>7}  verdict",
         "suite", "thr", "baseline t/s", "fresh t/s", "ratio"
@@ -108,6 +116,13 @@ fn main() -> ExitCode {
     let mut compared = 0usize;
     let mut compared_names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
     for ((name, threads), (base_params, base_tps)) in &baseline {
+        if !honest(*threads) {
+            println!(
+                "{name:<26} {threads:>3} {base_tps:>14.0} {:>14} {:>7}  host has {cpus} CPU(s) (skip)",
+                "-", "-"
+            );
+            continue;
+        }
         let Some((fresh_params, fresh_tps)) = fresh.get(&(name.clone(), *threads)) else {
             println!(
                 "{name:<26} {threads:>3} {base_tps:>14.0} {:>14} {:>7}  retired (skip)",
@@ -161,6 +176,7 @@ fn main() -> ExitCode {
     let missing: Vec<u64> = curve(&baseline)
         .difference(&curve(&fresh))
         .copied()
+        .filter(|t| honest(*t))
         .collect();
     if !missing.is_empty() {
         println!(

@@ -29,6 +29,10 @@
 //! plus filter on identical inputs) and the incremental-maintenance suites
 //! (`incr_*` vs their `full_reeval_*` baselines — single-fact updates on a
 //! warm `Materialized` handle vs re-running the fixpoint from scratch).
+//! The serving-layer suite (`serve_qps`) runs once per report regardless of
+//! `--threads`, at 1, 4, and 8 *reader* threads against one live `Server`;
+//! the reader count is what its `threads` field records, and its
+//! `tuples_per_sec` is queries per second.
 //!
 //! `--filter <substr>` runs only the suites whose name contains the given
 //! substring (e.g. `--filter wellfounded`) — handy when iterating on one
@@ -59,6 +63,7 @@ use inflog::eval::{
 };
 use inflog::fixpoint::GroundProgram;
 use inflog::reductions::programs::{distance_program, pi3_tc};
+use inflog::serve::{ServeOptions, Server};
 use inflog::syntax::{parse_atom, parse_program};
 use inflog_bench::Table;
 use rand::rngs::StdRng;
@@ -505,6 +510,59 @@ fn main() {
                     dm.interp().total_tuples()
                 },
             ));
+            // Serving-layer query throughput: R concurrent reader threads
+            // issuing point selects against a live `Server` (epoch pin +
+            // admission + indexed select per request). The numerator is
+            // *queries*, so `tuples_per_sec` reads as queries/sec. Each
+            // reader count is recorded with `threads = R` — the committed
+            // baseline carries the 1/4/8-reader curve, and `bench_gate`
+            // skips counts the host cannot honestly run.
+            let serve_dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target/tmp/bench_serve_qps");
+            let _ = std::fs::remove_dir_all(&serve_dir);
+            let sopts = ServeOptions {
+                engine: Engine::Seminaive,
+                eval: opts.clone(),
+                ..ServeOptions::quiet()
+            };
+            let server = std::sync::Arc::new(
+                Server::create(&tc_left, &q_reach_db, &serve_dir, &sopts)
+                    .expect("store dir writable"),
+            );
+            let goals: std::sync::Arc<Vec<_>> = std::sync::Arc::new(
+                (0..q_reach_n)
+                    .map(|i| parse_atom(&format!("S('v{i}', y)")).expect("valid goal"))
+                    .collect(),
+            );
+            let serve_q: usize = if quick { 256 } else { 1024 };
+            for readers in [1usize, 4, 8] {
+                results.extend(bench(
+                    filter.as_deref(),
+                    "serve_qps",
+                    format!("n={q_reach_n},p=0.03,seed=19,q={serve_q}"),
+                    readers,
+                    iters,
+                    || {
+                        let handles: Vec<_> = (0..readers)
+                            .map(|r| {
+                                let server = std::sync::Arc::clone(&server);
+                                let goals = std::sync::Arc::clone(&goals);
+                                std::thread::spawn(move || {
+                                    for i in 0..serve_q {
+                                        // Deterministic per-thread goal walk.
+                                        let g = &goals[(r * 131 + i * 7) % goals.len()];
+                                        let reply =
+                                            server.query(g, None).expect("no deadline, no shed");
+                                        std::hint::black_box(reply.answer.tuples.len());
+                                    }
+                                    serve_q
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("reader")).sum()
+                    },
+                ));
+            }
         }
         results.extend(bench(
             filter.as_deref(),

@@ -224,6 +224,17 @@ impl DurableMaterialized {
         self.base_epoch + self.m.epoch()
     }
 
+    /// [`Materialized::publish`] stamped with the *durable* epoch, so a
+    /// served epoch number means the same thing before and after a crash
+    /// recovery (WAL record count ≡ epoch delta).
+    ///
+    /// # Errors
+    /// Same (practically unreachable) conditions as
+    /// [`Materialized::publish`].
+    pub fn publish(&self) -> Result<std::sync::Arc<crate::epoch::Epoch>> {
+        self.m.publish(self.epoch())
+    }
+
     /// Replaces the evaluation options used by subsequent repairs (see
     /// [`Materialized::set_eval_options`]).
     pub fn set_eval_options(&mut self, opts: EvalOptions) {

@@ -1,0 +1,517 @@
+//! Immutable epoch snapshots of a materialized model, for concurrent
+//! serving.
+//!
+//! # The epoch-publication invariant
+//!
+//! An [`Epoch`] is a *complete, committed, immutable* copy of one
+//! materialized fixpoint: the database it was evaluated over, the true and
+//! undefined IDB relations the engine produced for exactly that database,
+//! and the (refcount-shared) program and compiled plans. An epoch is
+//! constructed only from a committed [`Materialized`] state — never from a
+//! mid-update or rolled-back one — and nothing can mutate it afterwards,
+//! so every answer read from one epoch is internally consistent with that
+//! single epoch's EDB. Because every maintained semantics is a
+//! deterministic function of the EDB (the paper's central observation), a
+//! reader can mechanically verify this: a from-scratch evaluation over
+//! [`Epoch::database`] must reproduce [`Epoch::interp`] /
+//! [`Epoch::undefined`] bit for bit ([`Epoch::matches_recompute`] does
+//! exactly that, and the serve-layer chaos harness runs it under churn).
+//!
+//! [`EpochCell`] is the publication point: the single writer commits an
+//! update through the transactional (and optionally durable) path, then
+//! swaps a freshly captured `Arc<Epoch>` into the cell. Readers
+//! [`pin`](EpochCell::pin) the current epoch — an `Arc` clone — and keep
+//! answering from it for as long as they like; a publish never blocks or
+//! disturbs pinned readers, and an old epoch is freed exactly when its
+//! last pinning reader drops it. A failed update publishes nothing: the
+//! cell still holds the last committed epoch.
+
+use crate::error::{BudgetKind, EvalError};
+use crate::interp::Interp;
+use crate::materialize::Engine;
+use crate::operator::EvalContext;
+use crate::options::EvalOptions;
+use crate::query::{self, QueryAnswer, QueryOpts};
+use crate::resolve::CompiledProgram;
+use crate::stratified::Stratification;
+use crate::Result;
+use inflog_core::{Const, Database, Tuple};
+use inflog_syntax::{Atom, Program, Term};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Three-valued membership of a fact in an epoch's model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// In the model (IDB) or the database (EDB).
+    True,
+    /// Not in the model and not undefined.
+    False,
+    /// Undefined under the well-founded semantics.
+    Undefined,
+}
+
+/// How often scan loops poll a deadline (every `SCAN_POLL_MASK + 1`
+/// tuples) — same cadence as the evaluation executors.
+const SCAN_POLL_MASK: usize = (1 << 12) - 1;
+
+/// One committed, immutable snapshot of a materialized model. See the
+/// module docs for the publication invariant.
+#[derive(Debug)]
+pub struct Epoch {
+    number: u64,
+    program: Arc<Program>,
+    cp: Arc<CompiledProgram>,
+    engine: Engine,
+    strat: Option<Stratification>,
+    db: Database,
+    s: Interp,
+    undefined: Interp,
+    /// EDB relations + persistent index set for this snapshot: readers of
+    /// the same epoch share one warming index cache (the inner `RwLock`
+    /// makes that safe), and the verification recompute runs over it.
+    ctx: EvalContext,
+}
+
+impl Epoch {
+    /// Crate-internal constructor; [`Materialized::publish`] is the only
+    /// producer, which is what makes the immutability claim above true.
+    ///
+    /// [`Materialized::publish`]: crate::Materialized::publish
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        number: u64,
+        program: Arc<Program>,
+        cp: Arc<CompiledProgram>,
+        engine: Engine,
+        strat: Option<Stratification>,
+        db: Database,
+        s: Interp,
+        undefined: Interp,
+        ctx: EvalContext,
+    ) -> Epoch {
+        Epoch {
+            number,
+            program,
+            cp,
+            engine,
+            strat,
+            db,
+            s,
+            undefined,
+            ctx,
+        }
+    }
+
+    /// The epoch number this snapshot was stamped with at publication.
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The program the model is a fixpoint of (refcount-shared with the
+    /// writer handle and every sibling epoch).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The compiled program (predicate-id mappings, arities).
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.cp
+    }
+
+    /// The engine that produced the model.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The database this epoch's model is the fixpoint over.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// True facts of the model (IDB relations by IDB id).
+    pub fn interp(&self) -> &Interp {
+        &self.s
+    }
+
+    /// Undefined facts of the model (empty except for well-founded on
+    /// non-stratifiable programs).
+    pub fn undefined(&self) -> &Interp {
+        &self.undefined
+    }
+
+    /// Three-valued membership of `(pred, t)` in this epoch.
+    ///
+    /// # Errors
+    /// [`EvalError::UnknownRelation`] / [`EvalError::ArityMismatch`] for a
+    /// predicate the program does not know or a wrong-width tuple.
+    pub fn contains(&self, pred: &str, t: &Tuple) -> Result<Truth> {
+        let (rel, undef) = self.relations_of(pred)?;
+        if t.arity() != rel.arity() {
+            return Err(EvalError::ArityMismatch {
+                predicate: pred.to_owned(),
+                expected: rel.arity(),
+                found: t.arity(),
+            });
+        }
+        if rel.contains(t) {
+            Ok(Truth::True)
+        } else if undef.is_some_and(|u| u.contains(t)) {
+            Ok(Truth::Undefined)
+        } else {
+            Ok(Truth::False)
+        }
+    }
+
+    /// Answers a goal by scanning this epoch's *materialized* relations —
+    /// the cheap serving read path: no evaluation, just a filter over the
+    /// committed fixpoint. Constants in the goal must exist in the epoch's
+    /// universe; repeated variables constrain positions to be equal.
+    /// Results are sorted lexicographically, so for IDB goals the answer
+    /// equals what a from-scratch [`Epoch::query`] over this epoch's EDB
+    /// returns (the stress harness asserts exactly that).
+    ///
+    /// `deadline` bounds the scan: the loop polls it every few thousand
+    /// tuples and gives up with [`EvalError::BudgetExceeded`]
+    /// ([`BudgetKind::Deadline`]).
+    ///
+    /// # Errors
+    /// [`EvalError::UnknownRelation`], [`EvalError::ArityMismatch`],
+    /// [`EvalError::UnknownConstant`], or the deadline trip.
+    pub fn select(&self, goal: &Atom, deadline: Option<Instant>) -> Result<QueryAnswer> {
+        let (rel, undef) = self.relations_of(&goal.predicate)?;
+        if goal.terms.len() != rel.arity() {
+            return Err(EvalError::ArityMismatch {
+                predicate: goal.predicate.clone(),
+                expected: rel.arity(),
+                found: goal.terms.len(),
+            });
+        }
+        let pattern = self.pattern_of(goal)?;
+        // An already-expired deadline trips before any work, so callers get
+        // a deterministic budget error regardless of relation size.
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Err(EvalError::BudgetExceeded {
+                    kind: BudgetKind::Deadline,
+                    limit: 0,
+                });
+            }
+        }
+        let mut scanned = 0usize;
+        let mut scan = |rel: &inflog_core::Relation| -> Result<Vec<Tuple>> {
+            let mut out = Vec::new();
+            for t in rel.iter() {
+                scanned += 1;
+                if scanned & SCAN_POLL_MASK == 0 {
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            return Err(EvalError::BudgetExceeded {
+                                kind: BudgetKind::Deadline,
+                                limit: 0,
+                            });
+                        }
+                    }
+                }
+                if pattern_matches(&pattern, t) {
+                    out.push(t.clone());
+                }
+            }
+            out.sort_unstable();
+            Ok(out)
+        };
+        let tuples = scan(rel)?;
+        let undefined = match undef {
+            Some(u) => scan(u)?,
+            None => Vec::new(),
+        };
+        Ok(QueryAnswer {
+            tuples,
+            undefined,
+            strategy: query::QueryStrategy::EdbScan,
+        })
+    }
+
+    /// Answers a goal by *evaluating from scratch* over this epoch's EDB —
+    /// the governed goal-directed path ([`query::query`]), carrying the
+    /// caller's budget/deadline/cancellation. Deterministic per epoch, so
+    /// two readers pinning the same epoch always get the same answer.
+    ///
+    /// # Errors
+    /// Same conditions as [`query::query`].
+    pub fn query(&self, goal: &Atom, opts: &QueryOpts) -> Result<QueryAnswer> {
+        query::query(&self.program, goal, &self.db, opts)
+    }
+
+    /// The mechanical consistency oracle: re-evaluates the epoch's engine
+    /// from scratch over the epoch's own EDB and reports whether the
+    /// result equals the published model (set equality per relation). A
+    /// correctly published epoch always passes; a torn publish — state
+    /// from one commit paired with a database from another — cannot.
+    ///
+    /// # Errors
+    /// Evaluation errors of the governed engines under `opts` (budget,
+    /// cancellation, armed failpoints).
+    pub fn matches_recompute(&self, opts: &EvalOptions) -> Result<bool> {
+        let empty = self.cp.empty_interp();
+        let (s, undefined) = match self.engine {
+            Engine::Seminaive => (
+                crate::seminaive::least_fixpoint_seminaive_compiled_with(
+                    &self.cp, &self.ctx, opts,
+                )?
+                .0,
+                empty,
+            ),
+            Engine::Inflationary => (
+                crate::inflationary::inflationary_compiled_with(&self.cp, &self.ctx, opts)?.0,
+                empty,
+            ),
+            Engine::Stratified => {
+                let strat = self
+                    .strat
+                    .as_ref()
+                    .expect("stratified engine publishes its stratification");
+                (
+                    crate::stratified::stratified_eval_compiled_with(
+                        &self.cp,
+                        &self.ctx,
+                        strat,
+                        &self.program,
+                        opts,
+                    )?
+                    .0,
+                    empty,
+                )
+            }
+            Engine::WellFounded => {
+                let model =
+                    crate::wellfounded::well_founded_compiled_with(&self.cp, &self.ctx, opts)?;
+                (model.true_facts, model.undefined)
+            }
+        };
+        Ok(self.s == s && self.undefined == undefined)
+    }
+
+    /// The true and (for IDB predicates) undefined relations of `pred`.
+    fn relations_of(
+        &self,
+        pred: &str,
+    ) -> Result<(&inflog_core::Relation, Option<&inflog_core::Relation>)> {
+        if let Some(i) = self.cp.idb_id(pred) {
+            return Ok((self.s.get(i), Some(self.undefined.get(i))));
+        }
+        if let Some(i) = self.cp.edb_id(pred) {
+            return Ok((&self.ctx.edb[i], None));
+        }
+        Err(EvalError::UnknownRelation {
+            name: pred.to_owned(),
+        })
+    }
+
+    /// Resolves a goal's terms: constants to universe ids, variables to
+    /// equality classes (first occurrence binds, repeats constrain).
+    fn pattern_of(&self, goal: &Atom) -> Result<Vec<Slot>> {
+        let mut vars: Vec<&str> = Vec::new();
+        goal.terms
+            .iter()
+            .map(|term| match term {
+                Term::Const(name) => self
+                    .db
+                    .universe()
+                    .lookup(name)
+                    .map(Slot::Bound)
+                    .ok_or_else(|| EvalError::UnknownConstant { name: name.clone() }),
+                Term::Var(v) => Ok(match vars.iter().position(|seen| seen == v) {
+                    Some(first) => Slot::SameAs(first),
+                    None => {
+                        vars.push(v);
+                        Slot::Free
+                    }
+                }),
+            })
+            .collect()
+    }
+}
+
+/// One resolved goal position for the scan filter.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Must equal this constant.
+    Bound(Const),
+    /// First occurrence of a variable: matches anything.
+    Free,
+    /// Repeated variable: must equal the value at this earlier position.
+    SameAs(usize),
+}
+
+fn pattern_matches(pattern: &[Slot], t: &Tuple) -> bool {
+    let items = t.items();
+    pattern.iter().enumerate().all(|(i, slot)| match slot {
+        Slot::Bound(c) => items[i] == *c,
+        Slot::Free => true,
+        Slot::SameAs(j) => items[i] == items[*j],
+    })
+}
+
+/// The single-writer / many-reader publication point for epochs. See the
+/// module docs: [`publish`](EpochCell::publish) atomically replaces the
+/// current epoch, [`pin`](EpochCell::pin) hands a reader a refcounted
+/// handle on the epoch current at that instant. The lock is held only for
+/// the `Arc` clone or swap — never across evaluation — so readers and the
+/// writer cannot block each other for more than a pointer exchange.
+#[derive(Debug)]
+pub struct EpochCell {
+    current: Mutex<Arc<Epoch>>,
+}
+
+impl EpochCell {
+    /// A cell serving `first` (usually epoch 0, fresh from
+    /// [`Materialized::publish`](crate::Materialized::publish)).
+    pub fn new(first: Arc<Epoch>) -> EpochCell {
+        EpochCell {
+            current: Mutex::new(first),
+        }
+    }
+
+    /// Pins the currently published epoch: the returned handle keeps
+    /// answering from that snapshot no matter how many later epochs are
+    /// published, and frees it on drop (when it is the last pin).
+    pub fn pin(&self) -> Arc<Epoch> {
+        Arc::clone(&self.current.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Publishes `next` as the current epoch and returns the previous one.
+    /// Epoch numbers must advance — publishing is the commit ack of a
+    /// serialized writer, and a stale swap would un-commit an acked write.
+    ///
+    /// # Panics
+    /// If `next.number()` does not exceed the published number.
+    pub fn publish(&self, next: Arc<Epoch>) -> Arc<Epoch> {
+        let mut cur = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(
+            next.number() > cur.number(),
+            "epoch publication must advance: {} -> {}",
+            cur.number(),
+            next.number()
+        );
+        std::mem::replace(&mut *cur, next)
+    }
+
+    /// The currently published epoch number.
+    pub fn number(&self) -> u64 {
+        self.current
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .number()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materialize::{MaterializeOpts, Materialized};
+    use inflog_core::graphs::DiGraph;
+    use inflog_syntax::parse_atom;
+
+    const TC: &str = "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).";
+
+    fn handle(engine: Engine) -> Materialized {
+        let db = DiGraph::path(4).to_database("E");
+        let opts = MaterializeOpts {
+            engine,
+            ..MaterializeOpts::default()
+        };
+        Materialized::new(&inflog_syntax::parse_program(TC).unwrap(), &db, &opts).unwrap()
+    }
+
+    #[test]
+    fn publish_pin_and_free() {
+        let mut m = handle(Engine::Stratified);
+        let cell = EpochCell::new(m.publish(m.epoch()).unwrap());
+        assert_eq!(cell.number(), 0);
+        let pinned = cell.pin();
+
+        m.insert_named("E", &["v3", "v0"]).unwrap();
+        let old = cell.publish(m.publish(m.epoch()).unwrap());
+        assert_eq!(cell.number(), 1);
+        assert!(Arc::ptr_eq(&old, &pinned));
+        drop(old);
+
+        // The pinned reader still sees epoch 0: the pre-insert closure.
+        let goal = parse_atom("S(x, y)").unwrap();
+        let at0 = pinned.select(&goal, None).unwrap();
+        assert_eq!(at0.tuples.len(), 3 + 2 + 1);
+        let at1 = cell.pin().select(&goal, None).unwrap();
+        assert_eq!(at1.tuples.len(), 16, "cycle closes the full square");
+
+        // Old epochs are freed when the last pin drops: the cell holds one
+        // reference to epoch 1; `pinned` is the only one left on epoch 0.
+        assert_eq!(Arc::strong_count(&pinned), 1);
+    }
+
+    #[test]
+    fn select_agrees_with_from_scratch_query() {
+        for engine in [Engine::Stratified, Engine::WellFounded] {
+            let m = handle(engine);
+            let ep = m.publish(m.epoch()).unwrap();
+            for goal in [
+                "S(x, y)",
+                "S('v0', y)",
+                "S(x, x)",
+                "S('v0', 'v3')",
+                "E(x, y)",
+            ] {
+                let goal = parse_atom(goal).unwrap();
+                let scanned = ep.select(&goal, None).unwrap();
+                let evaluated = ep.query(&goal, &QueryOpts::default()).unwrap();
+                assert_eq!(scanned.tuples, evaluated.tuples, "goal {goal:?}");
+                assert_eq!(scanned.undefined, evaluated.undefined);
+            }
+        }
+    }
+
+    #[test]
+    fn contains_is_three_valued() {
+        let src = "Win(x) :- Move(x, y), !Win(y).";
+        // a <-> b is a draw loop (undefined); d is stuck (lost), so c wins.
+        let mut db = Database::new();
+        db.insert_named_fact("Move", &["a", "b"]).unwrap();
+        db.insert_named_fact("Move", &["b", "a"]).unwrap();
+        db.insert_named_fact("Move", &["c", "d"]).unwrap();
+        let opts = MaterializeOpts {
+            engine: Engine::WellFounded,
+            ..MaterializeOpts::default()
+        };
+        let m = Materialized::new(&inflog_syntax::parse_program(src).unwrap(), &db, &opts).unwrap();
+        let ep = m.publish(0).unwrap();
+        let t = |name: &str| Tuple::new(vec![db.universe().lookup(name).unwrap()]);
+        assert_eq!(ep.contains("Win", &t("c")).unwrap(), Truth::True);
+        assert_eq!(ep.contains("Win", &t("d")).unwrap(), Truth::False);
+        assert_eq!(ep.contains("Win", &t("a")).unwrap(), Truth::Undefined);
+        assert!(ep.contains("NoSuch", &t("a")).is_err());
+        assert!(ep.contains("Win", &Tuple::from_ids(&[0, 1])).is_err());
+    }
+
+    #[test]
+    fn recompute_oracle_accepts_published_epochs() {
+        for engine in [
+            Engine::Seminaive,
+            Engine::Inflationary,
+            Engine::Stratified,
+            Engine::WellFounded,
+        ] {
+            let mut m = handle(engine);
+            m.insert_named("E", &["v0", "v2"]).unwrap();
+            let ep = m.publish(m.epoch()).unwrap();
+            assert!(ep.matches_recompute(&EvalOptions::default()).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch publication must advance")]
+    fn stale_publish_is_refused() {
+        let m = handle(Engine::Stratified);
+        let cell = EpochCell::new(m.publish(5).unwrap());
+        let _ = cell.publish(m.publish(5).unwrap());
+    }
+}

@@ -151,6 +151,28 @@ pub const FAILPOINT_SITES: &[&str] = &[
     SITE_WORKER_PANIC,
 ];
 
+/// Serving-layer failpoint sites (`inflog-serve`). The registry constant
+/// lives here — not in the serve crate — because the shared
+/// `INFLOG_FAILPOINT` diagnostic below must enumerate every layer's sites,
+/// and `inflog-serve` depends on this crate (the reverse import would be a
+/// cycle). The serve crate re-exports these names and owns their semantics:
+///
+/// - `serve-epoch-publish`: the writer dies after the WAL record is durable
+///   and applied but before the new epoch is swapped in — readers keep the
+///   old epoch; recovery may legitimately land one epoch past the last ack.
+/// - `serve-queue-full`: the write admission path behaves as if the bounded
+///   writer queue were full — a typed `Overloaded` shed, never a hang.
+/// - `serve-reply-drop`: the connection is dropped mid-reply, after the
+///   epoch header but before the tuples — the server must keep serving.
+/// - `serve-writer-crash`: the writer dies *before* logging the batch —
+///   recovery must restore exactly the last acked epoch.
+pub const SERVE_FAILPOINT_SITES: &[&str] = &[
+    "serve-epoch-publish",
+    "serve-queue-full",
+    "serve-reply-drop",
+    "serve-writer-crash",
+];
+
 #[derive(Debug)]
 struct ArmedFailpoint {
     site: String,
@@ -213,15 +235,19 @@ impl Failpoints {
             },
         };
         if !FAILPOINT_SITES.contains(&site) {
-            // Store-layer sites are valid arming targets for the same
-            // variable — the durable store parses them itself
-            // (`inflog_store::Failpoints::from_env`); the evaluation layer
-            // just stays inert, without a spurious warning.
-            if !inflog_store::STORE_FAILPOINT_SITES.contains(&site) {
+            // Store- and serve-layer sites are valid arming targets for the
+            // same variable — the durable store parses them itself
+            // (`inflog_store::Failpoints::from_env`) and the serving layer
+            // parses [`SERVE_FAILPOINT_SITES`]; the evaluation layer just
+            // stays inert, without a spurious warning.
+            if !inflog_store::STORE_FAILPOINT_SITES.contains(&site)
+                && !SERVE_FAILPOINT_SITES.contains(&site)
+            {
                 eprintln!(
                     "warning: ignoring INFLOG_FAILPOINT={raw:?}: unknown site \
                      (registered: {FAILPOINT_SITES:?} for evaluation, {:?} \
-                     for the durable store)",
+                     for the durable store, {SERVE_FAILPOINT_SITES:?} for the \
+                     serving layer)",
                     inflog_store::STORE_FAILPOINT_SITES
                 );
             }
@@ -561,6 +587,10 @@ mod tests {
         // Malformed and unknown values arm nothing (and warn on stderr).
         assert!(!Failpoints::from_env_value("round:x").is_armed());
         assert!(!Failpoints::from_env_value("no-such-site").is_armed());
+        // Store- and serve-layer sites are foreign here: inert, no warning.
+        assert!(!Failpoints::from_env_value("store-wal-bit-flip").is_armed());
+        assert!(!Failpoints::from_env_value("serve-epoch-publish").is_armed());
+        assert!(!Failpoints::from_env_value("serve-writer-crash:3").is_armed());
     }
 
     #[test]

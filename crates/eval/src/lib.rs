@@ -45,6 +45,10 @@
 //!   acknowledged, snapshots compact the log, and recovery replays the WAL
 //!   into a warm handle that is bit-identical to a from-scratch recompute
 //!   (the determinism of the paper's semantics is the recovery oracle);
+//! * [`epoch`] — immutable epoch snapshots of a materialized model and the
+//!   single-writer/many-reader [`EpochCell`] publication point that
+//!   `inflog-serve` builds on: readers pin the epoch they started on while
+//!   the writer commits and publishes the next one;
 //! * [`query`] — goal-directed evaluation: the demand rewrites of
 //!   `inflog-rewrite` (adorned magic sets for stratified programs, the
 //!   demand-cone restriction for well-founded ones) plus an explicit
@@ -57,6 +61,7 @@
 
 pub mod driver;
 pub mod durable;
+pub mod epoch;
 pub mod error;
 pub mod exec;
 pub mod govern;
@@ -78,9 +83,12 @@ pub mod wellfounded;
 
 pub use driver::DeltaDriver;
 pub use durable::{Durability, DurableMaterialized, DurableOpts};
+pub use epoch::{Epoch, EpochCell, Truth};
 pub use error::{BudgetKind, EvalError};
 pub use exec::{ColAction, Op, RuleProgram, ValSrc};
-pub use govern::{Budget, CancelToken, Failpoints, Governor, FAILPOINT_SITES};
+pub use govern::{
+    Budget, CancelToken, Failpoints, Governor, FAILPOINT_SITES, SERVE_FAILPOINT_SITES,
+};
 pub use index::IndexSet;
 pub use inflationary::{inflationary, inflationary_naive, inflationary_with};
 pub use interp::Interp;

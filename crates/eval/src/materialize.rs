@@ -80,6 +80,7 @@
 //! asserts dense-order bit-identity at every registered site.
 
 use crate::driver::DeltaDriver;
+use crate::epoch::Epoch;
 use crate::error::EvalError;
 use crate::govern::{Governor, SITE_OVERDELETE_CLOSE, SITE_REDERIVE_SWEEP};
 use crate::inflationary::inflationary_compiled_with;
@@ -94,6 +95,7 @@ use crate::wellfounded::well_founded_compiled_with;
 use crate::Result;
 use inflog_core::{Const, Database, Tuple};
 use inflog_syntax::{Atom, Program};
+use std::sync::Arc;
 
 /// Which semantics a [`Materialized`] handle maintains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -171,9 +173,13 @@ enum UndoOp {
 /// debug builds assert exactly that after every update.
 #[derive(Debug)]
 pub struct Materialized {
-    program: Program,
+    /// Shared with every [`Epoch`] this handle publishes: an epoch snapshot
+    /// clones the mutable state (database, model) but only bumps a
+    /// refcount for the program and its compiled plans.
+    program: Arc<Program>,
     db: Database,
-    cp: CompiledProgram,
+    /// Shared with published epochs, like `program`.
+    cp: Arc<CompiledProgram>,
     ctx: EvalContext,
     driver: DeltaDriver,
     engine: Engine,
@@ -329,9 +335,9 @@ impl Materialized {
         let s = cp.empty_interp();
         let undefined = cp.empty_interp();
         let m = Materialized {
-            program: program.clone(),
+            program: Arc::new(program.clone()),
             db: db.clone(),
-            cp,
+            cp: Arc::new(cp),
             ctx,
             driver,
             engine: opts.engine,
@@ -446,6 +452,40 @@ impl Materialized {
     /// The compiled program (predicate-id mappings, arities).
     pub fn compiled(&self) -> &CompiledProgram {
         &self.cp
+    }
+
+    /// The maintained program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Clones the committed model into an immutable, shareable
+    /// [`Epoch`] snapshot stamped `number` (callers pick the numbering —
+    /// the durable layer uses its durable epoch, in-memory servers use
+    /// [`Materialized::epoch`]).
+    ///
+    /// The snapshot deep-copies only the mutable state (database, model,
+    /// undefined set, EDB index context); the program and its compiled
+    /// plans are shared by refcount. Publishing never blocks on or is
+    /// observed by concurrent readers of previously published epochs —
+    /// an [`EpochCell`](crate::epoch::EpochCell) swap makes it visible.
+    ///
+    /// # Errors
+    /// Cannot fail in practice: the context rebuild re-checks arities that
+    /// already compiled against this very database.
+    pub fn publish(&self, number: u64) -> Result<Arc<Epoch>> {
+        let ctx = EvalContext::new(&self.cp, &self.db)?;
+        Ok(Arc::new(Epoch::from_parts(
+            number,
+            Arc::clone(&self.program),
+            Arc::clone(&self.cp),
+            self.engine,
+            self.strat.clone(),
+            self.db.clone(),
+            self.s.clone(),
+            self.undefined.clone(),
+            ctx,
+        )))
     }
 
     /// Replaces the evaluation options used by subsequent repairs — the

@@ -1,0 +1,108 @@
+//! Typed serving-layer errors — every degraded outcome the server can
+//! produce is a value, never a hang and never an escaped panic.
+
+use inflog_eval::{BudgetKind, EvalError};
+use std::fmt;
+
+/// Which bounded resource an [`ServeError::Overloaded`] shed names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Load {
+    /// The in-flight query gauge is at `max_inflight`.
+    Readers,
+    /// The bounded writer queue is full.
+    Writer,
+}
+
+impl fmt::Display for Load {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Load::Readers => write!(f, "readers"),
+            Load::Writer => write!(f, "writer"),
+        }
+    }
+}
+
+/// Errors of the serving layer. `Overloaded` is a *shed*, not a failure:
+/// the request was refused at admission so the server never queues
+/// unboundedly; retrying later is expected to succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control refused the request (bounded in-flight queries or
+    /// bounded writer queue).
+    Overloaded(Load),
+    /// The writer thread is gone (a crash-shaped failpoint or an
+    /// unrecoverable publish failure). Reads keep serving the last
+    /// published epoch; recover writes by reopening the store.
+    WriterDown,
+    /// The server is draining for shutdown; no new requests are admitted.
+    ShuttingDown,
+    /// A reader panicked answering this request. The panic was contained
+    /// to the request (`catch_unwind`); the epoch and the server are
+    /// untouched.
+    ReaderPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A serve-layer failpoint fired (chaos harness only).
+    FaultInjected {
+        /// The site that fired.
+        site: String,
+    },
+    /// An evaluation- or store-layer error (deadline trips surface as
+    /// [`EvalError::BudgetExceeded`] with [`BudgetKind::Deadline`]).
+    Eval(EvalError),
+    /// A malformed protocol line.
+    Protocol {
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// Short machine-readable code used in `ERR <code>: ...` reply lines.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded(_) => "overloaded",
+            ServeError::WriterDown => "writer-down",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::ReaderPanic { .. } => "panic",
+            ServeError::FaultInjected { .. } => "fault",
+            ServeError::Eval(EvalError::BudgetExceeded {
+                kind: BudgetKind::Deadline,
+                ..
+            }) => "deadline",
+            ServeError::Eval(_) => "eval",
+            ServeError::Protocol { .. } => "protocol",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded(load) => write!(f, "overloaded: {load} at capacity"),
+            ServeError::WriterDown => write!(f, "writer is down; reopen the store to recover"),
+            ServeError::ShuttingDown => write!(f, "server is draining"),
+            ServeError::ReaderPanic { message } => {
+                write!(f, "reader panicked (contained): {message}")
+            }
+            ServeError::FaultInjected { site } => write!(f, "failpoint `{site}` fired"),
+            ServeError::Eval(e) => write!(f, "{e}"),
+            ServeError::Protocol { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EvalError> for ServeError {
+    fn from(e: EvalError) -> Self {
+        ServeError::Eval(e)
+    }
+}
+
+impl From<inflog_store::StoreError> for ServeError {
+    fn from(e: inflog_store::StoreError) -> Self {
+        ServeError::Eval(EvalError::from(e))
+    }
+}

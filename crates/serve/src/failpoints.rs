@@ -1,0 +1,160 @@
+//! Chaos-injection sites for the serving layer.
+//!
+//! Mirrors the store layer's `Failpoints` (crates/store/src/failpoints.rs):
+//! all three layers read the same `INFLOG_FAILPOINT=<site>[:<n>]` variable
+//! and each silently ignores the other layers' sites. The *registry*
+//! constant [`SERVE_FAILPOINT_SITES`] lives in `inflog_eval::govern` so the
+//! eval-side unknown-site diagnostic can enumerate every layer without a
+//! dependency cycle; this module owns the sites' semantics:
+//!
+//! - [`SITE_EPOCH_PUBLISH`]: the writer dies *after* the WAL record is
+//!   durable and applied but *before* the new epoch is swapped into the
+//!   [`EpochCell`](inflog_eval::EpochCell) — the client never gets an ack,
+//!   readers keep the old epoch, and recovery may legitimately land one
+//!   epoch past the last acked one.
+//! - [`SITE_QUEUE_FULL`]: write admission behaves as if the bounded writer
+//!   queue were full — the caller must see a typed
+//!   [`Overloaded`](crate::ServeError::Overloaded) shed, never a hang.
+//! - [`SITE_REPLY_DROP`]: the connection drops mid-reply, after the
+//!   `EPOCH` header but before the tuples — the server must survive and
+//!   keep serving other connections.
+//! - [`SITE_WRITER_CRASH`]: the writer dies *before* logging the batch —
+//!   recovery must restore exactly the last acked epoch.
+
+pub use inflog_eval::SERVE_FAILPOINT_SITES;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub const SITE_EPOCH_PUBLISH: &str = "serve-epoch-publish";
+pub const SITE_QUEUE_FULL: &str = "serve-queue-full";
+pub const SITE_REPLY_DROP: &str = "serve-reply-drop";
+pub const SITE_WRITER_CRASH: &str = "serve-writer-crash";
+
+#[derive(Debug)]
+struct Armed {
+    site: String,
+    /// Fires on exactly the `trigger`-th hit of the site (1-based), once.
+    trigger: u64,
+    hits: AtomicU64,
+}
+
+/// A handle that is either inert or armed at one serve site. Clones share
+/// the hit counter, so the same arming observed from several components
+/// (admission path, writer thread, reply path) still fires exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct Failpoints(Option<Arc<Armed>>);
+
+impl Failpoints {
+    /// No failpoint armed; every `fire` returns false.
+    pub fn none() -> Self {
+        Failpoints(None)
+    }
+
+    /// Arms `site` to fire on its `trigger`-th hit (1-based).
+    ///
+    /// Panics if `site` is not a registered serve site — tests should fail
+    /// loudly on typos rather than silently never fire.
+    pub fn armed(site: &str, trigger: u64) -> Self {
+        assert!(
+            SERVE_FAILPOINT_SITES.contains(&site),
+            "unknown serve failpoint site {site:?} (registered: {SERVE_FAILPOINT_SITES:?})"
+        );
+        assert!(trigger >= 1, "failpoint trigger is 1-based");
+        Failpoints(Some(Arc::new(Armed {
+            site: site.to_string(),
+            trigger,
+            hits: AtomicU64::new(0),
+        })))
+    }
+
+    /// Parses `INFLOG_FAILPOINT` from the environment. Sites of the other
+    /// layers are ignored without a warning — the eval-side parser owns
+    /// the unknown-site diagnostic.
+    pub fn from_env() -> Self {
+        match std::env::var("INFLOG_FAILPOINT") {
+            Ok(raw) => Self::from_env_value(&raw),
+            Err(_) => Failpoints::none(),
+        }
+    }
+
+    /// Parses a `<site>[:<n>]` arming string; non-serve sites yield
+    /// `none()`.
+    pub fn from_env_value(raw: &str) -> Self {
+        let (site, trigger) = match raw.trim().split_once(':') {
+            Some((s, n)) => match n.trim().parse::<u64>() {
+                Ok(n) if n >= 1 => (s.trim(), n),
+                _ => return Failpoints::none(),
+            },
+            None => (raw.trim(), 1),
+        };
+        if SERVE_FAILPOINT_SITES.contains(&site) {
+            Failpoints::armed(site, trigger)
+        } else {
+            Failpoints::none()
+        }
+    }
+
+    /// Whether any site is armed.
+    pub fn is_armed(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The armed site name, if any.
+    pub fn site(&self) -> Option<&str> {
+        self.0.as_deref().map(|a| a.site.as_str())
+    }
+
+    /// The armed 1-based trigger, if any — the chaos harness scales its
+    /// pre-crash workload to it.
+    pub fn trigger(&self) -> Option<u64> {
+        self.0.as_deref().map(|a| a.trigger)
+    }
+
+    /// Records a hit of `site`; returns true exactly when this hit is the
+    /// armed trigger (one-shot: later hits return false again).
+    pub fn fire(&self, site: &str) -> bool {
+        match &self.0 {
+            Some(a) if a.site == site => {
+                let hit = a.hits.fetch_add(1, Ordering::Relaxed) + 1;
+                hit == a.trigger
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_site_names_are_registered() {
+        for site in [
+            SITE_EPOCH_PUBLISH,
+            SITE_QUEUE_FULL,
+            SITE_REPLY_DROP,
+            SITE_WRITER_CRASH,
+        ] {
+            assert!(SERVE_FAILPOINT_SITES.contains(&site), "{site} unregistered");
+        }
+        assert_eq!(SERVE_FAILPOINT_SITES.len(), 4);
+    }
+
+    #[test]
+    fn env_parsing_ignores_foreign_sites() {
+        assert!(Failpoints::from_env_value("serve-queue-full").is_armed());
+        assert!(Failpoints::from_env_value("serve-writer-crash:2").is_armed());
+        assert!(!Failpoints::from_env_value("round").is_armed());
+        assert!(!Failpoints::from_env_value("store-wal-bit-flip").is_armed());
+        assert!(!Failpoints::from_env_value("no-such-site").is_armed());
+    }
+
+    #[test]
+    fn fires_exactly_on_trigger_once() {
+        let fp = Failpoints::armed(SITE_REPLY_DROP, 2);
+        assert!(!fp.fire(SITE_REPLY_DROP));
+        assert!(!fp.fire(SITE_QUEUE_FULL));
+        assert!(fp.fire(SITE_REPLY_DROP));
+        assert!(!fp.fire(SITE_REPLY_DROP));
+    }
+}

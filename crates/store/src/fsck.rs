@@ -34,6 +34,10 @@ pub struct WalCheck {
     pub torn_tail: Option<u64>,
     /// First hard error (checksum failure, bad epoch sequence, ...).
     pub error: Option<StoreError>,
+    /// End offset of the last fully-valid record (the file header alone
+    /// counts as 12 bytes) — the byte the `--truncate` repair cuts at.
+    /// Zero when even the header is unusable.
+    pub valid_len: u64,
 }
 
 /// Full report for a store directory.
@@ -86,6 +90,7 @@ fn check_wal(path: &Path) -> WalCheck {
         last_epoch: None,
         torn_tail: None,
         error: None,
+        valid_len: 0,
     };
     let bytes = match StoreError::ctx(path, "read", fs::read(path)) {
         Ok(b) => b,
@@ -103,6 +108,7 @@ fn check_wal(path: &Path) -> WalCheck {
         return check;
     }
     let mut off = 12;
+    check.valid_len = 12;
     loop {
         match read_frame(&bytes, off, &shown) {
             Ok(FrameOutcome::Ok { payload, next }) => {
@@ -125,6 +131,7 @@ fn check_wal(path: &Path) -> WalCheck {
                         check.last_epoch = Some(rec.epoch);
                         check.records += 1;
                         off = next;
+                        check.valid_len = next as u64;
                     }
                     Err(e) => {
                         check.error = Some(e);
@@ -198,4 +205,96 @@ pub fn fsck(dir: &Path) -> Result<FsckReport, StoreError> {
         wal,
         continuity,
     })
+}
+
+/// Result of a [`truncate_repair`] pass.
+#[derive(Debug)]
+pub enum TruncateOutcome {
+    /// Nothing to repair: the directory already recovers cleanly.
+    Clean,
+    /// The WAL was cut back to its last fully-valid record.
+    Truncated {
+        /// Byte offset the file was truncated at.
+        at: u64,
+        /// Bytes dropped from the tail.
+        dropped_bytes: u64,
+        /// Records surviving the cut.
+        kept_records: usize,
+        /// Epoch of the last surviving record, if any survive.
+        kept_last_epoch: Option<u64>,
+    },
+    /// Truncation cannot fix this directory (corrupt newest snapshot,
+    /// unusable WAL header, or damage that survives the cut).
+    Unrepairable {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// Destructive WAL repair: cuts the log back to its last fully-valid
+/// record, dropping the corrupt or torn tail, then re-runs [`fsck`] to
+/// confirm the directory recovers. Only tail damage in the WAL is
+/// repairable this way — a corrupt newest snapshot, a missing WAL header,
+/// or an epoch gap at the log's *head* is reported as
+/// [`TruncateOutcome::Unrepairable`] and the directory is left untouched.
+///
+/// Records past the cut are lost (they were never recoverable); everything
+/// up to the cut recovers exactly as before.
+///
+/// # Errors
+/// Only I/O errors reading or truncating the files; every diagnosis
+/// outcome is a [`TruncateOutcome`].
+pub fn truncate_repair(dir: &Path) -> Result<TruncateOutcome, StoreError> {
+    let report = fsck(dir)?;
+    // Snapshot-side damage: truncating the log cannot help.
+    if let Some(check) = report.snapshots.last() {
+        if let Err(e) = &check.result {
+            return Ok(TruncateOutcome::Unrepairable {
+                reason: format!("newest snapshot is unreadable: {e}"),
+            });
+        }
+    }
+    let Some(wal) = &report.wal else {
+        return Ok(TruncateOutcome::Clean);
+    };
+    if wal.error.is_none() && wal.torn_tail.is_none() && report.continuity.is_none() {
+        return Ok(TruncateOutcome::Clean);
+    }
+    if let Some(e) = &report.continuity {
+        return Ok(TruncateOutcome::Unrepairable {
+            reason: format!("epoch gap at the log head: {e}"),
+        });
+    }
+    if wal.valid_len < 12 {
+        let detail = match &wal.error {
+            Some(e) => e.to_string(),
+            None => "unusable WAL header".to_string(),
+        };
+        return Ok(TruncateOutcome::Unrepairable {
+            reason: format!("no valid WAL prefix to keep: {detail}"),
+        });
+    }
+    let len = StoreError::ctx(&wal.path, "stat", fs::metadata(&wal.path))?.len();
+    debug_assert!(wal.valid_len <= len);
+    let file = StoreError::ctx(
+        &wal.path,
+        "open",
+        fs::OpenOptions::new().write(true).open(&wal.path),
+    )?;
+    StoreError::ctx(&wal.path, "truncate", file.set_len(wal.valid_len))?;
+    StoreError::ctx(&wal.path, "sync", file.sync_all())?;
+    let outcome = TruncateOutcome::Truncated {
+        at: wal.valid_len,
+        dropped_bytes: len.saturating_sub(wal.valid_len),
+        kept_records: wal.records,
+        kept_last_epoch: wal.last_epoch,
+    };
+    // Confirm: the repaired directory must now pass fsck.
+    let confirm = fsck(dir)?;
+    match confirm.first_error() {
+        None => Ok(outcome),
+        Some(e) => Ok(TruncateOutcome::Unrepairable {
+            reason: format!("damage survives the tail cut: {e}"),
+        }),
+    }
 }

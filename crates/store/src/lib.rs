@@ -37,7 +37,7 @@ pub use failpoints::{
     Failpoints, SITE_COMPACT_TRUNCATE, SITE_SNAPSHOT_RENAME, SITE_WAL_APPEND_SYNC,
     SITE_WAL_BIT_FLIP, SITE_WAL_TORN_WRITE, SITE_WAL_TRUNCATED_TAIL, STORE_FAILPOINT_SITES,
 };
-pub use fsck::{fsck, FsckReport};
+pub use fsck::{fsck, truncate_repair, FsckReport, TruncateOutcome};
 pub use snapshot::SnapshotState;
 pub use store::{Store, StoreOptions};
 pub use wal::{Durability, WalOp, WalRecord};

@@ -15,4 +15,5 @@ pub use inflog_logic as logic;
 pub use inflog_reductions as reductions;
 pub use inflog_rewrite as rewrite;
 pub use inflog_sat as sat;
+pub use inflog_serve as serve;
 pub use inflog_syntax as syntax;
